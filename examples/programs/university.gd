@@ -1,0 +1,14 @@
+% University ontology: guarded TGDs as ontology axioms (open world).
+prof(X) -> teaches(X,C).
+teaches(X,C) -> course(C).
+course(C) -> offeredBy(C,D).
+offeredBy(C,D) -> dept(D).
+teaches(X,C) -> faculty(X).
+
+% Incomplete data
+prof(ada).
+course(logic).
+
+% Queries
+q() :- dept(D).
+who(X) :- faculty(X).
