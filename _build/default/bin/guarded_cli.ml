@@ -1,0 +1,339 @@
+(* The `guarded` command-line tool: chase, evaluate, classify, rewrite,
+   decide UCQk-equivalence, and run the p-Clique reduction, over programs
+   in the surface syntax (see lib/syntax/parser.ml). *)
+
+open Relational
+open Guarded_core
+open Cmdliner
+
+let read_program path =
+  try Ok (Syntax.Parser.parse_file path) with
+  | Syntax.Lexer.Error (msg, l, c) ->
+      Error (Fmt.str "%s:%d:%d: %s" path l c msg)
+  | Syntax.Parser.Error (msg, l, c) ->
+      Error (Fmt.str "%s:%d:%d: %s" path l c msg)
+  | Sys_error e -> Error e
+
+let with_program path f =
+  match read_program path with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+  | Ok p -> f p
+
+let get_query p name =
+  match Syntax.Parser.query p name with
+  | Some q -> Ok q
+  | None ->
+      Error
+        (Fmt.str "no query named %S (available: %s)" name
+           (String.concat ", " (List.map fst p.Syntax.Parser.queries)))
+
+(* common args *)
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input program.")
+
+let query_arg =
+  Arg.(value & opt string "q" & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Query name (default q).")
+
+let level_arg =
+  Arg.(value & opt int 8 & info [ "max-level" ] ~docv:"N" ~doc:"Chase level bound.")
+
+let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Treewidth bound k.")
+
+(* ------------------------------------------------------------------ *)
+(* chase                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let chase_cmd =
+  let run file max_level =
+    with_program file (fun p ->
+        let r = Tgds.Chase.run ~max_level p.Syntax.Parser.tgds (Syntax.Parser.database p) in
+        Fmt.pr "%% chase %s (max level %d)@." (if Tgds.Chase.saturated r then "saturated" else "truncated") max_level;
+        Instance.iter (fun f -> Fmt.pr "%a.@." Fact.pp f) (Tgds.Chase.instance r);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "chase" ~doc:"Run the level-bounded oblivious chase and print the result.")
+    Term.(const run $ file_arg $ level_arg)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let run file =
+    with_program file (fun p ->
+        let sigma = p.Syntax.Parser.tgds in
+        let module T = Tgds.Tgd in
+        Fmt.pr "TGDs: %d@." (List.length sigma);
+        Fmt.pr "linear (L):           %b@." (T.all_linear sigma);
+        Fmt.pr "guarded (G):          %b@." (T.all_guarded sigma);
+        Fmt.pr "frontier-guarded (FG): %b@." (T.all_frontier_guarded sigma);
+        Fmt.pr "full (no existentials): %b@." (T.all_full sigma);
+        Fmt.pr "max head atoms (m):    %d@." (T.max_head_size sigma);
+        Fmt.pr "schema arity (r):      %d@." (Schema.ar (T.schema_of_set sigma));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Report the syntactic TGD classes of the program's rules.")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* eval (open world) / cqs-eval (closed world)                          *)
+(* ------------------------------------------------------------------ *)
+
+let pp_tuple ppf t = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") Relational.Term.pp_const) t
+
+let eval_cmd =
+  let run file qname max_level fpt =
+    with_program file (fun p ->
+        match get_query p qname with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            1
+        | Ok q ->
+            let omq = Omq.full_data_schema ~ontology:p.Syntax.Parser.tgds ~query:q in
+            let db = Syntax.Parser.database p in
+            if Ucq.arity q = 0 then begin
+              let v =
+                if fpt then Omq_eval.certain_fpt ~max_level omq db []
+                else Omq_eval.certain ~max_level omq db []
+              in
+              Fmt.pr "%s%s@."
+                (if v.Omq_eval.holds then "true" else "false")
+                (if v.Omq_eval.exact then "" else " (bounded — not exact)");
+              0
+            end
+            else begin
+              let answers, exact = Omq_eval.answers ~max_level omq db in
+              List.iter (fun t -> Fmt.pr "%a@." pp_tuple t) answers;
+              if not exact then Fmt.pr "%% bounded chase — possibly incomplete@.";
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Open-world certain answers (ontology-mediated querying).")
+    Term.(
+      const run $ file_arg $ query_arg $ level_arg
+      $ Arg.(value & flag & info [ "fpt" ] ~doc:"Use the linearization-based FPT engine (guarded only)."))
+
+let cqs_eval_cmd =
+  let run file qname optimize =
+    with_program file (fun p ->
+        match get_query p qname with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            1
+        | Ok q ->
+            let s = Cqs.make ~constraints:p.Syntax.Parser.tgds ~query:q in
+            let db = Syntax.Parser.database p in
+            if not (Cqs.admissible s db) then
+              Fmt.pr "%% warning: database violates the constraints (promise broken)@.";
+            let s = if optimize then Cqs_eval.optimize s else s in
+            if optimize then
+              Fmt.pr "%% optimized query: %a@." Ucq.pp (Cqs.query s);
+            List.iter (fun t -> Fmt.pr "%a@." pp_tuple t) (Cqs_eval.answers s db);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "cqs-eval"
+       ~doc:"Closed-world evaluation under integrity constraints.")
+    Term.(
+      const run $ file_arg $ query_arg
+      $ Arg.(value & flag & info [ "optimize" ] ~doc:"Σ-minimize the query first."))
+
+(* ------------------------------------------------------------------ *)
+(* treewidth / core                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let treewidth_cmd =
+  let run file qname =
+    with_program file (fun p ->
+        match get_query p qname with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            1
+        | Ok q ->
+            List.iteri
+              (fun i cq ->
+                Fmt.pr "disjunct %d: treewidth %d, core treewidth %d@." i
+                  (Cq.treewidth cq)
+                  (Cq_core.semantic_treewidth cq))
+              (Ucq.disjuncts q);
+            let s = Cqs.make ~constraints:p.Syntax.Parser.tgds ~query:q in
+            (match Equivalence.semantic_ucq_treewidth s with
+            | Some (k, _) -> Fmt.pr "uniformly UCQ%d-equivalent under Σ@." k
+            | None -> Fmt.pr "not uniformly UCQk-equivalent for k ≤ 4@.");
+            0)
+  in
+  Cmd.v
+    (Cmd.info "treewidth"
+       ~doc:"Treewidths: syntactic, of the core, and modulo the constraints.")
+    Term.(const run $ file_arg $ query_arg)
+
+let rewrite_cmd =
+  let run file qname =
+    with_program file (fun p ->
+        match get_query p qname with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            1
+        | Ok q ->
+            if not (Tgds.Tgd.all_linear p.Syntax.Parser.tgds) then begin
+              Fmt.epr "error: UCQ rewriting requires linear TGDs@.";
+              1
+            end
+            else begin
+              let q', complete = Tgds.Linear_rewrite.rewrite p.Syntax.Parser.tgds q in
+              List.iter
+                (fun cq -> Fmt.pr "%a@." (Syntax.Pretty.pp_query qname) cq)
+                (Ucq.disjuncts q');
+              if not complete then Fmt.pr "%% budget exhausted — possibly incomplete@.";
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Perfect UCQ rewriting for linear TGDs (Proposition D.2).")
+    Term.(const run $ file_arg $ query_arg)
+
+let equiv_cmd =
+  let run file qname k =
+    with_program file (fun p ->
+        match get_query p qname with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            1
+        | Ok q ->
+            let s = Cqs.make ~constraints:p.Syntax.Parser.tgds ~query:q in
+            let verdict, witness = Equivalence.cqs_uniformly_ucqk_equivalent k s in
+            Fmt.pr "uniformly UCQ%d-equivalent: %a@." k
+              Sigma_containment.pp_verdict verdict;
+            (match witness with
+            | Some sa -> Fmt.pr "witness: %a@." Ucq.pp (Cqs.query sa)
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Decide uniform UCQk-equivalence (the meta problem, Thm 5.6/5.10).")
+    Term.(const run $ file_arg $ query_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* terminates / witness / reduce                                        *)
+(* ------------------------------------------------------------------ *)
+
+let terminates_cmd =
+  let run file =
+    with_program file (fun p ->
+        let sigma = p.Syntax.Parser.tgds in
+        let module T = Tgds.Termination in
+        Fmt.pr "weakly acyclic:            %b@." (T.weakly_acyclic sigma);
+        Fmt.pr "termination guaranteed:    %b@."
+          (T.terminates_on_all_databases sigma);
+        Fmt.pr "dependency edges:@.";
+        List.iter (fun e -> Fmt.pr "  %a@." T.pp_edge e) (T.dependency_edges sigma);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "terminates"
+       ~doc:"Static chase-termination analysis (weak acyclicity).")
+    Term.(const run $ file_arg)
+
+let witness_cmd =
+  let run file n =
+    with_program file (fun p ->
+        let sigma = p.Syntax.Parser.tgds in
+        if not (Tgds.Tgd.all_guarded sigma) then begin
+          Fmt.epr "error: finite witnesses require guarded TGDs@.";
+          1
+        end
+        else begin
+          let db = Syntax.Parser.database p in
+          let m = Guarded_core.Finite_witness.build ~n sigma db in
+          Fmt.pr "%% finite witness M(D,Σ,%d): %d facts, model: %b@." n
+            (Instance.size m)
+            (Guarded_core.Finite_witness.verify sigma db m);
+          Instance.iter (fun f -> Fmt.pr "%a.@." Fact.pp f) m;
+          0
+        end)
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Build the finite witness M(D,Σ,n) of Theorem 6.7.")
+    Term.(
+      const run $ file_arg
+      $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Query-variable budget."))
+
+let reduce_cmd =
+  let run file qname =
+    with_program file (fun p ->
+        match get_query p qname with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            1
+        | Ok q ->
+            let sigma = p.Syntax.Parser.tgds in
+            if not (Tgds.Tgd.all_guarded sigma) then begin
+              Fmt.epr "error: the OMQ→CQS reduction requires guarded TGDs@.";
+              1
+            end
+            else begin
+              let omq = Omq.full_data_schema ~ontology:sigma ~query:q in
+              let db = Syntax.Parser.database p in
+              let d_star = Reductions.omq_to_cqs omq db in
+              Fmt.pr "%% D* (%d facts; satisfies Σ: %b)@." (Instance.size d_star)
+                (Tgds.Tgd.satisfies_all d_star sigma);
+              Instance.iter (fun f -> Fmt.pr "%a.@." Fact.pp f) d_star;
+              0
+            end)
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Proposition 5.8: build D* reducing open-world to closed-world evaluation.")
+    Term.(const run $ file_arg $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* clique reduction demo                                                *)
+(* ------------------------------------------------------------------ *)
+
+let clique_cmd =
+  let run n k p_edge seed =
+    let graph = Workload.random_graph ~n ~p:p_edge ~seed in
+    let truth = Qgraph.Graph.has_clique graph k in
+    let q = if k <= 2 then Workload.path_cq 2 else Workload.grid_cq k (Grohe.capital_k k) in
+    let d = Reductions.constraint_free_instance q in
+    (match Reductions.clique_to_cqs d ~graph ~k with
+    | None ->
+        Fmt.pr "no %d×%d grid minor in the query — cannot carry k=%d@." k
+          (Grohe.capital_k k) k
+    | Some ci ->
+        let via = Reductions.decide_clique ci in
+        Fmt.pr "graph: %d vertices, %d edges@." (Qgraph.Graph.num_vertices graph)
+          (Qgraph.Graph.num_edges graph);
+        Fmt.pr "D* size: %d facts@." (Instance.size ci.Reductions.d_star.Grohe.db);
+        Fmt.pr "%d-clique via CQS evaluation: %b (direct search: %b)@." k via truth);
+    0
+  in
+  Cmd.v
+    (Cmd.info "clique"
+       ~doc:"Decide p-Clique through the Theorem 5.13 reduction to CQS evaluation.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 8 & info [ "n" ] ~doc:"Graph vertices.")
+      $ Arg.(value & opt int 3 & info [ "k" ] ~doc:"Clique size.")
+      $ Arg.(value & opt float 0.4 & info [ "p" ] ~doc:"Edge probability.")
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed."))
+
+let main =
+  Cmd.group
+    (Cmd.info "guarded" ~version:"1.0.0"
+       ~doc:"Open- and closed-world query evaluation under guarded TGDs.")
+    [
+      chase_cmd; classify_cmd; eval_cmd; cqs_eval_cmd; treewidth_cmd;
+      rewrite_cmd; equiv_cmd; clique_cmd; terminates_cmd; witness_cmd;
+      reduce_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

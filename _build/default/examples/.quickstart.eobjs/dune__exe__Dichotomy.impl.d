@@ -1,0 +1,1 @@
+examples/dichotomy.ml: Atom Cq Cq_core Cqs Equivalence Fmt Grohe Guarded_core Instance List Qgraph Reductions Relational Term Tgds Tw_eval Ucq Unix Workload

@@ -1,0 +1,1 @@
+examples/dl_ontology.ml: Atom Cq Dl Fmt Guarded_core Instance List Omq Omq_eval Relational Term Tgds Ucq

@@ -1,0 +1,1 @@
+examples/dl_ontology.mli:

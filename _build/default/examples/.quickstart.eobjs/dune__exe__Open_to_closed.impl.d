@@ -1,0 +1,1 @@
+examples/open_to_closed.ml: Atom Cq Fact Fmt Guarded_core Instance List Omq Omq_eval Reductions Relational Term Tgds Ucq Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atom Cq Cqs Cqs_eval Fact Fmt Guarded_core Instance List Omq Omq_eval Relational Term Tgds Ucq Workload

@@ -1,0 +1,1 @@
+examples/referential.ml: Atom Cq Cqs Cqs_eval Equivalence Fact Fmt Guarded_core Instance List Relational Term Tgds Ucq Workload

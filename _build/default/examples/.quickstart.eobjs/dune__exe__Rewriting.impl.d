@@ -1,0 +1,1 @@
+examples/rewriting.ml: Atom Cq Fact Fmt Instance List Relational Term Tgds Ucq

@@ -1,0 +1,1 @@
+examples/university.ml: Atom Cq Fact Fmt Guarded_core Instance List Omq Omq_eval Relational Term Tgds Ucq Workload

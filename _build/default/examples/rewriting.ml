@@ -1,0 +1,75 @@
+(* The two-step FO-rewriting pipeline:
+
+   1. Lemma A.3: linearize a *guarded* ontology Σ into a linear Σ* over
+      type predicates (with a data part D ↦ D_star).
+   2. Proposition D.2: rewrite the query over a *linear* ontology into a
+      UCQ evaluated directly on the database — no chase at query time.
+
+   Run with: dune exec examples/rewriting.exe *)
+
+open Relational
+
+let v = Term.var
+let atom p args = Atom.make p args
+let fact p args = Fact.make p (List.map (fun s -> Term.Named s) args)
+
+let () =
+  Fmt.pr "== rewriting pipelines ==@.@.";
+
+  (* ------- linear TGDs: perfect UCQ rewriting ------- *)
+  Fmt.pr "-- Proposition D.2: UCQ rewriting for inclusion dependencies --@.";
+  let sigma_lin =
+    [
+      Tgds.Tgd.make ~body:[ atom "emp" [ v "x" ] ] ~head:[ atom "works" [ v "x"; v "d" ] ];
+      Tgds.Tgd.make ~body:[ atom "works" [ v "x"; v "d" ] ] ~head:[ atom "unit" [ v "d" ] ];
+      Tgds.Tgd.make ~body:[ atom "boss" [ v "x" ] ] ~head:[ atom "emp" [ v "x" ] ];
+    ]
+  in
+  Fmt.pr "Σ (linear):@.  %a@." Fmt.(list ~sep:(any "@.  ") Tgds.Tgd.pp) sigma_lin;
+  let q = Ucq.of_cq (Cq.make [ atom "unit" [ v "u" ] ]) in
+  let q', complete = Tgds.Linear_rewrite.rewrite sigma_lin q in
+  Fmt.pr "query ∃u unit(u) rewrites into %d disjuncts (complete=%b):@.  %a@.@."
+    (List.length (Ucq.disjuncts q'))
+    complete Ucq.pp q';
+  let db = Instance.of_facts [ fact "boss" [ "dana" ] ] in
+  Fmt.pr "on D = {boss(dana)}: rewriting says %b, chase says %b@.@."
+    (Ucq.holds db q')
+    (fst (Tgds.Chase.certain sigma_lin db q []));
+
+  (* ------- guarded TGDs: linearization ------- *)
+  Fmt.pr "-- Lemma A.3: linearizing a guarded ontology --@.";
+  let sigma_g =
+    [
+      Tgds.Tgd.make
+        ~body:[ atom "contract" [ v "x"; v "y" ]; atom "vip" [ v "x" ] ]
+        ~head:[ atom "priority" [ v "y" ] ];
+      Tgds.Tgd.make
+        ~body:[ atom "priority" [ v "y" ] ]
+        ~head:[ atom "handled_by" [ v "y"; v "m" ] ];
+      Tgds.Tgd.make
+        ~body:[ atom "handled_by" [ v "y"; v "m" ] ]
+        ~head:[ atom "manager" [ v "m" ] ];
+    ]
+  in
+  Fmt.pr "Σ (guarded, not linear):@.  %a@."
+    Fmt.(list ~sep:(any "@.  ") Tgds.Tgd.pp)
+    sigma_g;
+  let db_g =
+    Instance.of_facts [ fact "contract" [ "acme"; "c1" ]; fact "vip" [ "acme" ] ]
+  in
+  let lin = Tgds.Linearize.make sigma_g db_g in
+  Fmt.pr "D* has %d typed facts; Σ* has %d linear rules over %d Σ-types@."
+    (Instance.size lin.Tgds.Linearize.db_star)
+    (List.length lin.Tgds.Linearize.sigma_star)
+    (List.length lin.Tgds.Linearize.types);
+  assert (Tgds.Tgd.all_linear lin.Tgds.Linearize.sigma_star);
+  let q_mgr = Ucq.of_cq (Cq.make [ atom "manager" [ v "m" ] ]) in
+  let via_lin, exact = Tgds.Linearize.certain lin q_mgr [] in
+  let direct, _ = Tgds.Chase.certain sigma_g db_g q_mgr [] in
+  Fmt.pr "∃m manager(m): via linearization %b (exact=%b), via direct chase %b@."
+    via_lin exact direct;
+
+  (* and the two pipelines compose: Σ* is linear, so it is UCQ-rewritable
+     in principle — over the type signature of D*. *)
+  Fmt.pr "@.Σ* is linear — Proposition D.2 applies to it over the typed data D*.@.";
+  Fmt.pr "@.done.@."

@@ -1,0 +1,1 @@
+lib/core/approximation.ml: Cq Cqs List Omq Relational Schema Specialization Tgds Ucq

@@ -1,0 +1,1 @@
+lib/core/approximation.mli: Cqs Omq

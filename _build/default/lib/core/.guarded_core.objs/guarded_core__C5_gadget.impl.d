@@ -1,0 +1,1 @@
+lib/core/c5_gadget.ml: Atom Fact Hashtbl Instance List Printf Relational Term Tgds Workload

@@ -1,0 +1,1 @@
+lib/core/c5_gadget.mli: Cq Instance Relational Tgds

@@ -1,0 +1,1 @@
+lib/core/cqs.ml: Fmt List Omq Relational Schema Tgds Ucq

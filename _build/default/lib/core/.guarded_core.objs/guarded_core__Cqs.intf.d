@@ -1,0 +1,1 @@
+lib/core/cqs.mli: Format Instance Omq Relational Schema Tgds Ucq

@@ -1,0 +1,1 @@
+lib/core/cqs_eval.ml: Cqs Relational Sigma_containment Tw_eval Ucq

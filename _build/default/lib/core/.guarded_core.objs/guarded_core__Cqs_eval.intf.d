@@ -1,0 +1,1 @@
+lib/core/cqs_eval.mli: Cqs Instance Relational Term

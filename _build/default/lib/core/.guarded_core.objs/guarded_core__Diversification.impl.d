@@ -1,0 +1,1 @@
+lib/core/diversification.ml: ConstMap ConstSet Fact Instance List Relational Unraveling

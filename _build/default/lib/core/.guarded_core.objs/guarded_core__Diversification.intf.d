@@ -1,0 +1,1 @@
+lib/core/diversification.mli: Fact Instance Relational Term

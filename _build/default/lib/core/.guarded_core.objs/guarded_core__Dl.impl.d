@@ -1,0 +1,1 @@
+lib/core/dl.ml: Atom Fact Fmt List Printf Relational Term Tgds

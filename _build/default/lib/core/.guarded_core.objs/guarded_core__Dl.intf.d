@@ -1,0 +1,1 @@
+lib/core/dl.mli: Fact Format Relational Tgds

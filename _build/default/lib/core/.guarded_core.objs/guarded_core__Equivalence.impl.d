@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Approximation Cqs Logs Omq Relational Schema Sigma_containment Ucq

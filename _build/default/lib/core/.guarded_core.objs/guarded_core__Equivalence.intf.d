@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Cqs Omq Sigma_containment

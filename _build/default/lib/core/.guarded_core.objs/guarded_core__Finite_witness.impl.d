@@ -1,0 +1,1 @@
+lib/core/finite_witness.ml: Array Atom ConstSet Fact Hashtbl Homomorphism Instance List Printf Relational Tgds VarMap VarSet

@@ -1,0 +1,1 @@
+lib/core/finite_witness.mli: Instance Relational Tgds

@@ -1,0 +1,1 @@
+lib/core/grohe.ml: Array ConstMap ConstSet Fact Hashtbl Homomorphism Instance List Printf Qgraph Relational Stdlib

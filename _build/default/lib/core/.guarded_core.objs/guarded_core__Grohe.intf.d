@@ -1,0 +1,1 @@
+lib/core/grohe.mli: Instance Qgraph Relational Term

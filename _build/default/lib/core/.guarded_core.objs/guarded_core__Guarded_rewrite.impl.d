@@ -1,0 +1,1 @@
+lib/core/guarded_rewrite.ml: Instance Relational Tgds Ucq

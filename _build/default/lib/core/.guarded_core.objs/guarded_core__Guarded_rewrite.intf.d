@@ -1,0 +1,1 @@
+lib/core/guarded_rewrite.mli: Instance Relational Term Tgds Ucq

@@ -1,0 +1,1 @@
+lib/core/omq.ml: Fmt Instance List Relational Schema Tgds Ucq

@@ -1,0 +1,1 @@
+lib/core/omq.mli: Format Instance Relational Schema Tgds Ucq

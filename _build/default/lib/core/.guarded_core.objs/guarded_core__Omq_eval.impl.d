@@ -1,0 +1,1 @@
+lib/core/omq_eval.ml: Fact Instance List Omq Relational Term Tgds Tw_eval Ucq

@@ -1,0 +1,1 @@
+lib/core/omq_eval.mli: Fact Instance Omq Relational Term Tgds

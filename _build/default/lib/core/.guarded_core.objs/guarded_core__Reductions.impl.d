@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Array Atom ConstSet Cq Cq_core Cqs Finite_witness Grohe Homomorphism Instance List Omq Qgraph Relational Sigma_containment Tgds Ucq VarMap VarSet

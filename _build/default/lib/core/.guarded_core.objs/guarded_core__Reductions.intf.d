@@ -1,0 +1,1 @@
+lib/core/reductions.mli: Cq Cqs Grohe Instance Omq Qgraph Relational Term

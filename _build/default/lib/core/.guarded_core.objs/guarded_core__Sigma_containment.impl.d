@@ -1,0 +1,1 @@
+lib/core/sigma_containment.ml: Atom Cq Finite_witness Fmt List Relational Term Tgds Ucq

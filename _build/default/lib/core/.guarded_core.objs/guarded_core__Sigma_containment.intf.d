@@ -1,0 +1,1 @@
+lib/core/sigma_containment.mli: Cq Format Relational Tgds Ucq

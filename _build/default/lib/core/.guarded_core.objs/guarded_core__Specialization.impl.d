@@ -1,0 +1,1 @@
+lib/core/specialization.ml: Atom Cq Homomorphism List Printf Relational Schema Stdlib Term Tgds VarMap VarSet

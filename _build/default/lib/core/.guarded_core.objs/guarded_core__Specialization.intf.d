@@ -1,0 +1,1 @@
+lib/core/specialization.mli: Atom Cq Relational Schema Term Tgds

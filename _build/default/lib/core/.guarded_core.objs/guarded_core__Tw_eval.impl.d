@@ -1,0 +1,1 @@
+lib/core/tw_eval.ml: Array Atom ConstSet Cq Fact Hashtbl Homomorphism Instance List Qgraph Relational Ucq VarMap VarSet

@@ -1,0 +1,1 @@
+lib/core/tw_eval.mli: Cq Instance Relational Term Ucq

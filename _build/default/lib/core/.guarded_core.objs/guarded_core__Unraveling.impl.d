@@ -1,0 +1,1 @@
+lib/core/unraveling.ml: ConstMap ConstSet Homomorphism Instance List Relational

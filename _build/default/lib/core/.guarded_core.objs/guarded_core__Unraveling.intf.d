@@ -1,0 +1,1 @@
+lib/core/unraveling.mli: Instance Relational Term

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Atom Cq Fact Fun Instance List Omq Printf Qgraph Random Relational Term Tgds Ucq

@@ -1,0 +1,1 @@
+lib/core/workload.mli: Cq Instance Omq Qgraph Relational Tgds

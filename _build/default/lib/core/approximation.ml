@@ -1,0 +1,62 @@
+(** UCQk-approximations.
+
+    Two constructions:
+
+    - {!cqs_approximation}: the contraction-based approximation [S^a_k] for
+      CQSs from (FG_m, UCQ) (Proposition 5.11): the UCQ of all contractions
+      that lie in CQ_k. Exact characterization for [k ≥ r·m − 1]; since
+      [G ⊆ FG], it also serves guarded CQSs (and, through Propositions 5.2
+      and 5.5, guarded OMQs with full data schema).
+    - {!omq_approximation}: the grounding-based approximation [Q^a_k] of
+      Definition C.6 for guarded OMQs — faithful to the appendix but
+      exponential; intended for small queries. *)
+
+open Relational
+
+(** [cqs_approximation k s] — [S^a_k = (Σ, q^a_k)] with [q^a_k] the
+    contractions of disjuncts of [q] of treewidth ≤ k (Proposition 5.11).
+    Returns [None] when no contraction is tree-like enough (then the
+    approximation is the empty UCQ, and [S] is certainly not uniformly
+    UCQk-equivalent). *)
+let cqs_approximation k (s : Cqs.t) =
+  let disjuncts =
+    List.concat_map
+      (fun p -> List.filter (Cq.in_cqk k) (Cq.contractions p))
+      (Ucq.disjuncts (Cqs.query s))
+    |> List.sort_uniq Cq.compare
+  in
+  match disjuncts with
+  | [] -> None
+  | ds -> Some (Cqs.make ~constraints:(Cqs.constraints s) ~query:(Ucq.make ds))
+
+(** Threshold [k ≥ r·m − 1] under which Proposition 5.11 guarantees the
+    contraction approximation is exact. *)
+let cqs_threshold (s : Cqs.t) =
+  let r = Schema.ar (Cqs.schema s) in
+  let m = max 1 (Tgds.Tgd.max_head_size (Cqs.constraints s)) in
+  (r * m) - 1
+
+(** [omq_approximation ?bounds k q] — [Q^a_k] of Definition C.6: every
+    disjunct replaced by the UCQ of all its Σ-groundings of treewidth ≤ k
+    over the extended schema. Exponential; see DESIGN.md §5.5 for the
+    enumeration caps. Returns [None] when no grounding survives. *)
+let omq_approximation ?max_level ?max_side k (q : Omq.t) =
+  let schema = Omq.extended_schema q in
+  let sigma = Omq.ontology q in
+  let disjuncts =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun spec ->
+            Specialization.groundings ?max_level ?max_side schema sigma spec)
+          (Specialization.all p))
+      (Ucq.disjuncts (Omq.query q))
+    |> List.filter (Cq.in_cqk k)
+    |> List.sort_uniq Cq.compare
+  in
+  match disjuncts with
+  | [] -> None
+  | ds ->
+      Some
+        (Omq.make ~data_schema:(Omq.data_schema q) ~ontology:sigma
+           ~query:(Ucq.make ds))

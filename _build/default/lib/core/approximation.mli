@@ -1,0 +1,17 @@
+(** UCQk-approximations: the contraction-based [S^a_k] for FG_m CQSs
+    (Proposition 5.11) and the grounding-based [Q^a_k] of Definition C.6
+    for guarded OMQs. *)
+
+(** [cqs_approximation k s] — the contractions of treewidth ≤ k; [None]
+    when no contraction qualifies (then [S] is certainly not uniformly
+    UCQk-equivalent). *)
+val cqs_approximation : int -> Cqs.t -> Cqs.t option
+
+(** The threshold [r·m − 1] under which Proposition 5.11 guarantees
+    exactness. *)
+val cqs_threshold : Cqs.t -> int
+
+(** [omq_approximation k q] — Definition C.6 via specializations and
+    Σ-groundings (capped enumeration); [None] when no grounding
+    survives. *)
+val omq_approximation : ?max_level:int -> ?max_side:int -> int -> Omq.t -> Omq.t option

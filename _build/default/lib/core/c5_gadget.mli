@@ -1,0 +1,22 @@
+(** The Appendix C.5 gadget: a guarded ontology over a 6-ary auxiliary
+    whose chase counts in binary — from [T1(c̄)] it produces an [S]-path of
+    [2^n − 1] edges, from [T2(c̄)] one of [2^n − 2] — the mechanism behind
+    Lemma C.8's exponential lower bound on UCQ₁-equivalent rewritings when
+    [k < ar(T) − 1]. A clean reconstruction of the paper's (partly
+    garbled) Σ₁/Σ₂; see the implementation header. *)
+
+open Relational
+
+(** The counter ontology for parameter [n] (guarded, max arity 6). *)
+val ontology : n:int -> Tgds.Tgd.t list
+
+(** The seed databases of Lemma C.8. *)
+val database : [ `T1 | `T2 ] -> Instance.t
+
+(** Length of the longest simple [S]-path (the gadget's chase is a
+    path). *)
+val s_path_length : Instance.t -> int
+
+(** The separating query: an [S]-path of [2^n − 1] edges — treewidth 1 yet
+    exponential in the gadget. *)
+val separating_query : n:int -> Cq.t

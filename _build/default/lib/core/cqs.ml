@@ -1,0 +1,41 @@
+(** Constraint-query specifications (§3.2).
+
+    A CQS is a pair [S = (Σ, q)] over a schema [T]: [Σ] is a set of
+    integrity constraints that input databases are *promised* to satisfy,
+    and [q] is evaluated directly (closed world). *)
+
+open Relational
+
+type t = { constraints : Tgds.Tgd.t list; query : Ucq.t }
+
+let make ~constraints ~query = { constraints; query }
+let constraints s = s.constraints
+let query s = s.query
+let arity s = Ucq.arity s.query
+
+(** The schema [T] of the CQS. *)
+let schema s =
+  Schema.union (Tgds.Tgd.schema_of_set s.constraints) (Ucq.schema s.query)
+
+let norm s =
+  Ucq.norm s.query
+  + List.fold_left
+      (fun acc t ->
+        acc + List.length (Tgds.Tgd.body t) + List.length (Tgds.Tgd.head t))
+      0 s.constraints
+
+(** [omq s] — the OMQ [omq(S)] with full data schema (§5.1). *)
+let omq s = Omq.full_data_schema ~ontology:s.constraints ~query:s.query
+
+(** [admissible s db] — the promise: [db ⊨ Σ]. *)
+let admissible s db = Tgds.Tgd.satisfies_all db s.constraints
+
+let in_guarded s = Tgds.Tgd.all_guarded s.constraints
+let in_frontier_guarded s = Tgds.Tgd.all_frontier_guarded s.constraints
+let in_fg m s = List.for_all (Tgds.Tgd.is_fg m) s.constraints
+let in_ucqk k s = Ucq.in_ucqk k s.query
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>CQS Σ = {%a}@,q = %a@]"
+    Fmt.(list ~sep:(any "; ") Tgds.Tgd.pp)
+    s.constraints Ucq.pp s.query

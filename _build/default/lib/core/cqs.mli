@@ -1,0 +1,29 @@
+(** Constraint-query specifications [S = (Σ, q)] (§3.2): integrity
+    constraints that input databases are promised to satisfy, plus a UCQ
+    evaluated directly (closed world). *)
+
+open Relational
+
+type t
+
+val make : constraints:Tgds.Tgd.t list -> query:Ucq.t -> t
+val constraints : t -> Tgds.Tgd.t list
+val query : t -> Ucq.t
+val arity : t -> int
+
+(** The schema [T] of the CQS. *)
+val schema : t -> Schema.t
+
+val norm : t -> int
+
+(** [omq s] — the full-data-schema OMQ [omq(S)] (§5.1). *)
+val omq : t -> Omq.t
+
+(** The promise: [db ⊨ Σ]. *)
+val admissible : t -> Instance.t -> bool
+
+val in_guarded : t -> bool
+val in_frontier_guarded : t -> bool
+val in_fg : int -> t -> bool
+val in_ucqk : int -> t -> bool
+val pp : Format.formatter -> t -> unit

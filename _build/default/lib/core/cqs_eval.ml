@@ -1,0 +1,36 @@
+(** Closed-world CQS evaluation (§3.2).
+
+    The evaluation problem receives a database *promised* to satisfy the
+    constraints and evaluates the UCQ directly. The constraints still
+    matter: they license semantic optimizations (§1, "constraint-aware
+    query optimization"), implemented here as Σ-equivalent minimization of
+    the query before evaluation — the executable content of the
+    tractability direction (3) ⇒ (1) of Theorems 5.7/5.12: when the CQS is
+    uniformly UCQk-equivalent, evaluating the equivalent low-treewidth
+    query is polynomial. *)
+
+open Relational
+
+(** [eval s db c̄] — is [c̄ ∈ q(db)]? ([db] should satisfy the constraints;
+    use {!Cqs.admissible} to check the promise.) *)
+let eval (s : Cqs.t) db tuple = Ucq.entails db (Cqs.query s) tuple
+
+(** [eval_tw s db c̄] — same, through the bounded-treewidth evaluator of
+    Proposition 2.1 (polynomial for [q ∈ UCQ_k]). *)
+let eval_tw (s : Cqs.t) db tuple = Tw_eval.entails_ucq db (Cqs.query s) tuple
+
+(** [optimize s] — replace the query by a Σ-equivalent minimized UCQ
+    (sound: every certified simplification preserves the answers on all
+    admissible databases). *)
+let optimize (s : Cqs.t) =
+  let q' = Sigma_containment.minimize_ucq (Cqs.constraints s) (Cqs.query s) in
+  Cqs.make ~constraints:(Cqs.constraints s) ~query:q'
+
+(** [eval_optimized s db c̄] — minimize under Σ, then evaluate with the
+    treewidth-aware engine. *)
+let eval_optimized (s : Cqs.t) db tuple = eval_tw (optimize s) db tuple
+
+(** [answers s db] — all answers of the (possibly optimized) query. *)
+let answers ?(optimize_first = false) (s : Cqs.t) db =
+  let s = if optimize_first then optimize s else s in
+  Ucq.answers db (Cqs.query s)

@@ -1,0 +1,155 @@
+(** Diversifications of databases (§6.1, Example 6.3, Appendix D.2).
+
+    A diversification of [D₀] replaces atoms with copies in which some
+    constants are replaced by fresh *isolated* constants — "untangling"
+    atoms that share constants only incidentally. The Theorem 5.4
+    reduction works with a ⪯-minimal diversification [D₁] such that
+    [D₁⁺ ⊨ Q], where [D⁺] attaches finite initial pieces of the guarded
+    unraveling so that ontology entailments are not lost.
+
+    This module implements the operations the proof uses: single splits,
+    the ⪯ preorder, unraveling attachment, and a greedy search for a
+    ⪯-minimal diversification preserving a given property (the paper's
+    "maximal way such that D₁ ⊨ Q"). *)
+
+open Relational
+open Relational.Term
+
+type t = {
+  original : Instance.t;  (** the database being diversified *)
+  diversified : Instance.t;  (** the current diversification *)
+  up : const ConstMap.t;  (** fresh constant ↦ original ([·↑]) *)
+}
+
+(** The identity diversification. *)
+let identity db =
+  let up =
+    ConstSet.fold (fun c acc -> ConstMap.add c c acc) (Instance.dom db) ConstMap.empty
+  in
+  { original = db; diversified = db; up }
+
+(** [up_const d c] — [c↑]. *)
+let up_const d c =
+  match ConstMap.find_opt c d.up with Some o -> o | None -> c
+
+(** [·↑] as a homomorphism witness: the diversification always maps back
+    onto (a subset of) the original. *)
+let verify d =
+  Instance.for_all
+    (fun f -> Instance.mem (Fact.rename (fun c -> Some (up_const d c)) f) d.original)
+    d.diversified
+
+(** [split d fact position] — replace the constant at [position] of one
+    occurrence [fact ∈ d.diversified] by a fresh isolated copy. Raises
+    [Invalid_argument] when the fact is absent or the position out of
+    range. *)
+let split d fact position =
+  if not (Instance.mem fact d.diversified) then
+    invalid_arg "Diversification.split: no such fact";
+  let args = Fact.args fact in
+  if position < 0 || position >= List.length args then
+    invalid_arg "Diversification.split: position out of range";
+  let old_c = List.nth args position in
+  let fresh = fresh_null () in
+  let args' = List.mapi (fun i c -> if i = position then fresh else c) args in
+  let f' = Fact.make (Fact.pred fact) args' in
+  {
+    d with
+    diversified = Instance.add_fact f' (Instance.diff d.diversified (Instance.of_facts [ fact ]));
+    up = ConstMap.add fresh (up_const d old_c) d.up;
+  }
+
+(** The preorder [D₁ ⪯ D₂] of Appendix D.2: every atom of [D₁] has a
+    counterpart atom in [D₂] carrying at least its original constants at
+    the same positions (fewer original constants = smaller = more
+    diversified). *)
+let preorder d1 d2 =
+  let originals d f =
+    List.mapi (fun i c -> (i, if ConstMap.find_opt c d.up = Some c then Some c else None))
+      (Fact.args f)
+  in
+  Instance.for_all
+    (fun f1 ->
+      Instance.exists
+        (fun f2 ->
+          Fact.pred f1 = Fact.pred f2
+          && Fact.arity f1 = Fact.arity f2
+          && List.for_all2
+               (fun (_, o1) (_, o2) ->
+                 match o1 with None -> true | Some c -> o2 = Some c)
+               (originals d1 f1) (originals d2 f2))
+        d2.diversified)
+    d1.diversified
+
+(** [with_unravelings ?depth d] — the database [D⁺] (Appendix D.2,
+    simplified per DESIGN.md §5): attach to each atom of the
+    diversification a finite initial piece of the guarded unraveling of
+    the *original* database at the atom's [·↑]-projection, renamed so the
+    piece starts at the atom's own constants. *)
+let with_unravelings ?(depth = 2) d =
+  Instance.fold
+    (fun f acc ->
+      let up_bag =
+        List.fold_left (fun s c -> ConstSet.add (up_const d c) s) ConstSet.empty
+          (Fact.args f)
+      in
+      let u = Unraveling.guarded ~depth d.original up_bag in
+      (* rename the unraveling's root constants to the atom's constants *)
+      let root_renaming =
+        List.fold_left2
+          (fun m orig here -> ConstMap.add orig here m)
+          ConstMap.empty
+          (List.map (up_const d) (Fact.args f))
+          (Fact.args f)
+      in
+      let piece =
+        Instance.rename
+          (fun c -> ConstMap.find_opt c root_renaming)
+          u.Unraveling.instance
+      in
+      Instance.union acc piece)
+    d.diversified d.diversified
+
+(* All (fact, position) pairs whose constant is still original and
+   non-isolated in the current diversification. *)
+let split_candidates d =
+  Instance.fold
+    (fun f acc ->
+      List.concat
+        (List.mapi
+           (fun i c ->
+             if ConstMap.find_opt c d.up = Some c && not (Instance.isolated d.diversified c)
+             then [ (f, i) ]
+             else [])
+           (Fact.args f))
+      @ acc)
+    d.diversified []
+
+(** [minimize ~holds ~protect db] — greedy search for a ⪯-minimal
+    diversification [D₁] of [db] with [holds D₁⁺] (the paper diversifies
+    "in a maximal way such that D₁ ⊨ Q"). Constants of [protect] (e.g.
+    the tuple [ā₀]) are never split. [holds] receives the diversification
+    with unravelings attached. *)
+let minimize ?(depth = 2) ~holds ~protect db =
+  let d = ref (identity db) in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let candidates =
+      List.filter
+        (fun (f, i) -> not (ConstSet.mem (List.nth (Fact.args f) i) protect))
+        (split_candidates !d)
+    in
+    match
+      List.find_opt
+        (fun (f, i) ->
+          let candidate = split !d f i in
+          holds (with_unravelings ~depth candidate))
+        candidates
+    with
+    | Some (f, i) ->
+        d := split !d f i;
+        progress := true
+    | None -> ()
+  done;
+  !d

@@ -1,0 +1,40 @@
+(** Diversifications of databases (§6.1, Example 6.3, Appendix D.2):
+    untangling atoms by replacing incidental shared constants with fresh
+    isolated copies, the ⪯ preorder, unraveling attachment ([D⁺]) and a
+    greedy ⪯-minimization preserving a given property. *)
+
+open Relational
+
+type t = {
+  original : Instance.t;
+  diversified : Instance.t;
+  up : Term.const Term.ConstMap.t;  (** fresh constant ↦ original ([·↑]) *)
+}
+
+(** The identity diversification. *)
+val identity : Instance.t -> t
+
+(** [up_const d c] — [c↑]. *)
+val up_const : t -> Term.const -> Term.const
+
+(** [·↑] maps the diversification back onto the original. *)
+val verify : t -> bool
+
+(** Replace the constant at [position] of one fact occurrence by a fresh
+    isolated copy. *)
+val split : t -> Fact.t -> int -> t
+
+(** The preorder [D₁ ⪯ D₂] of Appendix D.2. *)
+val preorder : t -> t -> bool
+
+(** [D⁺]: attach finite guarded-unraveling pieces at every atom. *)
+val with_unravelings : ?depth:int -> t -> Instance.t
+
+(** Greedy ⪯-minimal diversification with [holds D₁⁺]; constants of
+    [protect] are never split. *)
+val minimize :
+  ?depth:int ->
+  holds:(Instance.t -> bool) ->
+  protect:Term.ConstSet.t ->
+  Instance.t ->
+  t

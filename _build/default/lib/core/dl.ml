@@ -1,0 +1,128 @@
+(** A description-logic front-end.
+
+    The paper situates its results against the DL-based characterizations
+    of [7] for (ELHI⊥, UCQ) — "essentially a fragment of guarded TGDs"
+    (§1). This module provides the bridge the paper alludes to: an
+    ELHI-style concept language (conjunction, existential restriction,
+    inverse roles, role hierarchies, domain/range) whose TBox axioms
+    translate into frontier-guarded single-head TGDs; the fragment without
+    inverse roles on the left translates into guarded TGDs. ABoxes are
+    plain databases over unary (concept) and binary (role) predicates. *)
+
+open Relational
+module Tgd = Tgds.Tgd
+
+type role = Role of string | Inverse of string
+
+type concept =
+  | Top
+  | Atomic of string
+  | Conj of concept * concept
+  | Exists of role * concept  (** ∃r.C *)
+
+type axiom =
+  | Sub of concept * concept  (** C ⊑ D *)
+  | Role_sub of role * role  (** r ⊑ s *)
+  | Domain of role * concept  (** ∃r.⊤ ⊑ C *)
+  | Range of role * concept  (** ∃r⁻.⊤ ⊑ C *)
+
+let role_atom r x y =
+  match r with
+  | Role s -> Atom.make s [ Term.var x; Term.var y ]
+  | Inverse s -> Atom.make s [ Term.var y; Term.var x ]
+
+(* Fresh variable supply, per translation run. *)
+let fresh_var =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    Printf.sprintf "w%d" !ctr
+
+(* Atoms asserting membership of variable [x] in [c], introducing fresh
+   variables for existential restrictions (used on the *left* of ⊑, where
+   existentials become plain body variables). *)
+let rec body_atoms c x =
+  match c with
+  | Top -> []
+  | Atomic a -> [ Atom.make a [ Term.var x ] ]
+  | Conj (c1, c2) -> body_atoms c1 x @ body_atoms c2 x
+  | Exists (r, c1) ->
+      let y = fresh_var () in
+      role_atom r x y :: body_atoms c1 y
+
+(* Same on the right of ⊑: the fresh variables stay in the head and become
+   existentially quantified by Tgd.make. *)
+let head_atoms = body_atoms
+
+(** [to_tgds axioms] — the TGD translation. Every produced TGD is
+    frontier-guarded (the frontier is a single variable, covered by any
+    body atom mentioning it); when no axiom uses an inverse role in a
+    left-hand side, every produced TGD is guarded. *)
+let to_tgds axioms =
+  List.map
+    (fun ax ->
+      match ax with
+      | Sub (Top, d) ->
+          (* ⊤ ⊑ D over an explicit domain marker would need a universal
+             guard; encode via a 0-argument body is not constant-free —
+             reject instead *)
+          if d = Top then invalid_arg "Dl.to_tgds: trivial axiom ⊤ ⊑ ⊤"
+          else invalid_arg "Dl.to_tgds: ⊤ on the left is not supported"
+      | Sub (c, d) ->
+          let body = body_atoms c "x" in
+          let head = head_atoms d "x" in
+          if head = [] then invalid_arg "Dl.to_tgds: ⊤ on the right";
+          Tgd.make ~body ~head
+      | Role_sub (r, s) ->
+          Tgd.make ~body:[ role_atom r "x" "y" ] ~head:[ role_atom s "x" "y" ]
+      | Domain (r, c) ->
+          let head = head_atoms c "x" in
+          if head = [] then invalid_arg "Dl.to_tgds: ⊤ range/domain";
+          Tgd.make ~body:[ role_atom r "x" "y" ] ~head
+      | Range (r, c) ->
+          let head = head_atoms c "y" in
+          if head = [] then invalid_arg "Dl.to_tgds: ⊤ range/domain";
+          Tgd.make ~body:[ role_atom r "x" "y" ] ~head)
+    axioms
+
+(* Does a concept use an inverse role? *)
+let rec uses_inverse = function
+  | Top | Atomic _ -> false
+  | Conj (c1, c2) -> uses_inverse c1 || uses_inverse c2
+  | Exists (Inverse _, _) -> true
+  | Exists (Role _, c) -> uses_inverse c
+
+(** [in_elh axioms] — the ELH fragment: no inverse roles anywhere (the
+    OWL 2 EL regime the paper mentions in §1). Axioms whose left-hand side
+    is atomic or a single unnested existential restriction translate into
+    *guarded* TGDs; nested left-hand existentials stay frontier-guarded. *)
+let in_elh axioms =
+  List.for_all
+    (function
+      | Sub (c, d) -> (not (uses_inverse c)) && not (uses_inverse d)
+      | Role_sub (Role _, Role _) -> true
+      | Role_sub _ -> false
+      | Domain (Role _, c) | Range (Role _, c) -> not (uses_inverse c)
+      | Domain (Inverse _, _) | Range (Inverse _, _) -> false)
+    axioms
+
+(** [assertion c x] / [role_assertion r a b] — ABox facts. *)
+let assertion c x = Fact.make c [ Term.Named x ]
+
+let role_assertion r a b = Fact.make r [ Term.Named a; Term.Named b ]
+
+let pp_role ppf = function
+  | Role s -> Fmt.string ppf s
+  | Inverse s -> Fmt.pf ppf "%s⁻" s
+
+let rec pp_concept ppf = function
+  | Top -> Fmt.string ppf "⊤"
+  | Atomic a -> Fmt.string ppf a
+  | Conj (c, d) -> Fmt.pf ppf "(%a ⊓ %a)" pp_concept c pp_concept d
+  | Exists (r, c) -> Fmt.pf ppf "∃%a.%a" pp_role r pp_concept c
+
+let pp_axiom ppf = function
+  | Sub (c, d) -> Fmt.pf ppf "%a ⊑ %a" pp_concept c pp_concept d
+  | Role_sub (r, s) -> Fmt.pf ppf "%a ⊑ %a" pp_role r pp_role s
+  | Domain (r, c) -> Fmt.pf ppf "∃%a.⊤ ⊑ %a" pp_role r pp_concept c
+  | Range (r, c) -> Fmt.pf ppf "∃%a⁻.⊤ ⊑ %a" pp_role r pp_concept c

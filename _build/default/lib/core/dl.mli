@@ -1,0 +1,36 @@
+(** Description-logic front-end: an ELHI-style concept language whose
+    TBox axioms translate to frontier-guarded single-variable-frontier
+    TGDs — the fragment of guarded TGDs the paper relates to in §1. *)
+
+open Relational
+
+type role = Role of string | Inverse of string
+
+type concept =
+  | Top
+  | Atomic of string
+  | Conj of concept * concept
+  | Exists of role * concept  (** ∃r.C *)
+
+type axiom =
+  | Sub of concept * concept  (** C ⊑ D *)
+  | Role_sub of role * role  (** r ⊑ s *)
+  | Domain of role * concept  (** ∃r.⊤ ⊑ C *)
+  | Range of role * concept  (** ∃r⁻.⊤ ⊑ C *)
+
+(** The TGD translation (every TGD frontier-guarded); raises
+    [Invalid_argument] on ⊤ in a left-hand side or as a full right-hand
+    side. *)
+val to_tgds : axiom list -> Tgds.Tgd.t list
+
+(** The ELH fragment: no inverse roles (OWL 2 EL regime); unnested
+    left-hand sides then translate to guarded TGDs. *)
+val in_elh : axiom list -> bool
+
+(** ABox facts. *)
+val assertion : string -> string -> Fact.t
+
+val role_assertion : string -> string -> string -> Fact.t
+val pp_role : Format.formatter -> role -> unit
+val pp_concept : Format.formatter -> concept -> unit
+val pp_axiom : Format.formatter -> axiom -> unit

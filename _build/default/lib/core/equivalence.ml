@@ -1,0 +1,81 @@
+(** The meta problems: deciding (uniform) UCQk-equivalence
+    (Theorems 5.1, 5.6, 5.10; Propositions 5.2, 5.5, 5.11).
+
+    The executable procedure follows the paper's recipe: compute the
+    UCQk-approximation [S^a_k] and test [S ⊆ S^a_k] (the converse holds by
+    construction), with containment decided through the chase
+    (Proposition 4.5). The automata-based 2ExpTime machinery of Appendix B
+    is replaced by the chase/finite-witness backend (DESIGN.md §5.1), so
+    verdicts are three-valued. *)
+
+open Relational
+module V = Sigma_containment
+
+type verdict = V.verdict = Holds | Fails | Unknown
+
+(** [cqs_uniformly_ucqk_equivalent k s] — uniform UCQk-equivalence of a
+    CQS via Proposition 5.11. Exact for [S ∈ (FG_m, UCQ)] whenever
+    [k ≥ cqs_threshold s]; a warning is logged below the threshold (the
+    approximation may then be incomplete, cf. Appendix C.5). Returns the
+    verdict together with the witnessing equivalent CQS when it holds. *)
+let cqs_uniformly_ucqk_equivalent ?max_level ?max_facts k (s : Cqs.t) :
+    verdict * Cqs.t option =
+  if k < Approximation.cqs_threshold s then
+    Logs.warn (fun m ->
+        m "uniform UCQ%d-equivalence below the threshold %d: the \
+           approximation may be incomplete" k (Approximation.cqs_threshold s));
+  match Approximation.cqs_approximation k s with
+  | None -> (Fails, None)
+  | Some sa -> (
+      match
+        V.contained ?max_level ?max_facts (Cqs.constraints s) (Cqs.query s)
+          (Cqs.query sa)
+      with
+      | Holds -> (Holds, Some sa)
+      | v -> (v, None))
+
+(** [omq_ucqk_equivalent k q] — UCQk-equivalence of a *full data schema*
+    guarded OMQ: by Proposition 5.5 this coincides with uniform
+    UCQk-equivalence of the corresponding CQS, and by Proposition 5.2
+    uniform and non-uniform equivalence agree for guarded OMQs with
+    [k ≥ ar(T) − 1]. For OMQs whose data schema is properly smaller the
+    reduction does not apply and [Unknown] is returned. *)
+let omq_ucqk_equivalent ?max_level ?max_facts k (q : Omq.t) :
+    verdict * Omq.t option =
+  if not (Omq.has_full_data_schema q) then (Unknown, None)
+  else
+    let s = Cqs.make ~constraints:(Omq.ontology q) ~query:(Omq.query q) in
+    match cqs_uniformly_ucqk_equivalent ?max_level ?max_facts k s with
+    | Holds, Some sa -> (Holds, Some (Cqs.omq sa))
+    | v, _ -> (v, None)
+
+(** [omq_grounding_equivalent k q] — the faithful Definition C.6 route for
+    guarded OMQs (small queries only): compute [Q^a_k] and check
+    [Q ⊆ Q^a_k] via the chase of each disjunct's canonical database
+    (sound for OMQs whose disjuncts use only data-schema predicates). *)
+let omq_grounding_equivalent ?max_level ?max_facts ?max_side k (q : Omq.t) :
+    verdict * Omq.t option =
+  let query_preds = Ucq.schema (Omq.query q) in
+  if not (Schema.subset query_preds (Omq.data_schema q)) then (Unknown, None)
+  else
+    match Approximation.omq_approximation ?max_level ?max_side k q with
+    | None -> (Fails, None)
+    | Some qa -> (
+        match
+          V.contained ?max_level ?max_facts (Omq.ontology q) (Omq.query q)
+            (Omq.query qa)
+        with
+        | Holds -> (Holds, Some qa)
+        | v -> (v, None))
+
+(** [semantic_ucq_treewidth ?limit s] — the least [k ≤ limit] such that
+    the CQS is uniformly UCQk-equivalent, if any. *)
+let semantic_ucq_treewidth ?max_level ?max_facts ?(limit = 4) (s : Cqs.t) =
+  let rec go k =
+    if k > limit then None
+    else
+      match cqs_uniformly_ucqk_equivalent ?max_level ?max_facts k s with
+      | Holds, Some sa -> Some (k, sa)
+      | _ -> go (k + 1)
+  in
+  go 1

@@ -1,0 +1,31 @@
+(** The meta problems: deciding (uniform) UCQk-equivalence
+    (Theorems 5.1/5.6/5.10) via approximation + chase containment.
+    Three-valued verdicts (the 2ATA machinery of Appendix B is replaced by
+    the chase/finite-witness backend; DESIGN.md §5.1). *)
+
+type verdict = Sigma_containment.verdict = Holds | Fails | Unknown
+
+(** Uniform UCQk-equivalence of a CQS (Proposition 5.11); exact for
+    FG_m CQSs when [k ≥ Approximation.cqs_threshold s] (warning logged
+    below). Returns the witnessing equivalent CQS when it holds. *)
+val cqs_uniformly_ucqk_equivalent :
+  ?max_level:int -> ?max_facts:int -> int -> Cqs.t -> verdict * Cqs.t option
+
+(** UCQk-equivalence of a full-data-schema guarded OMQ (via
+    Propositions 5.2 and 5.5); [Unknown] on proper data schemas. *)
+val omq_ucqk_equivalent :
+  ?max_level:int -> ?max_facts:int -> int -> Omq.t -> verdict * Omq.t option
+
+(** The faithful Definition C.6 route (small queries only). *)
+val omq_grounding_equivalent :
+  ?max_level:int ->
+  ?max_facts:int ->
+  ?max_side:int ->
+  int ->
+  Omq.t ->
+  verdict * Omq.t option
+
+(** The least [k ≤ limit] with the CQS uniformly UCQk-equivalent, if
+    any. *)
+val semantic_ucq_treewidth :
+  ?max_level:int -> ?max_facts:int -> ?limit:int -> Cqs.t -> (int * Cqs.t) option

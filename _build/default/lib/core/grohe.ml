@@ -1,0 +1,287 @@
+(** The (modified) Grohe databases (Theorem 6.1 and Theorem 7.1 /
+    Lemma H.2).
+
+    Both constructions lift a database [D] whose Gaifman graph restricted
+    to a set [A] of constants contains the [k × K]-grid as a minor
+    ([K = k(k−1)/2]) into a database [D_G] / [D*] over the same schema,
+    indexed by an input graph [G], such that [G] has a [k]-clique iff [D]
+    maps homomorphically back in a structured way. They are the engines of
+    the W[1]-hardness reductions (Theorems 5.4 and 5.13). *)
+
+open Relational
+open Relational.Term
+module Graph = Qgraph.Graph
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+
+(* ------------------------------------------------------------------ *)
+(* Grid coordinates and the bijection χ                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** [pairs k] — the unordered pairs over [k] in a fixed order: the
+    bijection [χ : pairs ↔ [K]]. *)
+let pairs k =
+  List.concat_map
+    (fun j -> List.filter_map (fun l -> if j < l then Some (j, l) else None)
+        (List.init k (fun i -> i + 1)))
+    (List.init k (fun i -> i + 1))
+  |> List.sort Stdlib.compare
+
+let capital_k k = k * (k - 1) / 2
+
+(** The [k × K] grid as a {!Qgraph.Graph.t}; vertex [(i,p)] (1-based) is
+    encoded as [(i-1) * K + (p-1)]. *)
+let grid k =
+  let kk = max 1 (capital_k k) in
+  Graph.grid k kk
+
+let grid_vertex k ~i ~p = ((i - 1) * max 1 (capital_k k)) + (p - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Minor maps over constants                                           *)
+(* ------------------------------------------------------------------ *)
+
+type minor_map = {
+  branch : ConstSet.t array array;
+      (** [branch.(i-1).(p-1)] — the constants of branch set [μ(i,p)] *)
+  position : (int * int) ConstMap.t;
+      (** inverse: a constant of [A] covered by the map ↦ its [(i,p)] *)
+}
+
+(** [find_minor_map ~k d a] — search a minor map of the [k × K]-grid onto
+    [G^D|A] (restricted to one connected component and extended to be
+    onto). Returns [None] when the bounded search fails. *)
+let find_minor_map ~k d (a : ConstSet.t) =
+  let g, consts = Instance.gaifman d in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) consts;
+  let a_ids =
+    ConstSet.fold (fun c acc -> ISet.add (Hashtbl.find index c) acc) a ISet.empty
+  in
+  let ga = Graph.induced g a_ids in
+  let h = grid k in
+  (* try each connected component of G^D|A *)
+  let rec try_components = function
+    | [] -> None
+    | comp :: rest -> (
+        let sub = Graph.induced ga comp in
+        match Qgraph.Minor.find ~h ~g:sub with
+        | Some m -> Some (Qgraph.Minor.extend_onto ~g:sub m)
+        | None -> try_components rest)
+  in
+  match try_components (Graph.components ga) with
+  | None -> None
+  | Some m ->
+      let kk = max 1 (capital_k k) in
+      let branch = Array.make_matrix k kk ConstSet.empty in
+      let position = ref ConstMap.empty in
+      IMap.iter
+        (fun gv bs ->
+          let i = (gv / kk) + 1 and p = (gv mod kk) + 1 in
+          let cs =
+            ISet.fold (fun id acc -> ConstSet.add consts.(id) acc) bs ConstSet.empty
+          in
+          branch.(i - 1).(p - 1) <- cs;
+          ConstSet.iter (fun c -> position := ConstMap.add c (i, p) !position) cs)
+        m;
+      Some { branch; position = !position }
+
+(* ------------------------------------------------------------------ *)
+(* Constant encoding and h0                                            *)
+(* ------------------------------------------------------------------ *)
+
+let const_str = function Named s -> s | Null n -> "#" ^ string_of_int n
+
+(* (v, e, i, p, z) with e = {e1,e2}, p = {j,l} *)
+let encode ~v ~e:(e1, e2) ~i ~p:(j, l) ~z =
+  Named (Printf.sprintf "⟨%d|%d~%d|%d|%d,%d|%s⟩" v (min e1 e2) (max e1 e2) i j l (const_str z))
+
+type built = {
+  db : Instance.t;
+  h0 : const ConstMap.t;  (** the surjective projection onto the source *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 7.1 / Lemma H.2: D*(G, D, D', A, μ)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Labelled cliques: injective maps from an index set ⊆ [k] to vertices of
+   G, pairwise adjacent. *)
+let labelled_cliques graph indices =
+  let vs = Graph.vertices graph in
+  let rec extend assigned = function
+    | [] -> [ assigned ]
+    | i :: rest ->
+        List.concat_map
+          (fun vtx ->
+            if
+              List.for_all
+                (fun (_, w) -> Graph.mem_edge graph vtx w)
+                assigned
+            then extend ((i, vtx) :: assigned) rest
+            else [])
+          vs
+  in
+  extend [] indices
+
+(** [cqs_construction ~graph ~k ~d ~d' ~a ~mu] — the database
+    [D*(G,D,D′,A,μ)] of Theorem 7.1, with its projection [h0] onto
+    [dom D′]. [d ⊆ d'] is required; constants of [A] must be covered by
+    [mu]. *)
+let cqs_construction ~graph ~k ~d ~d' ~a ~(mu : minor_map) =
+  if not (Instance.subset d d') then
+    invalid_arg "Grohe.cqs_construction: D ⊆ D' is required";
+  ignore k;
+  let h0 = ref ConstMap.empty in
+  let db = ref Instance.empty in
+  Instance.iter
+    (fun f ->
+      let zs = Fact.args f in
+      (* indices of [k] needed to cover the A-constants of this atom *)
+      let needed =
+        List.fold_left
+          (fun acc z ->
+            if ConstSet.mem z a then
+              match ConstMap.find_opt z mu.position with
+              | Some (i, p) ->
+                  let j, l = List.nth (pairs k) (p - 1) in
+                  ISet.add i (ISet.add j (ISet.add l acc))
+              | None ->
+                  invalid_arg
+                    "Grohe.cqs_construction: A-constant not covered by μ"
+            else acc)
+          ISet.empty zs
+      in
+      List.iter
+        (fun eta ->
+          let lift z =
+            if ConstSet.mem z a then begin
+              let i, p = ConstMap.find z mu.position in
+              let j, l = List.nth (pairs k) (p - 1) in
+              let vi = List.assoc i eta and vj = List.assoc j eta
+              and vl = List.assoc l eta in
+              let c = encode ~v:vi ~e:(vj, vl) ~i ~p:(j, l) ~z in
+              h0 := ConstMap.add c z !h0;
+              c
+            end
+            else begin
+              h0 := ConstMap.add z z !h0;
+              z
+            end
+          in
+          db := Instance.add_fact (Fact.make (Fact.pred f) (List.map lift zs)) !db)
+        (labelled_cliques graph (ISet.elements needed)))
+    d';
+  { db = !db; h0 = !h0 }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 6.1: D_G with conditions (C1)/(C2)                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [omq_construction ~graph ~k ~d ~a ~mu] — the database [D_G] of
+    Theorem 6.1: lifts of each atom choose one graph vertex per grid row
+    [i] and one graph edge per grid column [p] present in the atom,
+    subject to [(v ∈ e ⇔ i ∈ ρ(p))] — conditions (C1)/(C2) hold by
+    construction since the choices are per-row/per-column. *)
+let omq_construction ~graph ~k ~d ~a ~(mu : minor_map) =
+  let h0 = ref ConstMap.empty in
+  let db = ref Instance.empty in
+  let vertices = Graph.vertices graph in
+  let edges = Graph.edges graph in
+  Instance.iter
+    (fun f ->
+      let zs = Fact.args f in
+      let coords =
+        List.filter_map
+          (fun z ->
+            if ConstSet.mem z a then
+              match ConstMap.find_opt z mu.position with
+              | Some (i, p) -> Some (z, (i, p))
+              | None -> invalid_arg "Grohe.omq_construction: uncovered A-constant"
+            else None)
+          zs
+      in
+      let is = List.sort_uniq Stdlib.compare (List.map (fun (_, (i, _)) -> i) coords) in
+      let ps = List.sort_uniq Stdlib.compare (List.map (fun (_, (_, p)) -> p) coords) in
+      (* assignments v : i -> V and e : p -> E with the membership
+         constraint for each (i,p) coordinate present *)
+      let rec assign_v = function
+        | [] -> [ [] ]
+        | i :: rest ->
+            List.concat_map
+              (fun v -> List.map (fun a -> (i, v) :: a) (assign_v rest))
+              vertices
+      in
+      let rec assign_e = function
+        | [] -> [ [] ]
+        | p :: rest ->
+            List.concat_map
+              (fun e -> List.map (fun a -> (p, e) :: a) (assign_e rest))
+              edges
+      in
+      List.iter
+        (fun va ->
+          List.iter
+            (fun ea ->
+              let consistent =
+                List.for_all
+                  (fun (_, (i, p)) ->
+                    let v = List.assoc i va in
+                    let e1, e2 = List.assoc p ea in
+                    let j, l = List.nth (pairs k) (p - 1) in
+                    let i_in_p = i = j || i = l in
+                    let v_in_e = v = e1 || v = e2 in
+                    i_in_p = v_in_e)
+                  coords
+              in
+              if consistent then begin
+                let lift z =
+                  match List.assoc_opt z coords with
+                  | Some (i, p) ->
+                      let v = List.assoc i va and e = List.assoc p ea in
+                      let jp = List.nth (pairs k) (p - 1) in
+                      let c = encode ~v ~e ~i ~p:jp ~z in
+                      h0 := ConstMap.add c z !h0;
+                      c
+                  | None ->
+                      h0 := ConstMap.add z z !h0;
+                      z
+                in
+                db := Instance.add_fact (Fact.make (Fact.pred f) (List.map lift zs)) !db
+              end)
+            (assign_e ps))
+        (assign_v is))
+    d;
+  { db = !db; h0 = !h0 }
+
+(* ------------------------------------------------------------------ *)
+(* The clique criterion (item 2 of both theorems)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Marker predicates let the generic homomorphism engine enforce
+   "h0(h(c)) = c on A": mark c in the source and all h0-preimages of c in
+   the target. *)
+let with_markers ~a ~h0 src dst =
+  let mark c = "\005M" ^ const_str c in
+  let src' =
+    ConstSet.fold (fun c acc -> Instance.add_fact (Fact.make (mark c) [ c ]) acc) a src
+  in
+  let dst' =
+    ConstMap.fold
+      (fun b orig acc ->
+        if ConstSet.mem orig a then
+          Instance.add_fact (Fact.make (mark orig) [ b ]) acc
+        else acc)
+      h0 dst
+  in
+  (src', dst')
+
+(** [clique_criterion ~a built d] — is there a homomorphism [h] from [d]
+    to [built.db] with [h0(h(·))] the identity on [a]? By item (2) of
+    Theorem 7.1 this holds iff [G] has a [k]-clique. *)
+let clique_criterion ~a (b : built) d =
+  let src, dst = with_markers ~a ~h0:b.h0 d b.db in
+  Homomorphism.maps_to src dst
+
+(** [h0_is_homomorphism built d'] — sanity: [h0 : D* → D'] (item 1). *)
+let h0_is_homomorphism (b : built) d' = Homomorphism.verify_between b.db d' b.h0

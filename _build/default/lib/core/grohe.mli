@@ -1,0 +1,62 @@
+(** The (modified) Grohe databases — the engines of the W[1]-hardness
+    reductions: Theorem 6.1 (with set [A], isolated constants and the
+    ontoness condition) and Theorem 7.1 / Lemma H.2 (the [D*(G,D,D',A,μ)]
+    variant with labelled cliques). *)
+
+open Relational
+
+(** The unordered pairs over [k] in a fixed order (the bijection χ). *)
+val pairs : int -> (int * int) list
+
+(** [K = k(k−1)/2]. *)
+val capital_k : int -> int
+
+(** The [k × K] grid as a graph; vertex [(i,p)] (1-based) is
+    [(i−1)·K + (p−1)]. *)
+val grid : int -> Qgraph.Graph.t
+
+val grid_vertex : int -> i:int -> p:int -> int
+
+type minor_map = {
+  branch : Term.ConstSet.t array array;
+      (** [branch.(i-1).(p-1)] — branch set [μ(i,p)] *)
+  position : (int * int) Term.ConstMap.t;
+      (** inverse: covered constant ↦ its [(i,p)] *)
+}
+
+(** Search a minor map of the [k × K]-grid onto [G^D|A] (one connected
+    component, extended onto). *)
+val find_minor_map : k:int -> Instance.t -> Term.ConstSet.t -> minor_map option
+
+type built = {
+  db : Instance.t;
+  h0 : Term.const Term.ConstMap.t;  (** the projection onto the source *)
+}
+
+(** The database [D*(G,D,D′,A,μ)] of Theorem 7.1 (labelled cliques);
+    requires [d ⊆ d'] and [A] covered by [mu]. *)
+val cqs_construction :
+  graph:Qgraph.Graph.t ->
+  k:int ->
+  d:Instance.t ->
+  d':Instance.t ->
+  a:Term.ConstSet.t ->
+  mu:minor_map ->
+  built
+
+(** The database [D_G] of Theorem 6.1 (conditions (C1)/(C2) by
+    per-row/per-column choices). *)
+val omq_construction :
+  graph:Qgraph.Graph.t ->
+  k:int ->
+  d:Instance.t ->
+  a:Term.ConstSet.t ->
+  mu:minor_map ->
+  built
+
+(** Item (2) of both theorems: a homomorphism [h : d → db] with
+    [h0(h(·))] the identity on [a] (via marker predicates). *)
+val clique_criterion : a:Term.ConstSet.t -> built -> Instance.t -> bool
+
+(** Item (1): [h0] is a homomorphism onto the source database. *)
+val h0_is_homomorphism : built -> Instance.t -> bool

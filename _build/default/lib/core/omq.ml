@@ -1,0 +1,63 @@
+(** Ontology-mediated queries (§3.1).
+
+    An OMQ is a triple [Q = (S, Σ, q)]: a data schema [S] over which input
+    databases range, an ontology [Σ] over an extended schema [T ⊇ S], and a
+    UCQ [q] over [T]. *)
+
+open Relational
+
+type t = { data_schema : Schema.t; ontology : Tgds.Tgd.t list; query : Ucq.t }
+
+(** [make ~data_schema ~ontology ~query] — checks that the data schema is
+    compatible with the extended schema (arities agree where predicates are
+    shared). *)
+let make ~data_schema ~ontology ~query =
+  let extended =
+    Schema.union (Tgds.Tgd.schema_of_set ontology) (Ucq.schema query)
+  in
+  (* Schema.union raises on arity conflicts *)
+  ignore (Schema.union data_schema extended);
+  { data_schema; ontology; query }
+
+let data_schema q = q.data_schema
+let ontology q = q.ontology
+let query q = q.query
+let arity q = Ucq.arity q.query
+
+(** The extended schema [T]: every predicate of the ontology, the query and
+    the data schema. *)
+let extended_schema q =
+  Schema.union q.data_schema
+    (Schema.union (Tgds.Tgd.schema_of_set q.ontology) (Ucq.schema q.query))
+
+(** [has_full_data_schema q] — [S = T] (§5.1). *)
+let has_full_data_schema q = Schema.equal q.data_schema (extended_schema q)
+
+(** [full_data_schema ~ontology ~query] — the OMQ with [S = T]. *)
+let full_data_schema ~ontology ~query =
+  let s = Schema.union (Tgds.Tgd.schema_of_set ontology) (Ucq.schema query) in
+  { data_schema = s; ontology; query }
+
+(** [||Q||] — a size proxy used for fpt bookkeeping. *)
+let norm q =
+  Ucq.norm q.query
+  + List.fold_left
+      (fun acc t ->
+        acc
+        + List.length (Tgds.Tgd.body t)
+        + List.length (Tgds.Tgd.head t))
+      0 q.ontology
+
+(** [accepts_database q db] — [db] is an S-database. *)
+let accepts_database q db = Schema.subset (Instance.schema db) q.data_schema
+
+let in_guarded q = Tgds.Tgd.all_guarded q.ontology
+let in_frontier_guarded q = Tgds.Tgd.all_frontier_guarded q.ontology
+
+(** Membership of the OMQ in [(C, UCQ_k)] for its UCQ part. *)
+let in_ucqk k q = Ucq.in_ucqk k q.query
+
+let pp ppf q =
+  Fmt.pf ppf "@[<v>OMQ over %a@,Σ = {%a}@,q = %a@]" Schema.pp q.data_schema
+    Fmt.(list ~sep:(any "; ") Tgds.Tgd.pp)
+    q.ontology Ucq.pp q.query

@@ -1,0 +1,37 @@
+(** Ontology-mediated queries [Q = (S, Σ, q)] (§3.1). *)
+
+open Relational
+
+type t
+
+(** Raises [Invalid_argument] when the data schema conflicts (on arities)
+    with the extended schema. *)
+val make : data_schema:Schema.t -> ontology:Tgds.Tgd.t list -> query:Ucq.t -> t
+
+val data_schema : t -> Schema.t
+val ontology : t -> Tgds.Tgd.t list
+val query : t -> Ucq.t
+val arity : t -> int
+
+(** The extended schema [T ⊇ S]. *)
+val extended_schema : t -> Schema.t
+
+(** [S = T] (§5.1). *)
+val has_full_data_schema : t -> bool
+
+(** The OMQ with [S = T]. *)
+val full_data_schema : ontology:Tgds.Tgd.t list -> query:Ucq.t -> t
+
+(** [‖Q‖] — size proxy for fpt bookkeeping. *)
+val norm : t -> int
+
+(** Is [db] an S-database? *)
+val accepts_database : t -> Instance.t -> bool
+
+val in_guarded : t -> bool
+val in_frontier_guarded : t -> bool
+
+(** Membership of the UCQ part in UCQ_k. *)
+val in_ucqk : int -> t -> bool
+
+val pp : Format.formatter -> t -> unit

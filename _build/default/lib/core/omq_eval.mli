@@ -1,0 +1,40 @@
+(** Open-world OMQ evaluation (§3.1): the baseline chase engine
+    (Proposition 3.1), the FPT pipeline of Proposition 3.3(3), and exact
+    atomic answering via the ground closure. *)
+
+open Relational
+
+type verdict = {
+  holds : bool;  (** the tuple is a certain answer (as far as the run saw) *)
+  exact : bool;  (** the verdict is known exact (saturation reached) *)
+}
+
+(** Baseline: level-bounded chase then evaluate. [holds = true] is always
+    sound; the verdict is definitive when [exact]. Raises
+    [Invalid_argument] when [db] is not over the data schema. *)
+val certain :
+  ?max_level:int -> ?max_facts:int -> Omq.t -> Instance.t -> Term.const list -> verdict
+
+(** The FPT pipeline (guarded ontologies): linearize, chase the linear
+    set level-bounded, evaluate tree-like UCQs with {!Tw_eval}. *)
+val certain_fpt :
+  ?max_level:int ->
+  ?max_facts:int ->
+  ?max_types:int ->
+  Omq.t ->
+  Instance.t ->
+  Term.const list ->
+  verdict
+
+(** Exact atomic certain answering under a guarded ontology (always
+    terminating). *)
+val certain_atomic : Tgds.Tgd.t list -> Instance.t -> Fact.t -> bool
+
+(** Certain answers over active-domain tuples; the boolean reports
+    exactness. *)
+val answers :
+  ?max_level:int ->
+  ?max_facts:int ->
+  Omq.t ->
+  Instance.t ->
+  Term.const list list * bool

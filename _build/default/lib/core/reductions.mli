@@ -1,0 +1,67 @@
+(** The paper's fpt-reductions, executable end to end: OMQ → CQS
+    (Proposition 5.8), p-Clique → CQS evaluation (Theorem 5.13 via
+    Theorem 7.1, and Grohe's Theorem 4.1 as the Σ = ∅ case), the
+    demonstrative p-Clique → OMQ evaluation case of Theorem 5.4, and the
+    Boolean-CQ-to-FG embedding of Proposition 3.3(2). *)
+
+open Relational
+
+(** [omq_to_cqs ?n omq db] — the database [D*] of Lemma 6.8:
+    [D⁺ ∪ ⋃_ā M(D⁺|ā, Σ, n)] over the maximal guarded sets of [D⁺].
+    Guarded ontologies only. [D* ⊨ Σ] and open-world = closed-world
+    answers on [D*]. *)
+val omq_to_cqs : ?n:int -> Omq.t -> Instance.t -> Instance.t
+
+type lemma72 = {
+  cqs : Cqs.t;
+  p : Cq.t;  (** Σ-equivalent minimization of the query *)
+  p' : Cq.t;  (** Σ-satisfying extension: [D[p'] ⊨ Σ], [D[p] ⊆ D[p']] *)
+  x : Term.VarSet.t;  (** the grid-carrying variable set *)
+}
+
+(** Compute the Lemma 7.2 companion data greedily, with dynamic
+    verification of its properties (single-CQ queries). *)
+val lemma_7_2_data : ?n:int -> Cqs.t -> lemma72
+
+(** Properties (2)–(4) of Lemma 7.2, checked dynamically. *)
+val verify_lemma72 : lemma72 -> bool
+
+type clique_instance = {
+  data : lemma72;
+  k : int;
+  graph : Qgraph.Graph.t;
+  d_star : Grohe.built;
+}
+
+(** Build the Theorem 7.1 reduction database; [None] when no [k × K]-grid
+    minor is found in [G^p|X]. *)
+val clique_to_cqs : lemma72 -> graph:Qgraph.Graph.t -> k:int -> clique_instance option
+
+(** Evaluate the CQS query on [D*]: holds iff the graph has a [k]-clique
+    (Lemma 7.3). *)
+val decide_clique : clique_instance -> bool
+
+type omq_clique_instance = {
+  omq : Omq.t;
+  ok : int;
+  ograph : Qgraph.Graph.t;
+  o_dg : Grohe.built;
+}
+
+(** The Theorem 5.4 reduction in its demonstrative case (Σ ∈ G ∩ FULL,
+    full data schema, Boolean single-CQ query); see the implementation
+    notes for what the general case additionally needs. *)
+val clique_to_omq :
+  Omq.t -> graph:Qgraph.Graph.t -> k:int -> omq_clique_instance option
+
+(** Evaluate the OMQ on [D_G] (exact: the chase of a full set is
+    finite). *)
+val decide_omq_clique : omq_clique_instance -> bool
+
+(** Proposition 3.3(2): a Boolean CQ as a frontier-guarded OMQ with an
+    atomic query; [D ⊨ q] iff [() ∈ Q(D)]. *)
+val bcq_to_fg_omq : Cq.t -> Omq.t
+
+(** Grohe's Theorem 4.1 case: [Σ = ∅], [p = core(q)], [p′ = p], [X] the
+    core's existential variables. *)
+val constraint_free_instance : Cq.t -> lemma72

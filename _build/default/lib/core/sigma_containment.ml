@@ -1,0 +1,135 @@
+(** Containment and equivalence of CQSs (Proposition 4.5) and of
+    full-data-schema OMQs (Proposition 5.5).
+
+    [S1 = (Σ,q1) ⊆ S2 = (Σ,q2)] iff for each disjunct [p1 ∈ q1] there is a
+    disjunct [p2 ∈ q2] with [x̄ ∈ p2(chase(p1,Σ))]. The chase of a canonical
+    database may be infinite; the check runs a level-bounded chase and, when
+    that is inconclusive, falls back to the finite witness of Theorem 6.7:
+    a finite model refuting the match proves non-containment. Verdicts are
+    three-valued; [Unknown] can always be eliminated by raising the
+    bounds on the workloads shipped here. *)
+
+open Relational
+module Tgd = Tgds.Tgd
+module Chase = Tgds.Chase
+module VarSet = Term.VarSet
+
+type verdict = Holds | Fails | Unknown
+
+let verdict_and a b =
+  match (a, b) with
+  | Fails, _ | _, Fails -> Fails
+  | Holds, Holds -> Holds
+  | Unknown, _ | _, Unknown -> Unknown
+
+let verdict_or a b =
+  match (a, b) with
+  | Holds, _ | _, Holds -> Holds
+  | Fails, Fails -> Fails
+  | Unknown, _ | _, Unknown -> Unknown
+
+let pp_verdict ppf = function
+  | Holds -> Fmt.string ppf "holds"
+  | Fails -> Fmt.string ppf "fails"
+  | Unknown -> Fmt.string ppf "unknown"
+
+(** [cq_step ?max_level sigma p1 p2] — one Proposition 4.5 check:
+    [x̄ ∈ p2(chase(D[p1], Σ))]. *)
+let cq_step ?(max_level = 8) ?(max_facts = 60_000) sigma (p1 : Cq.t) (p2 : Cq.t) =
+  if Cq.arity p1 <> Cq.arity p2 then Fails
+  else
+    let db = Cq.canonical_db p1 in
+    let target = Cq.frozen_answer p1 in
+    let r = Chase.run ~max_level ~max_facts sigma db in
+    if Cq.entails (Chase.instance r) p2 target then Holds
+    else if Chase.saturated r then Fails
+    else
+      (* the bounded chase is inconclusive: refute on a finite model *)
+      match
+        Finite_witness.build ~n:(VarSet.cardinal (Cq.vars p2)) sigma db
+      with
+      | m -> if Cq.entails m p2 target then Unknown else Fails
+      | exception Failure _ -> Unknown
+
+(** [contained ?max_level sigma q1 q2] — [q1 ⊆_Σ q2] for UCQs
+    (Proposition 4.5). *)
+let contained ?max_level ?max_facts sigma (q1 : Ucq.t) (q2 : Ucq.t) =
+  List.fold_left
+    (fun acc p1 ->
+      verdict_and acc
+        (List.fold_left
+           (fun acc p2 -> verdict_or acc (cq_step ?max_level ?max_facts sigma p1 p2))
+           Fails (Ucq.disjuncts q2)))
+    Holds (Ucq.disjuncts q1)
+
+(** [equivalent sigma q1 q2] — [q1 ≡_Σ q2]. *)
+let equivalent ?max_level ?max_facts sigma q1 q2 =
+  verdict_and
+    (contained ?max_level ?max_facts sigma q1 q2)
+    (contained ?max_level ?max_facts sigma q2 q1)
+
+let cq_contained ?max_level ?max_facts sigma p1 p2 =
+  contained ?max_level ?max_facts sigma (Ucq.of_cq p1) (Ucq.of_cq p2)
+
+let cq_equivalent ?max_level ?max_facts sigma p1 p2 =
+  equivalent ?max_level ?max_facts sigma (Ucq.of_cq p1) (Ucq.of_cq p2)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic minimization under constraints                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimization needs only certified equivalences, so it treats Unknown as
+   "do not simplify". *)
+
+let try_drop_atom sigma (q : Cq.t) =
+  let atoms = Cq.atoms q in
+  List.find_map
+    (fun a ->
+      let rest = List.filter (fun a' -> not (Atom.equal a a')) atoms in
+      if rest = [] then None
+      else
+        let candidate = Cq.make ~answer:(Cq.answer q) rest in
+        if
+          List.for_all (fun x -> VarSet.mem x (Cq.vars candidate)) (Cq.answer q)
+          && cq_contained sigma candidate q = Holds
+          (* q ⊆ candidate holds syntactically: candidate ⊆ q's atom set *)
+        then Some candidate
+        else None)
+    atoms
+
+let try_contract sigma (q : Cq.t) =
+  List.find_map
+    (fun c ->
+      if VarSet.cardinal (Cq.vars c) < VarSet.cardinal (Cq.vars q) then
+        (* c ⊆ q holds via the quotient homomorphism; need q ⊆_Σ c *)
+        if cq_contained sigma q c = Holds then Some c else None
+      else None)
+    (Cq.proper_contractions q)
+
+(** [minimize sigma q] — a greedy Σ-equivalent minimization of [q]
+    (Lemma 7.2's "CQ with a minimum number of variables", computed greedily:
+    alternate dropping redundant atoms and contracting variables while
+    Σ-equivalence is certified). *)
+let rec minimize sigma (q : Cq.t) =
+  match try_drop_atom sigma q with
+  | Some q' -> minimize sigma q'
+  | None -> (
+      match try_contract sigma q with
+      | Some q' -> minimize sigma q'
+      | None -> Cq.normalize q)
+
+(** [minimize_ucq sigma u] — minimize every disjunct, then drop disjuncts
+    Σ-contained in the others. *)
+let minimize_ucq sigma (u : Ucq.t) =
+  let ds = List.map (minimize sigma) (Ucq.disjuncts u) |> List.sort_uniq Cq.compare in
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | q :: rest ->
+        let others = acc @ rest in
+        if
+          others <> []
+          && List.exists (fun q' -> cq_contained sigma q q' = Holds) others
+        then keep acc rest
+        else keep (q :: acc) rest
+  in
+  Ucq.make (keep [] ds)

@@ -1,0 +1,36 @@
+(** Containment and equivalence under constraints (Proposition 4.5),
+    decided through the chase of canonical databases with a
+    finite-witness fallback; three-valued verdicts. *)
+
+open Relational
+
+type verdict = Holds | Fails | Unknown
+
+val verdict_and : verdict -> verdict -> verdict
+val verdict_or : verdict -> verdict -> verdict
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** One Proposition 4.5 check: [x̄ ∈ p2(chase(D[p1], Σ))]. *)
+val cq_step : ?max_level:int -> ?max_facts:int -> Tgds.Tgd.t list -> Cq.t -> Cq.t -> verdict
+
+(** [contained sigma q1 q2] — [q1 ⊆_Σ q2] for UCQs. *)
+val contained :
+  ?max_level:int -> ?max_facts:int -> Tgds.Tgd.t list -> Ucq.t -> Ucq.t -> verdict
+
+(** [q1 ≡_Σ q2]. *)
+val equivalent :
+  ?max_level:int -> ?max_facts:int -> Tgds.Tgd.t list -> Ucq.t -> Ucq.t -> verdict
+
+val cq_contained :
+  ?max_level:int -> ?max_facts:int -> Tgds.Tgd.t list -> Cq.t -> Cq.t -> verdict
+
+val cq_equivalent :
+  ?max_level:int -> ?max_facts:int -> Tgds.Tgd.t list -> Cq.t -> Cq.t -> verdict
+
+(** Greedy Σ-equivalent minimization (atom drops + contractions, only
+    certified steps) — the executable version of Lemma 7.2's minimal
+    [p]. *)
+val minimize : Tgds.Tgd.t list -> Cq.t -> Cq.t
+
+(** Minimize every disjunct, then drop Σ-subsumed disjuncts. *)
+val minimize_ucq : Tgds.Tgd.t list -> Ucq.t -> Ucq.t

@@ -1,0 +1,146 @@
+(** CQ specializations and Σ-groundings (Appendix C.1/C.2).
+
+    A specialization of a CQ [q(x̄)] is a pair [(p, V)] with [p] a
+    contraction of [q] and [x̄ ⊆ V ⊆ var(p)]: it describes a way [q] can
+    map into a chase — the variables of [V] land on database constants,
+    the rest in the anonymous part. A Σ-grounding replaces each maximally
+    [V]-connected component of [p[V]] by a guarded full CQ that entails it
+    under Σ (Definition C.3). These are the building blocks of the
+    UCQk-approximations of guarded OMQs (Definition C.6). *)
+
+open Relational
+open Relational.Term
+module Tgd = Tgds.Tgd
+module Chase = Tgds.Chase
+
+type t = { contraction : Cq.t; v : VarSet.t }
+
+(** All specializations of [q] (Definition C.1). Exponential — intended
+    for the small queries of the meta problems. *)
+let all (q : Cq.t) =
+  List.concat_map
+    (fun p ->
+      let answer = VarSet.of_list (Cq.answer p) in
+      let optional = VarSet.elements (VarSet.diff (Cq.vars p) answer) in
+      let rec subsets = function
+        | [] -> [ VarSet.empty ]
+        | x :: rest ->
+            let s = subsets rest in
+            s @ List.map (VarSet.add x) s
+      in
+      List.map
+        (fun extra -> { contraction = p; v = VarSet.union answer extra })
+        (subsets optional))
+    (Cq.contractions q)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded full CQ enumeration                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* All argument tuples of length [n] over the variable pool. *)
+let rec tuples pool n =
+  if n = 0 then [ [] ]
+  else List.concat_map (fun t -> List.map (fun v -> v :: t) pool) (tuples pool (n - 1))
+
+(* Candidate guard atoms over a pool of variables such that the required
+   variables all occur. *)
+let guard_candidates schema pool required =
+  List.concat_map
+    (fun (p, ar) ->
+      tuples pool ar
+      |> List.filter (fun args ->
+             List.for_all (fun x -> List.mem x args) required)
+      |> List.map (fun args -> Atom.make p (List.map Term.var args)))
+    (Schema.bindings schema)
+
+(* All atoms over exactly the variables of the guard (side-atom pool). *)
+let side_candidates schema guard_vars =
+  List.concat_map
+    (fun (p, ar) ->
+      tuples guard_vars ar |> List.map (fun args -> Atom.make p (List.map Term.var args)))
+    (Schema.bindings schema)
+
+let rec subsets_list = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let s = subsets_list rest in
+      s @ List.map (fun ys -> x :: ys) s
+
+(** [component_groundings ?max_level schema sigma ~pool_size pi vi] — the
+    guarded full CQs [дi] for a maximally [V]-connected component [pi]
+    (atom list) with interface variables [vi = var(pi) ∩ V]: vars drawn
+    from [vi] plus fresh variables up to the schema arity, one atom
+    guarding everything, and [pi → chase(дi,Σ)] via the identity on [vi]
+    (checked with a level-bounded chase). The enumeration is capped by
+    [max_side] side-atom subsets per guard (DESIGN.md §5.5). *)
+let component_groundings ?(max_level = 6) ?(max_side = 4096) ~index schema sigma
+    (pi : Atom.t list) (vi : string list) =
+  let ar = Schema.ar schema in
+  let fresh = List.init (max 0 (ar - List.length vi))
+      (fun j -> Printf.sprintf "y%d_%d" index j) in
+  let pool = vi @ fresh in
+  let entails_component g_atoms =
+    (* pi → chase(D[g],Σ) fixing vi *)
+    let g = Cq.make ~answer:[] g_atoms in
+    let db = Cq.canonical_db g in
+    let r = Chase.run ~max_level ~max_facts:20_000 sigma db in
+    let init =
+      List.fold_left
+        (fun acc x -> VarMap.add x (Cq.freeze x) acc)
+        VarMap.empty vi
+    in
+    Homomorphism.exists ~init pi (Chase.instance r)
+  in
+  guard_candidates schema pool vi
+  |> List.concat_map (fun guard ->
+         let gvars = VarSet.elements (Atom.vars guard) in
+         let sides =
+           side_candidates schema gvars
+           |> List.filter (fun a -> not (Atom.equal a guard))
+         in
+         let side_sets = subsets_list sides in
+         let side_sets =
+           if List.length side_sets > max_side then
+             (* keep the maximal set and the singletons: the maximal set is
+                the strongest candidate, cf. the type-shaped groundings of
+                Lemma C.5 *)
+             [ sides; [] ] @ List.map (fun a -> [ a ]) sides
+           else side_sets
+         in
+         List.filter_map
+           (fun side ->
+             let g_atoms = guard :: side in
+             if entails_component g_atoms then Some g_atoms else None)
+           side_sets)
+  |> List.sort_uniq (fun a b -> Stdlib.compare (List.sort Atom.compare a) (List.sort Atom.compare b))
+
+(** [groundings ?bounds schema sigma spec] — the Σ-groundings of a
+    specialization (Definition C.3), as CQs with the answer variables of
+    the contraction. *)
+let groundings ?max_level ?max_side schema sigma (s : t) =
+  let p = s.contraction in
+  let g0 = Cq.restrict_to p s.v in
+  let components = Cq.v_connected_components p s.v in
+  let component_choices =
+    List.mapi
+      (fun i pi ->
+        let vi =
+          VarSet.elements
+            (VarSet.inter
+               (List.fold_left (fun acc a -> VarSet.union (Atom.vars a) acc) VarSet.empty pi)
+               s.v)
+        in
+        component_groundings ?max_level ?max_side ~index:i schema sigma pi vi)
+      components
+  in
+  (* the product of per-component choices *)
+  let rec product = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+        List.concat_map (fun g -> List.map (fun r -> g @ r) (product rest)) choices
+  in
+  if List.exists (fun c -> c = []) component_choices then []
+  else
+    List.map
+      (fun combined -> Cq.normalize (Cq.make ~answer:(Cq.answer p) (g0 @ combined)))
+      (product component_choices)

@@ -1,0 +1,28 @@
+(** CQ specializations [(p, V)] and Σ-groundings (Appendix C.1/C.2): the
+    building blocks of the UCQk-approximations of guarded OMQs
+    (Definition C.6). *)
+
+open Relational
+
+type t = { contraction : Cq.t; v : Term.VarSet.t }
+
+(** All specializations of [q] (Definition C.1); exponential — meta
+    problems on small queries only. *)
+val all : Cq.t -> t list
+
+(** The guarded full CQs [дᵢ] for one maximally [V]-connected component
+    [pi] with interface variables [vi] (Definition C.3); capped
+    enumeration, see DESIGN.md §5.5. *)
+val component_groundings :
+  ?max_level:int ->
+  ?max_side:int ->
+  index:int ->
+  Schema.t ->
+  Tgds.Tgd.t list ->
+  Atom.t list ->
+  string list ->
+  Atom.t list list
+
+(** The Σ-groundings of a specialization, as CQs. *)
+val groundings :
+  ?max_level:int -> ?max_side:int -> Schema.t -> Tgds.Tgd.t list -> t -> Cq.t list

@@ -1,0 +1,19 @@
+(** Bounded-treewidth CQ evaluation (Proposition 2.1): bind the candidate
+    answer, decompose the remaining variables, materialize bag relations
+    and sweep bottom-up with projected joins (Yannakakis). Works for any
+    CQ; cost exponential only in the width found. *)
+
+open Relational
+
+(** [entails db q c̄] — [c̄ ∈ q(D)]. *)
+val entails : Instance.t -> Cq.t -> Term.const list -> bool
+
+(** Boolean variant. *)
+val holds : Instance.t -> Cq.t -> bool
+
+(** UCQ variant (each disjunct independently). *)
+val entails_ucq : Instance.t -> Ucq.t -> Term.const list -> bool
+
+(** Enumerate [q(D)] by checking every candidate tuple over the active
+    domain (small arities). *)
+val answers : Instance.t -> Cq.t -> Term.const list list

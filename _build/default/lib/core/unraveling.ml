@@ -1,0 +1,74 @@
+(** Guarded unraveling (Appendix D.1).
+
+    [guarded ?depth db start] unravels [db] from the guarded set [start]
+    into a tree-shaped instance: nodes are sequences of guarded sets with
+    consecutive overlap; each node carries an isomorphic copy of the
+    restriction of [db] to its guarded set, sharing exactly the constants
+    of the overlap with its parent. The result (level-bounded to [depth])
+    has treewidth at most [ar(schema) − 1] and maps homomorphically back
+    to [db] via [up]. *)
+
+open Relational
+open Relational.Term
+
+type t = {
+  instance : Instance.t;
+  up : const ConstMap.t;  (** copy ↦ original ([a↑]); identity on originals *)
+}
+
+let guarded ?(depth = 3) db (start : ConstSet.t) =
+  let up = ref ConstMap.empty in
+  let result = ref Instance.empty in
+  let guarded_sets = Instance.guarded_sets db in
+  (* node = (original guarded set, mapping original const -> copy) *)
+  let copy_of mapping orig =
+    match ConstMap.find_opt orig mapping with
+    | Some c -> c
+    | None -> orig
+  in
+  let add_node bag mapping =
+    let piece = Instance.restrict db bag in
+    let renamed = Instance.rename (fun c -> Some (copy_of mapping c)) piece in
+    result := Instance.union !result renamed
+  in
+  let rec expand bag mapping level =
+    add_node bag mapping;
+    if level < depth then
+      List.iter
+        (fun next ->
+          if
+            (not (ConstSet.equal next bag))
+            && not (ConstSet.is_empty (ConstSet.inter next bag))
+          then begin
+            (* fresh copies for the constants entering at this node *)
+            let mapping' =
+              ConstSet.fold
+                (fun c acc ->
+                  if ConstSet.mem c bag then
+                    ConstMap.add c (copy_of mapping c) acc
+                  else begin
+                    let copy = fresh_null () in
+                    up := ConstMap.add copy c !up;
+                    ConstMap.add c copy acc
+                  end)
+                next ConstMap.empty
+            in
+            expand next mapping' (level + 1)
+          end)
+        guarded_sets
+  in
+  let root_mapping =
+    ConstSet.fold (fun c acc -> ConstMap.add c c acc) start ConstMap.empty
+  in
+  expand start root_mapping 0;
+  (* identity entries for original constants *)
+  let up_total =
+    ConstSet.fold
+      (fun c acc -> if ConstMap.mem c acc then acc else ConstMap.add c c acc)
+      (Instance.dom !result) !up
+  in
+  { instance = !result; up = up_total }
+
+(** The unraveling maps back to the original database. *)
+let verify db (u : t) =
+  Homomorphism.verify_between u.instance db u.up

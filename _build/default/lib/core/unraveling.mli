@@ -1,0 +1,15 @@
+(** Guarded unraveling (Appendix D.1): level-bounded tree-shaped covers of
+    a database from a guarded set, of treewidth ≤ ar(schema) − 1. *)
+
+open Relational
+
+type t = {
+  instance : Instance.t;
+  up : Term.const Term.ConstMap.t;
+      (** copy ↦ original ([a↑]); identity on originals *)
+}
+
+val guarded : ?depth:int -> Instance.t -> Term.ConstSet.t -> t
+
+(** The unraveling maps back to the original database via [up]. *)
+val verify : Instance.t -> t -> bool

@@ -1,0 +1,1 @@
+lib/qgraph/graph.ml: Fmt Int List Map Set

@@ -1,0 +1,1 @@
+lib/qgraph/minor.ml: Fmt Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/qgraph/minor.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/qgraph/tree_decomposition.ml: Fmt Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/qgraph/treewidth.ml: Array Graph Hashtbl List Logs Tree_decomposition

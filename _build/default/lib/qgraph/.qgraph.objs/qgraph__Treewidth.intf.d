@@ -1,0 +1,1 @@
+lib/qgraph/treewidth.mli: Graph Tree_decomposition

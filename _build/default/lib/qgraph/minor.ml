@@ -1,0 +1,203 @@
+(** Graph minors and minor maps (§6 / Appendix H of the paper).
+
+    A minor map from [H] to [G] assigns to every vertex of [H] a nonempty,
+    connected, pairwise-disjoint branch set of [G] vertices such that every
+    [H]-edge is realized by an edge between the two branch sets. The map is
+    onto when the branch sets cover all of [G]. *)
+
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+
+type map = ISet.t IMap.t
+(** [H]-vertex -> branch set of [G]-vertices. *)
+
+(** [verify ~h ~g m] checks that [m] is a minor map from [h] to [g]. *)
+let verify ~h ~g (m : map) =
+  let all_assigned = List.for_all (fun v -> IMap.mem v m) (Graph.vertices h) in
+  let nonempty_connected =
+    IMap.for_all
+      (fun _ bs ->
+        (not (ISet.is_empty bs)) && Graph.is_connected (Graph.induced g bs))
+      m
+  in
+  let disjoint =
+    let rec go = function
+      | [] -> true
+      | (_, bs) :: rest ->
+          List.for_all (fun (_, bs') -> ISet.is_empty (ISet.inter bs bs')) rest
+          && go rest
+    in
+    go (IMap.bindings m)
+  in
+  let edges_realized =
+    List.for_all
+      (fun (u, v) ->
+        match (IMap.find_opt u m, IMap.find_opt v m) with
+        | Some bu, Some bv ->
+            ISet.exists
+              (fun x -> ISet.exists (fun y -> Graph.mem_edge g x y) bv)
+              bu
+        | _ -> false)
+      (Graph.edges h)
+  in
+  all_assigned && nonempty_connected && disjoint && edges_realized
+
+let is_onto ~g (m : map) =
+  let covered = IMap.fold (fun _ bs acc -> ISet.union bs acc) m ISet.empty in
+  ISet.equal covered (Graph.vertex_set g)
+
+(** [extend_onto ~g m] grows the branch sets of a verified minor map until
+    they cover every [G] vertex in the component(s) they touch — possible
+    whenever [g] is connected (standard fact, used in Appendix H). Vertices
+    in components not touched by [m] are left uncovered. *)
+let extend_onto ~g (m : map) =
+  let owner = Hashtbl.create 16 in
+  IMap.iter (fun hv bs -> ISet.iter (fun x -> Hashtbl.replace owner x hv) bs) m;
+  let m = ref m in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem owner v) then
+          let adopters =
+            ISet.filter (fun u -> Hashtbl.mem owner u) (Graph.neighbors g v)
+          in
+          match ISet.choose_opt adopters with
+          | None -> ()
+          | Some u ->
+              let hv = Hashtbl.find owner u in
+              Hashtbl.replace owner v hv;
+              m := IMap.add hv (ISet.add v (IMap.find hv !m)) !m;
+              changed := true)
+      (Graph.vertices g)
+  done;
+  !m
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Subgraph-isomorphism search: branch sets are singletons. This suffices
+   whenever H occurs as a subgraph of G — the case for all grid-shaped
+   workloads in this repository. *)
+let find_subgraph_embedding ~h ~g =
+  let hvs = Graph.vertices h in
+  (* order H vertices so each (after the first) has a previously placed
+     neighbor where possible: improves pruning *)
+  let order =
+    let placed = Hashtbl.create 16 in
+    let rec pick remaining acc =
+      match remaining with
+      | [] -> List.rev acc
+      | _ ->
+          let connected, rest =
+            List.partition
+              (fun v ->
+                ISet.exists (fun u -> Hashtbl.mem placed u) (Graph.neighbors h v))
+              remaining
+          in
+          let v = match connected with v :: _ -> v | [] -> List.hd rest in
+          Hashtbl.replace placed v ();
+          pick (List.filter (fun u -> u <> v) remaining) (v :: acc)
+    in
+    pick hvs []
+  in
+  let gvs = Graph.vertices g in
+  let rec search assign used = function
+    | [] -> Some assign
+    | hv :: rest ->
+        let constraints =
+          ISet.elements (Graph.neighbors h hv)
+          |> List.filter_map (fun u -> IMap.find_opt u assign)
+        in
+        let candidates =
+          match constraints with
+          | [] -> gvs
+          | c :: cs ->
+              List.fold_left
+                (fun acc c -> List.filter (fun v -> Graph.mem_edge g v c) acc)
+                (ISet.elements (Graph.neighbors g c))
+                cs
+        in
+        List.find_map
+          (fun gv ->
+            if ISet.mem gv used then None
+            else search (IMap.add hv gv assign) (ISet.add gv used) rest)
+          candidates
+  in
+  search IMap.empty ISet.empty order
+  |> Option.map (IMap.map ISet.singleton)
+
+(* Full minor search with bounded branch-set growth: contract low-degree
+   degree-2 chains of G first (topological-minor style), then try subgraph
+   embedding in the contracted graph and translate back. *)
+let find_with_contractions ~h ~g =
+  (* Iteratively contract a degree-2 vertex not needed for H's max degree. *)
+  let rec contract g mapping =
+    let candidate =
+      List.find_opt
+        (fun v ->
+          Graph.degree g v = 2
+          &&
+          let nb = ISet.elements (Graph.neighbors g v) in
+          match nb with [ a; b ] -> not (Graph.mem_edge g a b) | _ -> false)
+        (Graph.vertices g)
+    in
+    match candidate with
+    | None -> (g, mapping)
+    | Some v -> (
+        match ISet.elements (Graph.neighbors g v) with
+        | [ a; b ] ->
+            let g' = Graph.add_edge (Graph.remove_vertex g v) a b in
+            (* v's branch is absorbed into a's *)
+            let mv = IMap.find v mapping in
+            let mapping' =
+              IMap.remove v mapping
+              |> IMap.update a (function
+                   | Some s -> Some (ISet.union s mv)
+                   | None -> Some (ISet.add a mv))
+            in
+            contract g' mapping'
+        | _ -> (g, mapping))
+  in
+  let init_mapping =
+    List.fold_left
+      (fun m v -> IMap.add v (ISet.singleton v) m)
+      IMap.empty (Graph.vertices g)
+  in
+  let g', mapping = contract g init_mapping in
+  match find_subgraph_embedding ~h ~g:g' with
+  | None -> None
+  | Some m ->
+      Some
+        (IMap.map
+           (fun bs ->
+             ISet.fold
+               (fun v acc -> ISet.union (IMap.find v mapping) acc)
+               bs ISet.empty)
+           m)
+
+(** [find ~h ~g] searches for a minor map from [h] to [g]: first as a plain
+    subgraph embedding, then after contracting induced paths of [g]. Returns
+    [None] when the bounded search fails (which does not prove that [h] is
+    not a minor of [g]). *)
+let find ~h ~g =
+  match find_subgraph_embedding ~h ~g with
+  | Some m -> Some m
+  | None -> (
+      match find_with_contractions ~h ~g with
+      | Some m when verify ~h ~g m -> Some m
+      | _ -> None)
+
+(** [find_grid ~k ~l g] searches for a minor map of the [k × l] grid in [g].
+    Per §6, the reductions need the [k × K] grid with [K = k(k-1)/2]. *)
+let find_grid ~k ~l g = find ~h:(Graph.grid k l) ~g
+
+let pp ppf (m : map) =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.sp (fun ppf (v, bs) ->
+         Fmt.pf ppf "%d -> {%a}" v
+           Fmt.(list ~sep:(any ",") int)
+           (ISet.elements bs)))
+    (IMap.bindings m)

@@ -1,0 +1,31 @@
+(** Graph minors and minor maps (§6 / Appendix H): disjoint connected
+    branch sets realizing every edge of the minor. *)
+
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+
+type map = ISet.t IMap.t
+(** [H]-vertex ↦ branch set of [G]-vertices. *)
+
+(** [verify ~h ~g m] — is [m] a minor map from [h] to [g]? *)
+val verify : h:Graph.t -> g:Graph.t -> map -> bool
+
+(** Do the branch sets cover all of [g]? *)
+val is_onto : g:Graph.t -> map -> bool
+
+(** Grow branch sets until they cover every vertex reachable from them
+    (yields an onto map on connected hosts, as used in Appendix H). *)
+val extend_onto : g:Graph.t -> map -> map
+
+(** Subgraph-embedding search (singleton branch sets). *)
+val find_subgraph_embedding : h:Graph.t -> g:Graph.t -> map option
+
+(** [find ~h ~g] — bounded minor-map search: plain subgraph embedding,
+    then embedding after contracting induced paths of [g]. [None] does not
+    prove absence of the minor. *)
+val find : h:Graph.t -> g:Graph.t -> map option
+
+(** [find_grid ~k ~l g] — search a [k × l]-grid minor map. *)
+val find_grid : k:int -> l:int -> Graph.t -> map option
+
+val pp : Format.formatter -> map -> unit

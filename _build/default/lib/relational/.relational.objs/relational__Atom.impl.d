@@ -1,0 +1,1 @@
+lib/relational/atom.ml: ConstSet Fmt List Stdlib Term VarMap VarSet

@@ -1,0 +1,1 @@
+lib/relational/containment.ml: Cq Homomorphism List Term Ucq VarMap

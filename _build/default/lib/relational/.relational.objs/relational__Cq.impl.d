@@ -1,0 +1,1 @@
+lib/relational/cq.ml: Array Atom ConstSet Fact Fmt Hashtbl Homomorphism Instance List Qgraph Schema Set Stdlib String Term VarMap VarSet

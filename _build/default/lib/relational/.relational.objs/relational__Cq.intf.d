@@ -1,0 +1,1 @@
+lib/relational/cq.mli: Atom Format Instance Qgraph Schema Term

@@ -1,0 +1,1 @@
+lib/relational/cq_core.ml: ConstSet Containment Cq Homomorphism List Option Term Ucq VarMap VarSet

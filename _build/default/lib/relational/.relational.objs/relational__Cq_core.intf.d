@@ -1,0 +1,1 @@
+lib/relational/cq_core.mli: Cq Ucq

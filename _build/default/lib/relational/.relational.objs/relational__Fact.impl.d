@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Atom ConstSet Fmt List Stdlib Term

@@ -1,0 +1,1 @@
+lib/relational/fact.mli: Atom Format Term

@@ -1,0 +1,1 @@
+lib/relational/homomorphism.ml: Atom ConstMap ConstSet Fact Hashtbl Instance List Option Printf Term VarMap VarSet

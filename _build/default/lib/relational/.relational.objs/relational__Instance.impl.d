@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array ConstMap ConstSet Fact Fmt Hashtbl List Map Qgraph Schema Set Stdlib String Term

@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Atom Fact Format Qgraph Schema Term

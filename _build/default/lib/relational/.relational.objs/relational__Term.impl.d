@@ -1,0 +1,1 @@
+lib/relational/term.ml: Fmt Map Set Stdlib String

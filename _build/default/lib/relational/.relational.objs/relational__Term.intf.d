@@ -1,0 +1,1 @@
+lib/relational/term.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/relational/ucq.ml: Cq Fmt List Schema Stdlib

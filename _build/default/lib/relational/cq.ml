@@ -1,0 +1,327 @@
+(** Conjunctive queries (§2).
+
+    A CQ [q(x̄) = ∃ȳ (R1(x̄1) ∧ ... ∧ Rm(x̄m))] is represented by its answer
+    variables [x̄] (distinct, in order) and its atom list; every other
+    variable is implicitly existentially quantified. The treewidth of a CQ
+    follows the paper's liberal definition: the treewidth of the subgraph of
+    its Gaifman graph induced by the existentially quantified variables,
+    with edge-free graphs having treewidth one. *)
+
+open Term
+
+type t = { answer : string list; atoms : Atom.t list }
+
+let make ?(answer = []) atoms =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      if Hashtbl.mem seen x then
+        invalid_arg ("Cq.make: duplicate answer variable " ^ x)
+      else Hashtbl.add seen x ())
+    answer;
+  { answer; atoms }
+
+let answer q = q.answer
+let atoms q = q.atoms
+let arity q = List.length q.answer
+let is_boolean q = q.answer = []
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+(** All variables of the query. *)
+let vars q =
+  List.fold_left
+    (fun acc a -> VarSet.union (Atom.vars a) acc)
+    (VarSet.of_list q.answer) q.atoms
+
+(** Existentially quantified variables. *)
+let evars q = VarSet.diff (vars q) (VarSet.of_list q.answer)
+
+let consts q =
+  List.fold_left (fun acc a -> ConstSet.union (Atom.consts a) acc) ConstSet.empty q.atoms
+
+(** Number of atoms + arity: a proxy for [||q||]. *)
+let norm q =
+  List.fold_left (fun acc a -> acc + 1 + Atom.arity a) (arity q) q.atoms
+
+(** Schema of the predicates used by [q]. *)
+let schema q =
+  List.fold_left
+    (fun s a -> Schema.add (Atom.pred a) (Atom.arity a) s)
+    Schema.empty q.atoms
+
+(* ------------------------------------------------------------------ *)
+(* Canonical database                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [freeze x] is the constant representing variable [x] in the canonical
+    database [D[q]]. The ["?"] prefix keeps frozen variables apart from
+    ordinary database constants. *)
+let freeze x = Named ("?" ^ x)
+
+(** [unfreeze c] recovers the variable from a frozen constant. *)
+let unfreeze = function
+  | Named s when String.length s > 0 && s.[0] = '?' ->
+      Some (String.sub s 1 (String.length s - 1))
+  | Named _ | Null _ -> None
+
+(** Canonical database [D[q]]: drop quantifiers, view variables as
+    constants (§2). Constants already present in [q] are kept as they
+    are. *)
+let canonical_db q =
+  let subst =
+    VarSet.fold (fun x acc -> VarMap.add x (Const (freeze x)) acc) (vars q) VarMap.empty
+  in
+  Instance.of_atoms (List.map (Atom.apply subst) q.atoms)
+
+(** Frozen answer tuple of [q]. *)
+let frozen_answer q = List.map freeze q.answer
+
+(** [of_instance ~answer i] reads an instance back as a CQ, turning every
+    constant into a variable named after it (inverse of [canonical_db] when
+    applied to frozen instances); [answer] lists the constants that become
+    answer variables, in order. *)
+let of_instance ?(answer = []) i =
+  let name_of c =
+    match unfreeze c with
+    | Some x -> x
+    | None -> (
+        match c with
+        | Named s -> "c_" ^ s
+        | Null n -> "n_" ^ string_of_int n)
+  in
+  let atoms =
+    List.map
+      (fun f -> Atom.make (Fact.pred f) (List.map (fun c -> Var (name_of c)) (Fact.args f)))
+      (Instance.facts i)
+  in
+  make ~answer:(List.map name_of answer) atoms
+
+(* ------------------------------------------------------------------ *)
+(* Substitution and renaming                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [apply subst q] applies a variable substitution to the atoms. Answer
+    variables may only be renamed to variables (checked). *)
+let apply subst q =
+  let answer =
+    List.map
+      (fun x ->
+        match VarMap.find_opt x subst with
+        | None -> x
+        | Some (Var y) -> y
+        | Some (Const _) -> invalid_arg "Cq.apply: answer variable bound to constant")
+      q.answer
+  in
+  { answer; atoms = List.map (Atom.apply subst) q.atoms }
+
+(** [rename_apart ~suffix q] renames every existential variable by
+    appending [suffix] (used to take disjoint unions of queries). *)
+let rename_apart ~suffix q =
+  let subst =
+    VarSet.fold
+      (fun x acc -> VarMap.add x (Var (x ^ suffix)) acc)
+      (evars q) VarMap.empty
+  in
+  apply subst q
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [entails db q c̄] — is [c̄ ∈ q(db)]? (the evaluation problem of §2,
+    candidate answer given). *)
+let entails db q tuple =
+  if List.length tuple <> arity q then false
+  else
+    let init =
+      List.fold_left2 (fun acc x c -> VarMap.add x c acc) VarMap.empty q.answer tuple
+    in
+    Homomorphism.exists ~init q.atoms db
+
+(** [holds db q] — Boolean entailment [db ⊨ q]. *)
+let holds db q = Homomorphism.exists q.atoms db
+
+(** [answers db q] — the evaluation [q(db)], as a deduplicated list of
+    tuples. *)
+let answers db q =
+  Homomorphism.all q.atoms db
+  |> List.map (fun b -> List.map (fun x -> VarMap.find x b) q.answer)
+  |> List.sort_uniq Stdlib.compare
+
+(** [entails_io db q c̄] — [db ⊨io q(c̄)]: there is a homomorphism and every
+    homomorphism witnessing [c̄] is injective (Appendix D.1). *)
+let entails_io db q tuple =
+  if List.length tuple <> arity q then false
+  else
+    let init =
+      List.fold_left2 (fun acc x c -> VarMap.add x c acc) VarMap.empty q.answer tuple
+    in
+    let homs = Homomorphism.all ~init q.atoms db in
+    homs <> []
+    && List.for_all
+         (fun b ->
+           let images = VarMap.fold (fun _ c acc -> c :: acc) b [] in
+           List.length images = List.length (List.sort_uniq compare_const images))
+         homs
+
+(* ------------------------------------------------------------------ *)
+(* Gaifman graph and treewidth                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Gaifman graph of [q]: vertices are the variables, indexed into the
+    returned array; two variables are adjacent iff they cohabit an atom. *)
+let gaifman q =
+  let vs = VarSet.elements (vars q) in
+  let arr = Array.of_list vs in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) arr;
+  let g = ref Qgraph.Graph.empty in
+  Array.iteri (fun i _ -> g := Qgraph.Graph.add_vertex !g i) arr;
+  List.iter
+    (fun a ->
+      let ids =
+        VarSet.elements (Atom.vars a) |> List.map (Hashtbl.find index)
+      in
+      let rec pairs = function
+        | [] -> ()
+        | x :: rest ->
+            List.iter (fun y -> g := Qgraph.Graph.add_edge !g x y) rest;
+            pairs rest
+      in
+      pairs ids)
+    q.atoms;
+  (!g, arr)
+
+(** Treewidth of [q] per the paper (§2): treewidth of [G^q] restricted to
+    the existential variables; defined as 1 when that subgraph has no
+    edges. *)
+let treewidth q =
+  let g, arr = gaifman q in
+  let ev = evars q in
+  let keep = ref Qgraph.Graph.ISet.empty in
+  Array.iteri
+    (fun i x -> if VarSet.mem x ev then keep := Qgraph.Graph.ISet.add i !keep)
+    arr;
+  let sub = Qgraph.Graph.induced g !keep in
+  if Qgraph.Graph.num_edges sub = 0 then 1 else Qgraph.Treewidth.treewidth sub
+
+(** Membership in CQ_k. *)
+let in_cqk k q = treewidth q <= k
+
+(* ------------------------------------------------------------------ *)
+(* [V]-connectivity (Appendix C.1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** [restrict_to q v] is [q|V]: the atoms whose variables all lie in [v]. *)
+let restrict_to q v =
+  List.filter (fun a -> VarSet.subset (Atom.vars a) v) q.atoms
+
+(** [drop q v] is [q[V]]: the atoms mentioning a variable outside [v]. *)
+let drop q v = List.filter (fun a -> not (VarSet.subset (Atom.vars a) v)) q.atoms
+
+(** [is_v_connected q v] — [q] is [V]-connected: the subgraph of [G^q]
+    induced by [vars(q) \ V] is connected. *)
+let is_v_connected q v =
+  let g, arr = gaifman q in
+  let keep = ref Qgraph.Graph.ISet.empty in
+  Array.iteri
+    (fun i x -> if not (VarSet.mem x v) then keep := Qgraph.Graph.ISet.add i !keep)
+    arr;
+  Qgraph.Graph.is_connected (Qgraph.Graph.induced g !keep)
+
+(** [v_connected_components q v] — the maximally [V]-connected components
+    of [q[V]] (Appendix C.1): the atoms of [q[V]] grouped by the connected
+    component (in [G^q] minus [V]) of their outside-[V] variables. Each
+    component is returned as its atom list. *)
+let v_connected_components q v =
+  let g, arr = gaifman q in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) arr;
+  let keep = ref Qgraph.Graph.ISet.empty in
+  Array.iteri
+    (fun i x -> if not (VarSet.mem x v) then keep := Qgraph.Graph.ISet.add i !keep)
+    arr;
+  let comps = Qgraph.Graph.components (Qgraph.Graph.induced g !keep) in
+  List.filter_map
+    (fun comp ->
+      let atoms =
+        List.filter
+          (fun a ->
+            VarSet.exists
+              (fun x ->
+                (not (VarSet.mem x v))
+                && Qgraph.Graph.ISet.mem (Hashtbl.find index x) comp)
+              (Atom.vars a))
+          (drop q v)
+      in
+      if atoms = [] then None else Some atoms)
+    comps
+
+(** Whether the Gaifman graph of [q] (all variables) is connected (§7). *)
+let is_connected q =
+  let g, _ = gaifman q in
+  Qgraph.Graph.is_connected g
+
+(* ------------------------------------------------------------------ *)
+(* Contractions (§5.2 / Appendix C.1)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Normal form used to deduplicate contractions syntactically: sorted
+   atom list. *)
+let normalize q = { q with atoms = List.sort_uniq Atom.compare q.atoms }
+
+(** [contract_pair q x y] identifies variables [x] and [y]. When one of
+    them is an answer variable the result keeps that name; identifying two
+    answer variables is not allowed ([None]). *)
+let contract_pair q x y =
+  let ax = List.mem x q.answer and ay = List.mem y q.answer in
+  if x = y then Some q
+  else if ax && ay then None
+  else
+    let from_, to_ = if ay then (x, y) else (y, x) in
+    Some (normalize (apply (VarMap.singleton from_ (Var to_)) q))
+
+(** All contractions of [q] (including [q] itself), deduplicated up to the
+    syntactic normal form. Exponential in the number of variables — meant
+    for the small queries of specializations and approximations. *)
+let contractions q =
+  let module QSet = Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end) in
+  let rec close frontier seen =
+    match frontier with
+    | [] -> QSet.elements seen
+    | q :: rest ->
+        let vs = VarSet.elements (vars q) in
+        let nexts =
+          List.concat_map
+            (fun x ->
+              List.filter_map
+                (fun y -> if x < y then contract_pair q x y else None)
+                vs)
+            vs
+        in
+        let fresh = List.filter (fun q' -> not (QSet.mem q' seen)) nexts in
+        close (fresh @ rest) (List.fold_left (fun s q' -> QSet.add q' s) seen fresh)
+  in
+  close [ normalize q ] (QSet.singleton (normalize q))
+
+(** Proper contractions: contractions other than [q] itself. *)
+let proper_contractions q =
+  List.filter (fun q' -> not (equal q' (normalize q))) (contractions q)
+
+(** [is_contraction_of qc q] — is [qc] (syntactically, up to normal form)
+    obtainable from [q] by identifying variables? *)
+let is_contraction_of qc q =
+  let qc = normalize qc in
+  List.exists (fun q' -> equal q' qc) (contractions q)
+
+let pp ppf q =
+  Fmt.pf ppf "q(%a) :- %a"
+    Fmt.(list ~sep:(any ",") string)
+    q.answer
+    Fmt.(list ~sep:(any ", ") Atom.pp)
+    q.atoms

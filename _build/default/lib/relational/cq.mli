@@ -1,0 +1,110 @@
+(** Conjunctive queries (§2): answer variables plus an atom list, every
+    other variable existentially quantified. Treewidth follows the paper's
+    liberal definition (existential subgraph; edge-free ⇒ treewidth 1). *)
+
+type t
+
+(** [make ?answer atoms] — answer variables must be distinct. *)
+val make : ?answer:string list -> Atom.t list -> t
+
+val answer : t -> string list
+val atoms : t -> Atom.t list
+val arity : t -> int
+val is_boolean : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** All variables of the query. *)
+val vars : t -> Term.VarSet.t
+
+(** Existentially quantified variables. *)
+val evars : t -> Term.VarSet.t
+
+val consts : t -> Term.ConstSet.t
+
+(** Number of atoms + arity: a proxy for [‖q‖]. *)
+val norm : t -> int
+
+(** Schema of the predicates used by [q]. *)
+val schema : t -> Schema.t
+
+(** [freeze x] — the constant representing variable [x] in [D[q]]. *)
+val freeze : string -> Term.const
+
+(** [unfreeze c] — recover the variable from a frozen constant. *)
+val unfreeze : Term.const -> string option
+
+(** Canonical database [D[q]] (§2). *)
+val canonical_db : t -> Instance.t
+
+(** Frozen answer tuple of [q]. *)
+val frozen_answer : t -> Term.const list
+
+(** [of_instance ?answer i] — read an instance back as a CQ (inverse of
+    {!canonical_db} on frozen instances); [answer] lists the constants
+    that become answer variables, in order. *)
+val of_instance : ?answer:Term.const list -> Instance.t -> t
+
+(** [apply subst q] — substitution on the atoms; answer variables may only
+    be renamed to variables. *)
+val apply : Term.t Term.VarMap.t -> t -> t
+
+(** Rename every existential variable by appending [suffix]. *)
+val rename_apart : suffix:string -> t -> t
+
+(** [entails db q c̄] — the evaluation problem of §2: is [c̄ ∈ q(db)]? *)
+val entails : Instance.t -> t -> Term.const list -> bool
+
+(** Boolean entailment [db ⊨ q]. *)
+val holds : Instance.t -> t -> bool
+
+(** The evaluation [q(db)], deduplicated. *)
+val answers : Instance.t -> t -> Term.const list list
+
+(** [entails_io db q c̄] — [db ⊨io q(c̄)]: some homomorphism witnesses [c̄]
+    and every witnessing homomorphism is injective (Appendix D.1). *)
+val entails_io : Instance.t -> t -> Term.const list -> bool
+
+(** Gaifman graph of [q] over its variables. *)
+val gaifman : t -> Qgraph.Graph.t * string array
+
+(** Treewidth per the paper (§2): of the existential subgraph, 1 when that
+    subgraph is edge-free. *)
+val treewidth : t -> int
+
+(** Membership in CQ_k. *)
+val in_cqk : int -> t -> bool
+
+(** [restrict_to q v] — [q|V]: atoms with all variables in [v]. *)
+val restrict_to : t -> Term.VarSet.t -> Atom.t list
+
+(** [drop q v] — [q[V]]: atoms mentioning a variable outside [v]. *)
+val drop : t -> Term.VarSet.t -> Atom.t list
+
+(** Is the subgraph induced by [vars(q) \ V] connected? *)
+val is_v_connected : t -> Term.VarSet.t -> bool
+
+(** The maximally [V]-connected components of [q[V]] (Appendix C.1), as
+    atom lists. *)
+val v_connected_components : t -> Term.VarSet.t -> Atom.t list list
+
+(** Whether the Gaifman graph over all variables is connected (§7). *)
+val is_connected : t -> bool
+
+(** Normal form used to deduplicate contractions (sorted atoms). *)
+val normalize : t -> t
+
+(** Identify two variables (answer-variable pairs are refused with
+    [None]; the answer variable's name survives). *)
+val contract_pair : t -> string -> string -> t option
+
+(** All contractions of [q], including [q] itself (§5.2); exponential. *)
+val contractions : t -> t list
+
+(** Contractions other than [q] itself. *)
+val proper_contractions : t -> t list
+
+(** Is [qc] obtainable from [q] by identifying variables? *)
+val is_contraction_of : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+(** Cores of conjunctive queries (§4).
+
+    The core of a CQ [q] is a ⊆-minimal subquery equivalent to [q]. It is
+    computed by repeatedly retracting: find an endomorphism of [D[q]] that
+    fixes the answer tuple and whose image is a proper subset of the
+    domain, restrict to the image, and repeat. Also provides the
+    Dalmau–Kolaitis–Vardi test: [q ∈ CQ≡k] iff [core(q) ∈ CQ_k] ([20]). *)
+
+open Term
+
+(* One retraction step: an endomorphism of [D[q]] fixing the frozen answer
+   with a strictly smaller image, if any. *)
+let proper_endomorphism q =
+  let db = Cq.canonical_db q in
+  let init =
+    List.fold_left
+      (fun acc x -> VarMap.add x (Cq.freeze x) acc)
+      VarMap.empty (Cq.answer q)
+  in
+  let nvars = VarSet.cardinal (Cq.vars q) in
+  let exception Found of Homomorphism.binding in
+  try
+    Homomorphism.fold_homs ~init (Cq.atoms q) db
+      (fun b () ->
+        let image =
+          VarMap.fold (fun _ c acc -> ConstSet.add c acc) b ConstSet.empty
+        in
+        if ConstSet.cardinal image < nvars then raise (Found b))
+      ();
+    None
+  with Found b -> Some b
+
+(* Apply a retraction [b] (variable -> frozen constant) to [q]: each
+   variable is replaced by the variable its image freezes. *)
+let apply_retraction q (b : Homomorphism.binding) =
+  let subst =
+    VarMap.fold
+      (fun x c acc ->
+        match Cq.unfreeze c with
+        | Some y -> VarMap.add x (Var y) acc
+        | None -> acc)
+      b VarMap.empty
+  in
+  Cq.normalize (Cq.apply subst q)
+
+(** [core q] — the core of [q], fixing answer variables. Unique up to
+    isomorphism; this implementation returns a concrete retract. *)
+let rec core q =
+  match proper_endomorphism q with
+  | None -> Cq.normalize q
+  | Some b -> core (apply_retraction q b)
+
+(** [is_core q] — [q] has no proper retraction. *)
+let is_core q = Option.is_none (proper_endomorphism q)
+
+(** [in_cqk_equiv k q] — membership in [CQ≡k]: is [q] equivalent to a CQ of
+    treewidth ≤ k? Decided on the core ([20], discussion after Thm 4.1). *)
+let in_cqk_equiv k q = Cq.in_cqk k (core q)
+
+(** [semantic_treewidth q] — the treewidth of the core: the least [k] with
+    [q ∈ CQ≡k] under the paper's liberal treewidth. *)
+let semantic_treewidth q = Cq.treewidth (core q)
+
+(** Core-based minimization of a UCQ: core every disjunct, drop subsumed
+    disjuncts. *)
+let minimize_ucq u =
+  Containment.minimize_ucq (Ucq.map core u)

@@ -1,0 +1,19 @@
+(** Cores of conjunctive queries (§4): ⊆-minimal equivalent subqueries,
+    computed by iterated retraction (answer variables fixed), and the
+    Dalmau–Kolaitis–Vardi membership test for [CQ≡k] ([20]). *)
+
+(** The core of [q] (unique up to isomorphism; a concrete retract). *)
+val core : Cq.t -> Cq.t
+
+(** [q] has no proper retraction. *)
+val is_core : Cq.t -> bool
+
+(** [in_cqk_equiv k q] — is [q] equivalent to a CQ of treewidth ≤ k?
+    Decided on the core. *)
+val in_cqk_equiv : int -> Cq.t -> bool
+
+(** Treewidth of the core: the least [k] with [q ∈ CQ≡k]. *)
+val semantic_treewidth : Cq.t -> int
+
+(** Core every disjunct, drop subsumed disjuncts. *)
+val minimize_ucq : Ucq.t -> Ucq.t

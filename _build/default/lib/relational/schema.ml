@@ -1,0 +1,51 @@
+(** Relational schemas: finite sets of predicates with arities (§2). *)
+
+module SMap = Map.Make (String)
+
+type t = int SMap.t
+
+let empty : t = SMap.empty
+
+(** [of_list [(p, ar); ...]] builds a schema; duplicate predicates must
+    agree on arity. *)
+let of_list l =
+  List.fold_left
+    (fun s (p, ar) ->
+      match SMap.find_opt p s with
+      | Some ar' when ar' <> ar ->
+          invalid_arg
+            (Printf.sprintf "Schema.of_list: %s declared with arities %d and %d"
+               p ar' ar)
+      | _ -> SMap.add p ar s)
+    empty l
+
+let add p ar s = SMap.add p ar s
+let mem p (s : t) = SMap.mem p s
+let arity_of p (s : t) = SMap.find_opt p s
+let predicates (s : t) = SMap.bindings s |> List.map fst
+let bindings (s : t) = SMap.bindings s
+let cardinal (s : t) = SMap.cardinal s
+
+(** [ar s] is the arity of the schema: the maximum predicate arity
+    (0 for the empty schema). *)
+let ar (s : t) = SMap.fold (fun _ a acc -> max a acc) s 0
+
+let union (a : t) (b : t) =
+  SMap.union
+    (fun p ar1 ar2 ->
+      if ar1 = ar2 then Some ar1
+      else
+        invalid_arg
+          (Printf.sprintf "Schema.union: %s has arities %d and %d" p ar1 ar2))
+    a b
+
+let subset (a : t) (b : t) =
+  SMap.for_all (fun p ar -> SMap.find_opt p b = Some ar) a
+
+let equal (a : t) (b : t) = SMap.equal Int.equal a b
+let diff (a : t) (b : t) = SMap.filter (fun p _ -> not (SMap.mem p b)) a
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ", ") (fun ppf (p, a) -> Fmt.pf ppf "%s/%d" p a))
+    (SMap.bindings s)

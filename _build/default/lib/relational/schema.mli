@@ -1,0 +1,28 @@
+(** Relational schemas: finite sets of predicates with arities (§2). *)
+
+type t
+
+val empty : t
+
+(** [of_list [(p, ar); …]] — duplicate predicates must agree on arity
+    (raises [Invalid_argument] otherwise). *)
+val of_list : (string * int) list -> t
+
+val add : string -> int -> t -> t
+val mem : string -> t -> bool
+val arity_of : string -> t -> int option
+val predicates : t -> string list
+val bindings : t -> (string * int) list
+val cardinal : t -> int
+
+(** [ar s] — the arity of the schema: the maximum predicate arity (0 for
+    the empty schema). *)
+val ar : t -> int
+
+(** Union; raises [Invalid_argument] on arity conflicts. *)
+val union : t -> t -> t
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val diff : t -> t -> t
+val pp : Format.formatter -> t -> unit

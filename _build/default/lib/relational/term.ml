@@ -1,0 +1,57 @@
+(** Terms: constants, labelled nulls, and variables (§2 of the paper).
+
+    The countably infinite set [C] of constants is split into named
+    constants (database values) and labelled nulls (the fresh constants
+    invented by chase steps). Both behave as constants semantically; the
+    distinction matters for pretty-printing, for the "ground part" of a
+    chase, and for unraveling constructions that copy constants. *)
+
+type const =
+  | Named of string  (** an ordinary database constant *)
+  | Null of int  (** a labelled null invented by the chase *)
+
+type t = Const of const | Var of string
+
+let compare_const (a : const) (b : const) = compare a b
+let equal_const a b = compare_const a b = 0
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+module ConstSet = Set.Make (struct
+  type t = const
+
+  let compare = compare_const
+end)
+
+module ConstMap = Map.Make (struct
+  type t = const
+
+  let compare = compare_const
+end)
+
+module VarSet = Set.Make (String)
+module VarMap = Map.Make (String)
+
+(* Fresh null supply. A global counter is the pragmatic choice: chase
+   results are compared up to isomorphism, never on null identities. *)
+let null_counter = ref 0
+
+let fresh_null () =
+  incr null_counter;
+  Null !null_counter
+
+(** Reset the null supply (test isolation only). *)
+let reset_nulls () = null_counter := 0
+
+let is_null = function Null _ -> true | Named _ -> false
+let named s = Named s
+let const s = Const (Named s)
+let var x = Var x
+
+let pp_const ppf = function
+  | Named s -> Fmt.string ppf s
+  | Null i -> Fmt.pf ppf "_:n%d" i
+
+let pp ppf = function
+  | Const c -> pp_const ppf c
+  | Var x -> Fmt.pf ppf "?%s" x

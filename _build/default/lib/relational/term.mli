@@ -1,0 +1,33 @@
+(** Terms: constants, labelled nulls, and variables (§2).
+
+    Nulls are the fresh constants invented by chase steps; both kinds
+    behave as constants semantically. *)
+
+type const =
+  | Named of string  (** an ordinary database constant *)
+  | Null of int  (** a labelled null invented by the chase *)
+
+type t = Const of const | Var of string
+
+val compare_const : const -> const -> int
+val equal_const : const -> const -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+module ConstSet : Set.S with type elt = const
+module ConstMap : Map.S with type key = const
+module VarSet : Set.S with type elt = string
+module VarMap : Map.S with type key = string
+
+(** A globally fresh labelled null. *)
+val fresh_null : unit -> const
+
+(** Reset the null supply (test isolation only). *)
+val reset_nulls : unit -> unit
+
+val is_null : const -> bool
+val named : string -> const
+val const : string -> t
+val var : string -> t
+val pp_const : Format.formatter -> const -> unit
+val pp : Format.formatter -> t -> unit

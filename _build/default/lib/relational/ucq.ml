@@ -1,0 +1,54 @@
+(** Unions of conjunctive queries (§2): disjuncts of equal arity over the
+    same answer-variable tuple. *)
+
+type t = { disjuncts : Cq.t list }
+
+let make = function
+  | [] -> invalid_arg "Ucq.make: a UCQ has at least one disjunct"
+  | q :: rest as disjuncts ->
+      let ar = Cq.arity q in
+      List.iter
+        (fun q' ->
+          if Cq.arity q' <> ar then
+            invalid_arg "Ucq.make: disjuncts of different arities")
+        rest;
+      { disjuncts }
+
+let of_cq q = { disjuncts = [ q ] }
+let disjuncts u = u.disjuncts
+let arity u = Cq.arity (List.hd u.disjuncts)
+let is_boolean u = arity u = 0
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let map f u = make (List.map f u.disjuncts)
+
+(** Union of the schemas of the disjuncts. *)
+let schema u =
+  List.fold_left (fun s q -> Schema.union s (Cq.schema q)) Schema.empty u.disjuncts
+
+let norm u = List.fold_left (fun acc q -> acc + Cq.norm q) 0 u.disjuncts
+
+(** [entails db u c̄] — is [c̄ ∈ u(db)]? *)
+let entails db u tuple = List.exists (fun q -> Cq.entails db q tuple) u.disjuncts
+
+(** Boolean entailment. *)
+let holds db u = List.exists (fun q -> Cq.holds db q) u.disjuncts
+
+(** [answers db u] = [⋃_i q_i(db)]. *)
+let answers db u =
+  List.concat_map (fun q -> Cq.answers db q) u.disjuncts |> List.sort_uniq Stdlib.compare
+
+(** Treewidth of a UCQ: the maximum over its disjuncts (§2 defines
+    membership in UCQ_k as every disjunct having treewidth ≤ k). *)
+let treewidth u =
+  List.fold_left (fun acc q -> max acc (Cq.treewidth q)) 1 u.disjuncts
+
+let in_ucqk k u = List.for_all (fun q -> Cq.in_cqk k q) u.disjuncts
+
+(** Remove syntactic duplicate disjuncts. *)
+let dedup u =
+  make (List.sort_uniq Cq.compare (List.map Cq.normalize u.disjuncts))
+
+let pp ppf u =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any " ∨@ ") Cq.pp) u.disjuncts

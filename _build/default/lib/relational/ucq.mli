@@ -1,0 +1,39 @@
+(** Unions of conjunctive queries (§2): disjuncts of equal arity. *)
+
+type t
+
+(** Raises [Invalid_argument] on the empty list or mixed arities. *)
+val make : Cq.t list -> t
+
+val of_cq : Cq.t -> t
+val disjuncts : t -> Cq.t list
+val arity : t -> int
+val is_boolean : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val map : (Cq.t -> Cq.t) -> t -> t
+
+(** Union of the disjuncts' schemas. *)
+val schema : t -> Schema.t
+
+val norm : t -> int
+
+(** [entails db u c̄] — is [c̄ ∈ u(db)]? *)
+val entails : Instance.t -> t -> Term.const list -> bool
+
+(** Boolean entailment. *)
+val holds : Instance.t -> t -> bool
+
+(** [answers db u] = [⋃ᵢ qᵢ(db)]. *)
+val answers : Instance.t -> t -> Term.const list list
+
+(** Maximum disjunct treewidth (membership in UCQ_k is every disjunct in
+    CQ_k). *)
+val treewidth : t -> int
+
+val in_ucqk : int -> t -> bool
+
+(** Remove syntactic duplicate disjuncts. *)
+val dedup : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Atom Cq Fact Fmt Instance Lexer List Relational Schema Term Tgds Ucq

@@ -1,0 +1,1 @@
+lib/syntax/parser.mli: Fact Instance Relational Schema Tgds Ucq

@@ -1,0 +1,1 @@
+lib/syntax/pretty.ml: Atom Cq Fact Fmt List Parser Relational Schema String Term Tgds Ucq

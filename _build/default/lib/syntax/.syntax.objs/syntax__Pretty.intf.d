@@ -1,0 +1,1 @@
+lib/syntax/pretty.mli: Atom Cq Fact Format Parser Relational Term Tgds

@@ -1,0 +1,105 @@
+(** Hand-written lexer for the Datalog±-style surface language.
+
+    Tokens: identifiers (lowercase-initial = constants/predicates,
+    uppercase-initial = variables), integers, punctuation
+    [( ) , . / :- ->], and end of input. [%] starts a line comment. *)
+
+type token =
+  | Ident of string  (** lowercase-initial identifier *)
+  | Upper of string  (** uppercase-initial identifier (a variable) *)
+  | Int of int
+  | Lparen
+  | Rparen
+  | Comma
+  | Period
+  | Slash
+  | Arrow  (** "->" *)
+  | Turnstile  (** ":-" *)
+  | Eof
+
+type lexeme = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Upper s -> Fmt.pf ppf "variable %S" s
+  | Int n -> Fmt.pf ppf "integer %d" n
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Comma -> Fmt.string ppf "','"
+  | Period -> Fmt.string ppf "'.'"
+  | Slash -> Fmt.string ppf "'/'"
+  | Arrow -> Fmt.string ppf "'->'"
+  | Turnstile -> Fmt.string ppf "':-'"
+  | Eof -> Fmt.string ppf "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(** [tokenize src] — the lexemes of [src], ending with [Eof]. *)
+let tokenize src =
+  let n = String.length src in
+  let lexemes = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit token = lexemes := { token; line = !line; col = !col } :: !lexemes in
+  let advance () =
+    if !i < n && src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '%' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '(' then (emit Lparen; advance ())
+    else if c = ')' then (emit Rparen; advance ())
+    else if c = ',' then (emit Comma; advance ())
+    else if c = '.' then (emit Period; advance ())
+    else if c = '/' then (emit Slash; advance ())
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      emit Arrow;
+      advance ();
+      advance ()
+    end
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      emit Turnstile;
+      advance ();
+      advance ()
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      let scol = !col in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        advance ()
+      done;
+      lexemes :=
+        { token = Int (int_of_string (String.sub src start (!i - start)));
+          line = !line; col = scol }
+        :: !lexemes
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      let scol = !col in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let s = String.sub src start (!i - start) in
+      let token =
+        if (c >= 'A' && c <= 'Z') || c = '_' then Upper s else Ident s
+      in
+      lexemes := { token; line = !line; col = scol } :: !lexemes
+    end
+    else raise (Error (Printf.sprintf "unexpected character %C" c, !line, !col))
+  done;
+  List.rev ({ token = Eof; line = !line; col = !col } :: !lexemes)

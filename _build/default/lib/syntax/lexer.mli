@@ -1,0 +1,24 @@
+(** Lexer for the Datalog±-style surface language. *)
+
+type token =
+  | Ident of string  (** lowercase-initial identifier *)
+  | Upper of string  (** uppercase-initial identifier (a variable) *)
+  | Int of int
+  | Lparen
+  | Rparen
+  | Comma
+  | Period
+  | Slash
+  | Arrow  (** "->" *)
+  | Turnstile  (** ":-" *)
+  | Eof
+
+type lexeme = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+val pp_token : Format.formatter -> token -> unit
+
+(** The lexemes of the input, ending with [Eof]; [%] starts a line
+    comment. Raises {!Error} with a position on bad characters. *)
+val tokenize : string -> lexeme list

@@ -1,0 +1,194 @@
+(** Recursive-descent parser for the surface language.
+
+    Statements (each ending with a period):
+    - schema declaration: [pred/2.]
+    - TGD: [body -> head.] — head variables absent from the body are
+      implicitly existentially quantified, as in the paper's notation;
+      an empty body is written [true -> head.]
+    - fact: a ground atom [knows(alice,bob).]
+    - query: [q(X) :- knows(X,Y).] — several clauses with the same head
+      name and arity form a UCQ.
+
+    Identifiers starting with an uppercase letter or [_] are variables;
+    others are constants / predicate names. *)
+
+open Relational
+
+type program = {
+  schema : Schema.t;  (** declared plus inferred predicates *)
+  tgds : Tgds.Tgd.t list;
+  facts : Fact.t list;
+  queries : (string * Ucq.t) list;  (** named UCQs, in declaration order *)
+}
+
+exception Error of string * int * int
+
+type state = { mutable rest : Lexer.lexeme list }
+
+let peek st =
+  match st.rest with [] -> assert false | l :: _ -> l
+
+let next st =
+  let l = peek st in
+  (match st.rest with [] -> () | _ :: tl -> st.rest <- tl);
+  l
+
+let fail st msg =
+  let l = peek st in
+  raise (Error (Fmt.str "%s (found %a)" msg Lexer.pp_token l.Lexer.token, l.Lexer.line, l.Lexer.col))
+
+let expect st token msg =
+  let l = next st in
+  if l.Lexer.token <> token then
+    raise (Error (Fmt.str "%s (found %a)" msg Lexer.pp_token l.Lexer.token, l.Lexer.line, l.Lexer.col))
+
+(* term := lowercase ident (constant) | Uppercase ident (variable) | int *)
+let parse_term st =
+  match (next st).Lexer.token with
+  | Lexer.Ident s -> Term.const s
+  | Lexer.Upper x -> Term.var x
+  | Lexer.Int n -> Term.const (string_of_int n)
+  | _ ->
+      st.rest <- peek st :: st.rest;
+      fail st "expected a term"
+
+(* atom := ident [ '(' term, ..., term ')' ] *)
+let parse_atom st =
+  match (next st).Lexer.token with
+  | Lexer.Ident p ->
+      if (peek st).Lexer.token = Lexer.Lparen then begin
+        ignore (next st);
+        if (peek st).Lexer.token = Lexer.Rparen then begin
+          ignore (next st);
+          Atom.make p []
+        end
+        else
+        let rec args acc =
+          let t = parse_term st in
+          match (next st).Lexer.token with
+          | Lexer.Comma -> args (t :: acc)
+          | Lexer.Rparen -> List.rev (t :: acc)
+          | _ -> fail st "expected ',' or ')'"
+        in
+        Atom.make p (args [])
+      end
+      else Atom.make p []
+  | _ -> fail st "expected a predicate name"
+
+let parse_atom_list st =
+  let rec go acc =
+    let a = parse_atom st in
+    if (peek st).Lexer.token = Lexer.Comma then begin
+      ignore (next st);
+      go (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  go []
+
+(* one statement; returns its effect *)
+type statement =
+  | Decl of string * int
+  | Tgd_stmt of Tgds.Tgd.t
+  | Fact_stmt of Fact.t
+  | Query_stmt of string * Cq.t
+
+let parse_statement st =
+  match (peek st).Lexer.token with
+  | Lexer.Ident "true" -> (
+      (* empty-body TGD: true -> head. *)
+      ignore (next st);
+      match (next st).Lexer.token with
+      | Lexer.Arrow ->
+          let head = parse_atom_list st in
+          expect st Lexer.Period "expected '.' after TGD";
+          Tgd_stmt (Tgds.Tgd.make ~body:[] ~head)
+      | _ -> fail st "expected '->' after true")
+  | _ -> (
+      let first = parse_atom st in
+      match (next st).Lexer.token with
+      | Lexer.Slash -> (
+          (* schema declaration p/2 — [first] must be a 0-ary atom *)
+          match ((peek st).Lexer.token, Atom.args first) with
+          | Lexer.Int n, [] ->
+              ignore (next st);
+              expect st Lexer.Period "expected '.' after declaration";
+              Decl (Atom.pred first, n)
+          | _ -> fail st "expected an arity after '/'")
+      | Lexer.Period ->
+          if Atom.is_ground first then Fact_stmt (Fact.of_atom first)
+          else fail st "a fact must be ground"
+      | (Lexer.Comma | Lexer.Arrow) as tok ->
+          (* TGD: body -> head *)
+          let body =
+            if tok = Lexer.Comma then first :: parse_atom_list st else [ first ]
+          in
+          if tok = Lexer.Comma then expect st Lexer.Arrow "expected '->'";
+          let head = parse_atom_list st in
+          expect st Lexer.Period "expected '.' after TGD";
+          Tgd_stmt (Tgds.Tgd.make ~body ~head)
+      | Lexer.Turnstile ->
+          (* query: head(args) :- body. *)
+          let answer =
+            List.map
+              (function
+                | Term.Var x -> x
+                | Term.Const _ -> fail st "query answers must be variables")
+              (Atom.args first)
+          in
+          let body = parse_atom_list st in
+          expect st Lexer.Period "expected '.' after query";
+          Query_stmt (Atom.pred first, Cq.make ~answer body)
+      | _ -> fail st "expected '.', '/', '->' or ':-'")
+
+(** [parse src] — the whole program. Raises {!Error} (or {!Lexer.Error})
+    with a position on malformed input. *)
+let parse src =
+  let st = { rest = Lexer.tokenize src } in
+  let decls = ref [] and tgds = ref [] and facts = ref [] in
+  let queries : (string * Cq.t list) list ref = ref [] in
+  while (peek st).Lexer.token <> Lexer.Eof do
+    match parse_statement st with
+    | Decl (p, n) -> decls := (p, n) :: !decls
+    | Tgd_stmt t -> tgds := t :: !tgds
+    | Fact_stmt f -> facts := f :: !facts
+    | Query_stmt (name, cq) ->
+        queries :=
+          (match List.assoc_opt name !queries with
+          | Some cqs -> (name, cq :: cqs) :: List.remove_assoc name !queries
+          | None -> (name, [ cq ]) :: !queries)
+  done;
+  let tgds = List.rev !tgds and facts = List.rev !facts in
+  let inferred =
+    let from_atoms atoms s =
+      List.fold_left (fun s a -> Schema.add (Atom.pred a) (Atom.arity a) s) s atoms
+    in
+    List.fold_left
+      (fun s t -> from_atoms (Tgds.Tgd.body t) (from_atoms (Tgds.Tgd.head t) s))
+      (List.fold_left
+         (fun s f -> Schema.add (Fact.pred f) (Fact.arity f) s)
+         (Schema.of_list (List.rev !decls))
+         facts)
+      tgds
+  in
+  {
+    schema = inferred;
+    tgds;
+    facts;
+    queries =
+      List.rev_map (fun (name, cqs) -> (name, Ucq.make (List.rev cqs))) !queries;
+  }
+
+(** [parse_file path] — parse a program from a file. *)
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+(** Database of the program's facts. *)
+let database p = Instance.of_facts p.facts
+
+(** Look up a named query. *)
+let query p name = List.assoc_opt name p.queries

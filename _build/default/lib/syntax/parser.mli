@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the surface language.
+
+    Statements (period-terminated): schema declarations [p/2.], TGDs
+    [body -> head.] (implicit existentials; empty body as [true -> …]),
+    ground facts, and query clauses [q(X) :- body.] (same-name clauses
+    form a UCQ). Uppercase-initial identifiers are variables. *)
+
+open Relational
+
+type program = {
+  schema : Schema.t;  (** declared plus inferred predicates *)
+  tgds : Tgds.Tgd.t list;
+  facts : Fact.t list;
+  queries : (string * Ucq.t) list;  (** named UCQs, in declaration order *)
+}
+
+exception Error of string * int * int
+
+(** Raises {!Error} / {!Lexer.Error} with positions on malformed input. *)
+val parse : string -> program
+
+val parse_file : string -> program
+
+(** Database of the program's facts. *)
+val database : program -> Instance.t
+
+(** Look up a named query. *)
+val query : program -> string -> Ucq.t option

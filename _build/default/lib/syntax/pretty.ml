@@ -1,0 +1,41 @@
+(** Pretty-printer rendering programs back into the surface syntax
+    (round-trips through {!Parser.parse}). *)
+
+open Relational
+
+let pp_term ppf = function
+  | Term.Const (Term.Named s) -> Fmt.string ppf s
+  | Term.Const (Term.Null n) -> Fmt.pf ppf "null_%d" n
+  | Term.Var x -> Fmt.string ppf (String.capitalize_ascii x)
+
+let pp_atom ppf a =
+  if Atom.args a = [] then Fmt.string ppf (Atom.pred a)
+  else Fmt.pf ppf "%s(%a)" (Atom.pred a) Fmt.(list ~sep:(any ",") pp_term) (Atom.args a)
+
+let pp_atoms = Fmt.(list ~sep:(any ", ") pp_atom)
+
+let pp_tgd ppf t =
+  let body = Tgds.Tgd.body t in
+  if body = [] then Fmt.pf ppf "true -> %a." pp_atoms (Tgds.Tgd.head t)
+  else Fmt.pf ppf "%a -> %a." pp_atoms body pp_atoms (Tgds.Tgd.head t)
+
+let pp_fact ppf f = Fmt.pf ppf "%a." pp_atom (Fact.to_atom f)
+
+let pp_query name ppf (q : Cq.t) =
+  Fmt.pf ppf "%s(%a) :- %a." name
+    Fmt.(list ~sep:(any ",") string)
+    (List.map String.capitalize_ascii (Cq.answer q))
+    pp_atoms (Cq.atoms q)
+
+let pp_program ppf (p : Parser.program) =
+  let pp_decl ppf (name, ar) = Fmt.pf ppf "%s/%d." name ar in
+  Fmt.pf ppf "@[<v>%% schema@,%a@,%% tgds@,%a@,%% facts@,%a@,%% queries@,%a@]"
+    Fmt.(list ~sep:cut pp_decl)
+    (Schema.bindings p.Parser.schema)
+    Fmt.(list ~sep:cut pp_tgd)
+    p.Parser.tgds
+    Fmt.(list ~sep:cut pp_fact)
+    p.Parser.facts
+    Fmt.(list ~sep:cut (fun ppf (name, u) ->
+        Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut (pp_query name)) (Ucq.disjuncts u)))
+    p.Parser.queries

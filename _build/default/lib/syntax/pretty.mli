@@ -1,0 +1,12 @@
+(** Pretty-printer rendering programs back into the surface syntax
+    (round-trips through {!Parser.parse}). *)
+
+open Relational
+
+val pp_term : Format.formatter -> Term.t -> unit
+val pp_atom : Format.formatter -> Atom.t -> unit
+val pp_atoms : Format.formatter -> Atom.t list -> unit
+val pp_tgd : Format.formatter -> Tgds.Tgd.t -> unit
+val pp_fact : Format.formatter -> Fact.t -> unit
+val pp_query : string -> Format.formatter -> Cq.t -> unit
+val pp_program : Format.formatter -> Parser.program -> unit

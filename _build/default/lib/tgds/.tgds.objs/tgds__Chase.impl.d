@@ -1,0 +1,1 @@
+lib/tgds/chase.ml: Array Fact Hashtbl Homomorphism Instance List Relational Tgd Ucq VarMap VarSet

@@ -1,0 +1,1 @@
+lib/tgds/chase.mli: Fact Instance Relational Term Tgd Ucq

@@ -1,0 +1,1 @@
+lib/tgds/full_chase.ml: Fact Homomorphism Instance List Relational Schema Tgd Ucq

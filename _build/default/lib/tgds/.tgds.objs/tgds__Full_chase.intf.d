@@ -1,0 +1,1 @@
+lib/tgds/full_chase.mli: Instance Relational Term Tgd Ucq

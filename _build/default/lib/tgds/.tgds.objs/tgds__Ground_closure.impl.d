@@ -1,0 +1,1 @@
+lib/tgds/ground_closure.ml: ConstSet Fact Fmt Hashtbl Homomorphism Instance List Printf Relational String Tgd VarMap VarSet

@@ -1,0 +1,1 @@
+lib/tgds/ground_closure.mli: Fact Instance Relational Term Tgd

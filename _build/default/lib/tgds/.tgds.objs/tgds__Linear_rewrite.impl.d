@@ -1,0 +1,1 @@
+lib/tgds/linear_rewrite.ml: Atom Containment Cq Fun Hashtbl List Map Option Printf Queue Relational Term Tgd Ucq VarSet

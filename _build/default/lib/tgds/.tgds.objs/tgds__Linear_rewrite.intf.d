@@ -1,0 +1,1 @@
+lib/tgds/linear_rewrite.mli: Instance Relational Term Tgd Ucq

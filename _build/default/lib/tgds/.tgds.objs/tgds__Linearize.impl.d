@@ -1,0 +1,1 @@
+lib/tgds/linearize.ml: Atom Chase ConstSet Fact Fmt Ground_closure Hashtbl Homomorphism Instance List Option Printf Queue Relational String Tgd Ucq VarMap VarSet

@@ -1,0 +1,1 @@
+lib/tgds/linearize.mli: Fact Instance Relational Term Tgd Ucq

@@ -1,0 +1,1 @@
+lib/tgds/termination.ml: Atom Fmt Hashtbl List Relational Stdlib Tgd VarSet

@@ -1,0 +1,1 @@
+lib/tgds/termination.mli: Format Tgd

@@ -1,0 +1,1 @@
+lib/tgds/tgd.ml: Atom Cq Fmt Homomorphism List Option Relational Schema Stdlib VarMap VarSet

@@ -1,0 +1,1 @@
+lib/tgds/tgd.mli: Atom Cq Format Instance Relational Schema Term

@@ -1,0 +1,153 @@
+(** The oblivious chase (§2), level-wise.
+
+    A trigger is a TGD together with a homomorphism of its body into the
+    current instance; the oblivious chase fires every trigger exactly once,
+    regardless of whether the head is already satisfied, inventing fresh
+    labelled nulls for the existential variables. Because the chase is
+    oblivious, the result is unique up to isomorphism, so the level-bounded
+    instances [chase^ℓ_s(D,Σ)] of Lemma A.1 are canonical. *)
+
+open Relational
+open Relational.Term
+
+type result = {
+  instance : Instance.t;
+  level_of : (Fact.t, int) Hashtbl.t;
+  saturated : bool;
+  max_level : int;
+}
+
+(* Key identifying a trigger: TGD index + frontier/body binding. *)
+let trigger_key i (b : Homomorphism.binding) (sigma_i : Tgd.t) =
+  let bv = VarSet.elements (Tgd.body_vars sigma_i) in
+  let img = List.map (fun x -> VarMap.find_opt x b) bv in
+  (i, img)
+
+type policy = Oblivious | Restricted
+
+(** [run ?policy ?max_level ?max_facts sigma db] — the level-wise chase of
+    [db] under [sigma].
+
+    [policy] defaults to [Oblivious], the paper's semantics (§2): a
+    trigger fires whenever its body is satisfied, regardless of the head,
+    making the result unique up to isomorphism. [Restricted] skips
+    triggers whose head is already satisfied — it produces (often much)
+    smaller instances with the same certain answers, at the price of
+    order-dependence; it is offered for the ablation benchmarks.
+
+    Stops when saturated, or when the next level would exceed [max_level],
+    or when more than [max_facts] facts have been produced. The result
+    records each fact's s-level (facts of the input database have level 0;
+    a derived fact's level is 1 + the maximum level of the trigger's body
+    image, per Appendix A). *)
+let run ?(policy = Oblivious) ?(max_level = max_int) ?(max_facts = max_int)
+    sigma db =
+  let sigma = Array.of_list sigma in
+  let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let fired = Hashtbl.create 256 in
+  let inst = ref db in
+  Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
+  let saturated = ref false in
+  let level = ref 0 in
+  let overflow = ref false in
+  while (not !saturated) && (not !overflow) && !level < max_level do
+    (* collect unfired triggers whose body lies in the current instance *)
+    let new_triggers = ref [] in
+    Array.iteri
+      (fun i t ->
+        Homomorphism.fold_homs (Tgd.body t) !inst
+          (fun b () ->
+            let key = trigger_key i b t in
+            if not (Hashtbl.mem fired key) then
+              let active =
+                match policy with
+                | Oblivious -> true
+                | Restricted ->
+                    (* skip when the head is already witnessed *)
+                    let init =
+                      VarMap.filter
+                        (fun x _ -> VarSet.mem x (Tgd.frontier t))
+                        b
+                    in
+                    not (Homomorphism.exists ~init (Tgd.head t) !inst)
+              in
+              if active then new_triggers := (i, b, key) :: !new_triggers
+              else Hashtbl.replace fired key ())
+          ())
+      sigma;
+    if !new_triggers = [] then saturated := true
+    else begin
+      incr level;
+      List.iter
+        (fun (i, b, key) ->
+          if not !overflow then begin
+            Hashtbl.replace fired key ();
+            let t = sigma.(i) in
+            (* body image level *)
+            let body_level =
+              List.fold_left
+                (fun acc a ->
+                  let f = Fact.of_atom (Homomorphism.apply_binding b a) in
+                  max acc (try Hashtbl.find level_of f with Not_found -> 0))
+                0 (Tgd.body t)
+            in
+            let fresh =
+              VarSet.fold
+                (fun z acc -> VarMap.add z (fresh_null ()) acc)
+                (Tgd.existential_vars t)
+                VarMap.empty
+            in
+            let full_binding =
+              VarMap.union (fun _ a _ -> Some a) b fresh
+            in
+            List.iter
+              (fun h ->
+                let f = Fact.of_atom (Homomorphism.apply_binding full_binding h) in
+                if not (Instance.mem f !inst) then begin
+                  inst := Instance.add_fact f !inst;
+                  Hashtbl.replace level_of f (body_level + 1);
+                  if Hashtbl.length level_of > max_facts then overflow := true
+                end)
+              (Tgd.head t)
+          end)
+        (List.rev !new_triggers)
+    end
+  done;
+  {
+    instance = !inst;
+    level_of;
+    saturated = !saturated;
+    max_level = !level;
+  }
+
+(** [instance r] — the chased instance. *)
+let instance (r : result) = r.instance
+
+let saturated (r : result) = r.saturated
+
+(** [up_to_level r l] — the sub-instance of facts with s-level ≤ [l]
+    (i.e. [chase^l_s(D,Σ)] when the run reached at least level [l]). *)
+let up_to_level (r : result) l =
+  Instance.filter
+    (fun f -> match Hashtbl.find_opt r.level_of f with Some lv -> lv <= l | None -> true)
+    r.instance
+
+(** [level r f] — the s-level of a fact of the result. *)
+let level (r : result) f = Hashtbl.find_opt r.level_of f
+
+(** The ground part [chase↓]: facts whose constants are all from [dom db]
+    (equivalently, contain no labelled null invented by the chase). *)
+let ground_part (r : result) =
+  Instance.filter (fun f -> not (Fact.is_ground_of_nulls f)) r.instance
+
+(** Convenience: chase and return the instance. *)
+let chase ?max_level ?max_facts sigma db =
+  (run ?max_level ?max_facts sigma db).instance
+
+(** [certain ?max_level sigma db q tuple] — sound check that
+    [tuple ∈ q(chase(db,sigma))] using a level-bounded chase; complete when
+    the run saturates (Proposition 3.1). Returns the verdict together with
+    whether it is known complete. *)
+let certain ?(max_level = 6) ?max_facts sigma db (q : Ucq.t) tuple =
+  let r = run ~max_level ?max_facts sigma db in
+  (Ucq.entails r.instance q tuple, r.saturated)

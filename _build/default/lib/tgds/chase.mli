@@ -1,0 +1,56 @@
+(** The level-wise chase (§2).
+
+    A trigger is a TGD with a homomorphism of its body into the current
+    instance; triggers fire once, inventing fresh labelled nulls for the
+    existential variables. The default, oblivious policy is the paper's
+    (§2): the result is unique up to isomorphism and the level-bounded
+    slices [chase^ℓ_s(D,Σ)] of Lemma A.1 are canonical. *)
+
+open Relational
+
+type result
+
+type policy =
+  | Oblivious  (** the paper's semantics: fire regardless of the head *)
+  | Restricted  (** skip triggers whose head is already satisfied *)
+
+(** [run ?policy ?max_level ?max_facts sigma db] — chase until saturation,
+    the level bound, or the fact budget. *)
+val run :
+  ?policy:policy ->
+  ?max_level:int ->
+  ?max_facts:int ->
+  Tgd.t list ->
+  Instance.t ->
+  result
+
+(** The chased instance. *)
+val instance : result -> Instance.t
+
+(** No unfired trigger remained — the chase terminated. *)
+val saturated : result -> bool
+
+(** [up_to_level r l] — the sub-instance of facts with s-level ≤ [l]
+    ([chase^l_s(D,Σ)] when the run reached level [l]). *)
+val up_to_level : result -> int -> Instance.t
+
+(** The s-level of a fact of the result. *)
+val level : result -> Fact.t -> int option
+
+(** The ground part [chase↓]: facts without invented nulls. *)
+val ground_part : result -> Instance.t
+
+(** Chase and return the instance. *)
+val chase : ?max_level:int -> ?max_facts:int -> Tgd.t list -> Instance.t -> Instance.t
+
+(** [certain ?max_level sigma db q c̄] — sound bounded check of
+    [c̄ ∈ q(chase(db,sigma))] (Proposition 3.1); the boolean reports
+    whether the run saturated (verdict then exact). *)
+val certain :
+  ?max_level:int ->
+  ?max_facts:int ->
+  Tgd.t list ->
+  Instance.t ->
+  Ucq.t ->
+  Term.const list ->
+  bool * bool

@@ -1,0 +1,33 @@
+(** Ground closure of the guarded chase: the finite instance
+    [chase↓(D,Σ) = { R(ā) ∈ chase(D,Σ) | ā ⊆ dom(D) }] ([complete(D,Σ)] /
+    [D⁺] of Appendices A and F), computed by a memoized fixpoint over bag
+    types — the executable content of the [typeD,Σ] machinery. Guarded
+    sets only. *)
+
+open Relational
+
+(** Canonicalize a small instance: a key invariant under constant
+    renaming, the renaming used, and its inverse (both as assoc lists).
+    Exposed for the finite-witness construction. *)
+val canonicalize :
+  Instance.t ->
+  string * (Term.const * Term.const) list * (Term.const * Term.const) list
+
+(** [compute sigma db] — the ground closure; raises [Invalid_argument]
+    when [sigma] is not guarded. *)
+val compute : Tgd.t list -> Instance.t -> Instance.t
+
+(** [d_plus sigma db] — the database [D⁺] of §6.2 (equals the ground
+    closure). *)
+val d_plus : Tgd.t list -> Instance.t -> Instance.t
+
+(** [type_of sigma db consts] — [typeD,Σ]: all chase atoms over [consts ⊆
+    dom(db)]. *)
+val type_of : Tgd.t list -> Instance.t -> Term.ConstSet.t -> Instance.t
+
+(** Certain answering for atomic ground queries: [fact ∈ chase(db,sigma)]? *)
+val entails_atom : Tgd.t list -> Instance.t -> Fact.t -> bool
+
+(** Saturation of a small instance ([complete(I,Σ)] for bag-sized [I]);
+    used by the linearization. *)
+val saturate_small : Tgd.t list -> Instance.t -> Instance.t

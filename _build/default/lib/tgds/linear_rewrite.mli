@@ -1,0 +1,27 @@
+(** UCQ rewriting for linear TGDs (Proposition D.2): piece-based backward
+    chaining producing [q'] with [q(chase(D,Σ)) = q'(D)] for every
+    database [D]. *)
+
+open Relational
+
+(** [rewrite ?max_queries sigma q] — the perfect rewriting; the boolean is
+    false when the query budget was exhausted (result then sound but
+    possibly incomplete). Raises [Invalid_argument] on non-linear TGDs. *)
+val rewrite : ?max_queries:int -> Tgd.t list -> Ucq.t -> Ucq.t * bool
+
+(** Certain answers via rewriting (no chase). *)
+val answers :
+  ?max_queries:int ->
+  Tgd.t list ->
+  Instance.t ->
+  Ucq.t ->
+  Term.const list list * bool
+
+(** Rewriting-based certain membership. *)
+val entails :
+  ?max_queries:int ->
+  Tgd.t list ->
+  Instance.t ->
+  Ucq.t ->
+  Term.const list ->
+  bool * bool

@@ -1,0 +1,106 @@
+(** Chase termination analysis: weak acyclicity (Fagin–Kolaitis–Miller–Popa,
+    [22]).
+
+    The paper's evaluation problems run the chase without a termination
+    guarantee (its bounds are level-based, Lemma A.1). This module supplies
+    the classical *static* guarantee: build the dependency graph over
+    predicate positions — a normal edge [(p,i) → (q,j)] when a frontier
+    variable travels from body position [(p,i)] to head position [(q,j)],
+    and a special edge when an existential variable is created at [(q,j)]
+    by a rule reading [(p,i)] — and check that no cycle passes through a
+    special edge. Weak acyclicity implies that every chase sequence
+    terminates in polynomially many steps in the data. *)
+
+open Relational
+open Relational.Term
+
+type position = string * int
+(** predicate name and argument index (0-based) *)
+
+type edge = { src : position; dst : position; special : bool }
+
+(* Positions at which a variable occurs in an atom list. *)
+let positions_of x atoms =
+  List.concat_map
+    (fun a ->
+      List.concat
+        (List.mapi
+           (fun i t -> if t = Var x then [ (Atom.pred a, i) ] else [])
+           (Atom.args a)))
+    atoms
+
+(** The dependency graph of a TGD set, as an edge list. *)
+let dependency_edges sigma =
+  List.concat_map
+    (fun t ->
+      let frontier = Tgd.frontier t in
+      let existential = Tgd.existential_vars t in
+      VarSet.fold
+        (fun x acc ->
+          let body_pos = positions_of x (Tgd.body t) in
+          (* normal edges for x's own head occurrences *)
+          let normal =
+            List.concat_map
+              (fun src ->
+                List.map
+                  (fun dst -> { src; dst; special = false })
+                  (positions_of x (Tgd.head t)))
+              body_pos
+          in
+          (* special edges to every existential position of this rule *)
+          let special =
+            List.concat_map
+              (fun src ->
+                VarSet.fold
+                  (fun z acc ->
+                    List.map
+                      (fun dst -> { src; dst; special = true })
+                      (positions_of z (Tgd.head t))
+                    @ acc)
+                  existential [])
+              body_pos
+          in
+          normal @ special @ acc)
+        frontier [])
+    sigma
+  |> List.sort_uniq Stdlib.compare
+
+(** [weakly_acyclic sigma] — no cycle of the dependency graph contains a
+    special edge; then every chase sequence over every database terminates
+    (in polynomially many steps for fixed Σ). *)
+let weakly_acyclic sigma =
+  let edges = dependency_edges sigma in
+  (* adjacency over all edges *)
+  let succs = Hashtbl.create 32 in
+  List.iter (fun e -> Hashtbl.add succs e.src e.dst) edges;
+  let reaches src dst =
+    let seen = Hashtbl.create 32 in
+    let rec go p =
+      p = dst
+      || (not (Hashtbl.mem seen p))
+         && begin
+              Hashtbl.replace seen p ();
+              List.exists go (Hashtbl.find_all succs p)
+            end
+    in
+    (* [reaches] asks for a nonempty path when src = dst, so start from the
+       successors *)
+    List.exists go (Hashtbl.find_all succs src)
+  in
+  not
+    (List.exists
+       (fun e -> e.special && (e.dst = e.src || reaches e.dst e.src))
+       edges)
+
+(** [terminates_on_all_databases sigma] — a sufficient static condition
+    for chase termination: weak acyclicity, or absence of existential
+    variables (full TGDs always terminate). *)
+let terminates_on_all_databases sigma =
+  Tgd.all_full sigma || weakly_acyclic sigma
+
+let pp_position ppf (p, i) = Fmt.pf ppf "%s#%d" p i
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%a %s %a" pp_position e.src
+    (if e.special then "=>" else "->")
+    pp_position e.dst

@@ -1,0 +1,21 @@
+(** Chase termination analysis: weak acyclicity ([22]) — no cycle of the
+    position dependency graph passes through a special (existential)
+    edge; then every chase sequence terminates. *)
+
+type position = string * int
+(** predicate name and argument index (0-based) *)
+
+type edge = { src : position; dst : position; special : bool }
+
+(** The dependency graph of a TGD set, as a deduplicated edge list. *)
+val dependency_edges : Tgd.t list -> edge list
+
+(** No cycle contains a special edge. *)
+val weakly_acyclic : Tgd.t list -> bool
+
+(** Sufficient static condition for chase termination: full TGDs or weak
+    acyclicity. *)
+val terminates_on_all_databases : Tgd.t list -> bool
+
+val pp_position : Format.formatter -> position -> unit
+val pp_edge : Format.formatter -> edge -> unit

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Atom C5_gadget Cq Diversification Dl Fact Fmt Guarded_core Instance List Omq Omq_eval Qgraph Reductions Relational Term Tgds Ucq Workload

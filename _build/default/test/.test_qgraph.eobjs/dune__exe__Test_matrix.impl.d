@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Atom Cq Dl Fact Fmt Fun Grohe Guarded_core Guarded_rewrite Instance List Omq Omq_eval Qgraph Reductions Relational Term Tgds Ucq Workload

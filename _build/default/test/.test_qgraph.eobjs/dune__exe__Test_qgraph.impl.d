@@ -1,0 +1,1 @@
+test/test_qgraph.ml: Alcotest Fmt Fun Graph ISet List Minor QCheck QCheck_alcotest Qgraph Tree_decomposition Treewidth

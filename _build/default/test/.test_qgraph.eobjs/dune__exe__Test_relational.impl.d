@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Atom ConstMap ConstSet Containment Cq Cq_core Fact Fmt Homomorphism Instance List Printf QCheck QCheck_alcotest Qgraph Relational Term Ucq VarMap VarSet

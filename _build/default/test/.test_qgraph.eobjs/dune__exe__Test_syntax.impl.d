@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Atom Cq Fact Fmt Instance List QCheck QCheck_alcotest Relational Schema Syntax Term Tgds Ucq VarSet

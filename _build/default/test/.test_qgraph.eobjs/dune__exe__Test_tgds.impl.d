@@ -1,0 +1,1 @@
+test/test_tgds.ml: Alcotest Atom Chase ConstSet Cq Fact Fmt Full_chase Ground_closure Instance Linear_rewrite Linearize List QCheck QCheck_alcotest Relational Term Tgd Tgds Ucq VarSet

@@ -1,0 +1,6 @@
+
+prof(X) -> teaches(X,C).
+teaches(X,C) -> course(C).
+prof(ada).
+q() :- course(C).
+who(X) :- teaches(X,C).

@@ -1,0 +1,5 @@
+
+order(O,C) -> customer(C).
+customer(alice).
+order(o1,alice).
+q(O) :- order(O,C), customer(C).

@@ -1,0 +1,3 @@
+
+r2(X) -> r4(X).
+q() :- p(X2,X1), p(X4,X1), p(X2,X3), p(X4,X3), r1(X1), r2(X2), r3(X3), r4(X4).

@@ -1,0 +1,5 @@
+
+emp(X) -> reports(X,M).
+reports(X,M) -> emp(M).
+emp(eve).
+q() :- reports(X,M), emp(M).

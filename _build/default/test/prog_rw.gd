@@ -1,0 +1,3 @@
+
+a(X) -> s(X,Y).
+q() :- s(U,W).

@@ -1,0 +1,4 @@
+
+emp(X) -> reports(X,M).
+reports(X,M) -> emp(M).
+emp(eve).

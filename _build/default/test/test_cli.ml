@@ -1,0 +1,181 @@
+(* Integration tests driving the built `guarded` CLI end to end: parse a
+   program from disk, chase, evaluate open/closed world, classify, decide
+   equivalence, run the clique reduction. *)
+
+let check = Alcotest.(check bool)
+
+let cli =
+  (* tests run from _build/default/test; the binary is a declared dep *)
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/guarded_cli.exe"
+
+let run_cli args =
+  let cmd =
+    Filename.quote_command cli args ~stdout:"cli_out.txt" ~stderr:"cli_err.txt"
+  in
+  let status = Sys.command cmd in
+  let slurp path =
+    if Sys.file_exists path then (
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s)
+    else ""
+  in
+  (status, slurp "cli_out.txt", slurp "cli_err.txt")
+
+let write_program name contents =
+  let oc = open_out name in
+  output_string oc contents;
+  close_out oc;
+  name
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let program =
+  {|
+prof(X) -> teaches(X,C).
+teaches(X,C) -> course(C).
+prof(ada).
+q() :- course(C).
+who(X) :- teaches(X,C).
+|}
+
+let test_eval () =
+  let file = write_program "prog_eval.gd" program in
+  let status, out, err = run_cli [ "eval"; file; "-q"; "q" ] in
+  check "exit 0" true (status = 0);
+  check (Fmt.str "says true (out=%S err=%S)" out err) true (contains out "true");
+  let _, out2, _ = run_cli [ "eval"; file; "-q"; "who" ] in
+  check "ada is certain" true (contains out2 "ada")
+
+let test_eval_fpt_flag () =
+  let file = write_program "prog_fpt.gd" program in
+  let status, out, _ = run_cli [ "eval"; file; "-q"; "q"; "--fpt" ] in
+  check "exit 0" true (status = 0);
+  check "fpt engine agrees" true (contains out "true")
+
+let test_chase () =
+  let file = write_program "prog_chase.gd" program in
+  let status, out, _ = run_cli [ "chase"; file ] in
+  check "exit 0" true (status = 0);
+  check "saturated" true (contains out "saturated");
+  check "derived course fact" true (contains out "course(");
+  check "null printed" true (contains out "_:n")
+
+let test_classify () =
+  let file = write_program "prog_cls.gd" program in
+  let status, out, _ = run_cli [ "classify"; file ] in
+  check "exit 0" true (status = 0);
+  check "linear" true (contains out "linear (L):           true");
+  check "guarded" true (contains out "guarded (G):          true")
+
+let test_cqs_eval_and_optimize () =
+  let file =
+    write_program "prog_cqs.gd"
+      {|
+order(O,C) -> customer(C).
+customer(alice).
+order(o1,alice).
+q(O) :- order(O,C), customer(C).
+|}
+  in
+  let status, out, _ = run_cli [ "cqs-eval"; file; "-q"; "q"; "--optimize" ] in
+  check "exit 0" true (status = 0);
+  check "answer o1" true (contains out "o1");
+  check "optimized to single atom" true (contains out "optimized query")
+
+let test_equiv () =
+  let file =
+    write_program "prog_eq.gd"
+      {|
+r2(X) -> r4(X).
+q() :- p(X2,X1), p(X4,X1), p(X2,X3), p(X4,X3), r1(X1), r2(X2), r3(X3), r4(X4).
+|}
+  in
+  let status, out, _ = run_cli [ "equiv"; file; "-q"; "q"; "-k"; "1" ] in
+  check "exit 0" true (status = 0);
+  check "holds" true (contains out "holds")
+
+let test_rewrite () =
+  let file =
+    write_program "prog_rw.gd"
+      {|
+a(X) -> s(X,Y).
+q() :- s(U,W).
+|}
+  in
+  let status, out, _ = run_cli [ "rewrite"; file; "-q"; "q" ] in
+  check "exit 0" true (status = 0);
+  check "original disjunct" true (contains out "s(");
+  check "rewritten disjunct" true (contains out "a(")
+
+let test_clique () =
+  let status, out, _ = run_cli [ "clique"; "-n"; "7"; "-k"; "3"; "--seed"; "2" ] in
+  check "exit 0" true (status = 0);
+  check "reports both verdicts" true (contains out "direct search")
+
+let test_terminates () =
+  let file = write_program "prog_term.gd" program in
+  let status, out, _ = run_cli [ "terminates"; file ] in
+  check "exit 0" true (status = 0);
+  check "weakly acyclic" true (contains out "weakly acyclic:            true");
+  check "edges printed" true (contains out "->")
+
+let test_witness () =
+  let file =
+    write_program "prog_wit.gd"
+      {|
+emp(X) -> reports(X,M).
+reports(X,M) -> emp(M).
+emp(eve).
+|}
+  in
+  let status, out, _ = run_cli [ "witness"; file; "-n"; "2" ] in
+  check "exit 0" true (status = 0);
+  check "model verified" true (contains out "model: true")
+
+let test_reduce () =
+  let file =
+    write_program "prog_red.gd"
+      {|
+emp(X) -> reports(X,M).
+reports(X,M) -> emp(M).
+emp(eve).
+q() :- reports(X,M), emp(M).
+|}
+  in
+  let status, out, _ = run_cli [ "reduce"; file; "-q"; "q" ] in
+  check "exit 0" true (status = 0);
+  check "satisfies sigma" true (contains out "satisfies Σ: true")
+
+let test_errors_reported () =
+  let file = write_program "prog_bad.gd" "knows(X,Y." in
+  let status, _, err = run_cli [ "eval"; file ] in
+  check "non-zero exit" true (status <> 0);
+  check "position in message" true (contains err "prog_bad.gd:1:");
+  let status2, _, err2 = run_cli [ "eval"; "prog_eval.gd"; "-q"; "nope" ] in
+  check "missing query reported" true (status2 <> 0 && contains err2 "no query named")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "eval --fpt" `Quick test_eval_fpt_flag;
+          Alcotest.test_case "chase" `Quick test_chase;
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "cqs-eval --optimize" `Quick test_cqs_eval_and_optimize;
+          Alcotest.test_case "equiv" `Quick test_equiv;
+          Alcotest.test_case "rewrite" `Quick test_rewrite;
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "terminates" `Quick test_terminates;
+          Alcotest.test_case "witness" `Quick test_witness;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "errors" `Quick test_errors_reported;
+        ] );
+    ]

@@ -1,0 +1,368 @@
+(* Tests for the extension features: restricted chase, weak-acyclicity
+   termination analysis, the DL front-end, and the OMQ-side clique
+   reduction. *)
+
+open Relational
+open Relational.Term
+open Guarded_core
+module Tgd = Tgds.Tgd
+module Chase = Tgds.Chase
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let v = Term.var
+let atom p args = Atom.make p args
+let fact p args = Fact.make p (List.map (fun s -> Named s) args)
+let tgd body head = Tgd.make ~body ~head
+
+(* ------------------------------------------------------------------ *)
+(* Restricted chase                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_restricted_skips_satisfied () =
+  (* A(x) → ∃z S(x,z) over {A(a), S(a,b)}: oblivious invents a null,
+     restricted does not *)
+  let sigma = [ tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "z" ] ] ] in
+  let db = Instance.of_facts [ fact "A" [ "a" ]; fact "S" [ "a"; "b" ] ] in
+  let obl = Chase.run ~policy:Chase.Oblivious sigma db in
+  let res = Chase.run ~policy:Chase.Restricted sigma db in
+  check_int "oblivious adds a fact" 3 (Instance.size (Chase.instance obl));
+  check_int "restricted does not" 2 (Instance.size (Chase.instance res));
+  check "both saturate" true (Chase.saturated obl && Chase.saturated res);
+  check "restricted result models Σ" true
+    (Tgd.satisfies_all (Chase.instance res) sigma)
+
+let test_restricted_can_terminate_where_oblivious_does_not () =
+  (* S(x,y) → ∃z S(y,z) over a loop {S(a,a)}: the head is always already
+     satisfied with z = a, so the restricted chase stops immediately,
+     while the oblivious chase runs forever *)
+  let sigma = [ tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "S" [ v "y"; v "z" ] ] ] in
+  let db = Instance.of_facts [ fact "S" [ "a"; "a" ] ] in
+  let res = Chase.run ~policy:Chase.Restricted ~max_level:50 sigma db in
+  check "restricted saturates" true (Chase.saturated res);
+  check_int "nothing added" 1 (Instance.size (Chase.instance res));
+  let obl = Chase.run ~policy:Chase.Oblivious ~max_level:5 sigma db in
+  check "oblivious keeps inventing" false (Chase.saturated obl)
+
+let test_restricted_same_certain_answers () =
+  let sigma = Workload.university_ontology () in
+  let db = Instance.of_facts [ fact "Prof" [ "ada" ]; fact "Course" [ "ml" ] ] in
+  let q = Ucq.of_cq (Cq.make [ atom "Dept" [ v "d" ] ]) in
+  let obl = Chase.run sigma db in
+  let res = Chase.run ~policy:Chase.Restricted sigma db in
+  check "same verdict" true
+    (Ucq.holds (Chase.instance obl) q = Ucq.holds (Chase.instance res) q);
+  check "restricted is smaller or equal" true
+    (Instance.size (Chase.instance res) <= Instance.size (Chase.instance obl))
+
+(* ------------------------------------------------------------------ *)
+(* Weak acyclicity                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_weak_acyclicity_verdicts () =
+  let module T = Tgds.Termination in
+  check "linear chain is weakly acyclic" true
+    (T.weakly_acyclic (Workload.linear_chain ~depth:4));
+  check "manager ontology is not" false
+    (T.weakly_acyclic (Workload.manager_ontology ()));
+  check "university ontology is weakly acyclic" true
+    (T.weakly_acyclic (Workload.university_ontology ()));
+  check "full TGDs terminate" true
+    (T.terminates_on_all_databases (Workload.guarded_full_chain ~depth:3));
+  (* the classic self-feeding rule *)
+  let bad = [ tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "S" [ v "y"; v "z" ] ] ] in
+  check "S-chain rule not weakly acyclic" false (T.weakly_acyclic bad)
+
+let test_weak_acyclicity_predicts_saturation () =
+  (* whenever Σ is weakly acyclic, the bounded chase saturates *)
+  List.iter
+    (fun sigma ->
+      if Tgds.Termination.weakly_acyclic sigma then
+        let db = Instance.of_facts [ fact "R0" [ "a"; "b" ]; fact "E" [ "a"; "b" ] ] in
+        let r = Chase.run ~max_level:50 ~max_facts:50_000 sigma db in
+        check "weakly acyclic => chase saturates" true (Chase.saturated r))
+    [
+      Workload.linear_chain ~depth:5;
+      Workload.guarded_full_chain ~depth:4;
+      Workload.university_ontology ();
+    ]
+
+let test_dependency_edges () =
+  let module T = Tgds.Termination in
+  let sigma = [ tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "z" ] ] ] in
+  let edges = T.dependency_edges sigma in
+  check "normal edge A#0 -> S#0" true
+    (List.exists
+       (fun e -> e.T.src = ("A", 0) && e.T.dst = ("S", 0) && not e.T.special)
+       edges);
+  check "special edge A#0 => S#1" true
+    (List.exists
+       (fun e -> e.T.src = ("A", 0) && e.T.dst = ("S", 1) && e.T.special)
+       edges);
+  check_int "exactly two edges" 2 (List.length edges)
+
+(* ------------------------------------------------------------------ *)
+(* DL front-end                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dl_translation_classes () =
+  let open Dl in
+  let tbox =
+    [
+      Sub (Atomic "A", Exists (Role "r", Atomic "B"));
+      Sub (Conj (Atomic "B", Atomic "C"), Atomic "D");
+      Role_sub (Role "r", Role "s");
+      Domain (Role "r", Atomic "A");
+      Range (Role "r", Atomic "B");
+    ]
+  in
+  let sigma = to_tgds tbox in
+  check_int "five TGDs" 5 (List.length sigma);
+  check "all frontier-guarded" true (Tgd.all_frontier_guarded sigma);
+  check "all guarded here" true (Tgd.all_guarded sigma);
+  check "all single-head-ish (FG_2)" true (List.for_all (Tgd.is_fg 2) sigma);
+  check "in ELH" true (in_elh tbox);
+  check "inverse detected" false (in_elh [ Sub (Atomic "A", Exists (Inverse "r", Top)) ])
+
+let test_dl_inverse_roles () =
+  let open Dl in
+  (* range axiom via inverse on the left: r(x,y) → B(y) *)
+  let sigma = to_tgds [ Sub (Exists (Inverse "r", Top), Atomic "B") ] in
+  (match sigma with
+  | [ t ] ->
+      check "frontier-guarded" true (Tgd.is_frontier_guarded t);
+      let db = Instance.of_facts [ fact "r" [ "a"; "b" ] ] in
+      let chased = Chase.instance (Chase.run sigma db) in
+      check "range derived at the object" true (Instance.mem (fact "B" [ "b" ]) chased)
+  | _ -> Alcotest.fail "expected one TGD")
+
+let test_dl_answering () =
+  let open Dl in
+  let tbox =
+    [
+      Sub (Atomic "Myocarditis", Atomic "HeartDisease");
+      Sub (Atomic "HeartDisease", Exists (Role "affects", Atomic "Organ"));
+      Sub
+        ( Conj (Atomic "Patient", Exists (Role "diagnosedWith", Atomic "HeartDisease")),
+          Atomic "CardiacPatient" );
+    ]
+  in
+  let sigma = to_tgds tbox in
+  let abox =
+    Instance.of_facts
+      [
+        assertion "Patient" "mira";
+        assertion "Myocarditis" "m1";
+        role_assertion "diagnosedWith" "mira" "m1";
+      ]
+  in
+  let omq q = Omq.full_data_schema ~ontology:sigma ~query:(Ucq.of_cq q) in
+  check "cardiac patient derived through the conjunction" true
+    (Omq_eval.certain (omq (Cq.make [ atom "CardiacPatient" [ Term.const "mira" ] ])) abox [])
+      .Omq_eval.holds;
+  check "some organ affected" true
+    (Omq_eval.certain (omq (Cq.make [ atom "Organ" [ v "o" ] ])) abox [])
+      .Omq_eval.holds;
+  check "nothing about colds" false
+    (Omq_eval.certain (omq (Cq.make [ atom "Cold" [ v "c" ] ])) abox [])
+      .Omq_eval.holds
+
+let test_dl_rejects_top_left () =
+  check "⊤ on the left rejected" true
+    (try
+       ignore (Dl.to_tgds [ Dl.Sub (Dl.Top, Dl.Atomic "A") ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* OMQ-side clique reduction (Theorem 5.4, demonstrative case)          *)
+(* ------------------------------------------------------------------ *)
+
+let test_clique_to_omq_empty_sigma () =
+  let omq =
+    Omq.full_data_schema ~ontology:[] ~query:(Ucq.of_cq (Workload.grid_cq 3 3))
+  in
+  let good = Workload.planted_clique ~n:6 ~k:3 ~p:0.15 ~seed:21 in
+  let bad = Qgraph.Graph.cycle 7 in
+  (match Reductions.clique_to_omq omq ~graph:good ~k:3 with
+  | Some ci -> check "detects the clique" true (Reductions.decide_omq_clique ci)
+  | None -> Alcotest.fail "expected minor map");
+  match Reductions.clique_to_omq omq ~graph:bad ~k:3 with
+  | Some ci -> check "rejects triangle-free" false (Reductions.decide_omq_clique ci)
+  | None -> Alcotest.fail "expected minor map"
+
+let test_clique_to_omq_full_sigma () =
+  (* a guarded-full ontology deriving a predicate the query uses *)
+  let sigma = [ tgd [ atom "X" [ v "x"; v "y" ] ] [ atom "V" [ v "x" ] ] ] in
+  let q =
+    Cq.make (Cq.atoms (Workload.grid_cq 3 3) @ [ atom "V" [ v "g0_0" ] ])
+  in
+  let omq = Omq.full_data_schema ~ontology:sigma ~query:(Ucq.of_cq q) in
+  List.iter
+    (fun (graph, expected) ->
+      match Reductions.clique_to_omq omq ~graph ~k:3 with
+      | Some ci ->
+          check "verdict matches ground truth" true
+            (Reductions.decide_omq_clique ci = expected)
+      | None -> Alcotest.fail "expected minor map")
+    [
+      (Workload.planted_clique ~n:6 ~k:3 ~p:0.2 ~seed:4, true);
+      (Qgraph.Graph.cycle 8, false);
+    ]
+
+let test_clique_to_omq_rejects_existential () =
+  let omq =
+    Omq.full_data_schema
+      ~ontology:[ tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "z" ] ] ]
+      ~query:(Ucq.of_cq (Workload.grid_cq 2 2))
+  in
+  check "existential Σ rejected" true
+    (try
+       ignore (Reductions.clique_to_omq omq ~graph:(Qgraph.Graph.cycle 4) ~k:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* The Appendix C.5 gadget                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_c5_gadget_counts () =
+  List.iter
+    (fun n ->
+      let sigma = C5_gadget.ontology ~n in
+      check "guarded" true (Tgd.all_guarded sigma);
+      check "not weakly acyclic (counter loops through G)" true
+        (not (Tgds.Termination.weakly_acyclic sigma) || n = 1);
+      let r1 = Chase.run ~max_level:40 ~max_facts:20_000 sigma (C5_gadget.database `T1) in
+      let r2 = Chase.run ~max_level:40 ~max_facts:20_000 sigma (C5_gadget.database `T2) in
+      check "T1 chase terminates" true (Chase.saturated r1);
+      check "T2 chase terminates" true (Chase.saturated r2);
+      Alcotest.(check int)
+        (Fmt.str "T1 path length 2^%d - 1" n)
+        ((1 lsl n) - 1)
+        (C5_gadget.s_path_length (Chase.instance r1));
+      Alcotest.(check int)
+        (Fmt.str "T2 path length 2^%d - 2" n)
+        ((1 lsl n) - 2)
+        (C5_gadget.s_path_length (Chase.instance r2)))
+    [ 2; 3 ]
+
+let test_c5_separation () =
+  (* the treewidth-1 path query of exponential length separates the two
+     seeds — the Lemma C.8 phenomenon *)
+  let n = 3 in
+  let sigma = C5_gadget.ontology ~n in
+  let q = Ucq.of_cq (C5_gadget.separating_query ~n) in
+  check "query has treewidth 1" true (Ucq.in_ucqk 1 q);
+  check "exponentially many atoms" true
+    (List.length (Cq.atoms (C5_gadget.separating_query ~n)) = (1 lsl n) - 1);
+  let holds seed = fst (Chase.certain ~max_level:40 ~max_facts:20_000 sigma (C5_gadget.database seed) q []) in
+  check "holds on T1" true (holds `T1);
+  check "fails on T2" false (holds `T2)
+
+(* ------------------------------------------------------------------ *)
+(* Diversification (§6.1, Example 6.3)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let example_6_3 () =
+  (* Σ = {X'(x,y,z) → X(x,y); Y'(x,y,z) → Y(x,y)}; D0 is a 2×2 grid over
+     X'/Y' whose third positions share one constant b *)
+  let sigma =
+    [
+      tgd [ atom "Xp" [ v "x"; v "y"; v "z" ] ] [ atom "X" [ v "x"; v "y" ] ];
+      tgd [ atom "Yp" [ v "x"; v "y"; v "z" ] ] [ atom "Y" [ v "x"; v "y" ] ];
+    ]
+  in
+  let d0 =
+    Instance.of_facts
+      [
+        fact "Xp" [ "a00"; "a10"; "b" ];
+        fact "Xp" [ "a01"; "a11"; "b" ];
+        fact "Yp" [ "a00"; "a01"; "b" ];
+        fact "Yp" [ "a10"; "a11"; "b" ];
+      ]
+  in
+  let q = Ucq.of_cq (Workload.grid_cq 2 2) in
+  (sigma, d0, q)
+
+let test_diversification_example_6_3 () =
+  let sigma, d0, q = example_6_3 () in
+  let holds db = fst (Chase.certain ~max_level:4 sigma db q []) in
+  check "Q holds on D0+" true
+    (holds (Diversification.with_unravelings (Diversification.identity d0)));
+  let d1 =
+    Diversification.minimize ~holds ~protect:Term.ConstSet.empty d0
+  in
+  check "diversification maps back" true (Diversification.verify d1);
+  check "Q preserved" true (holds (Diversification.with_unravelings d1));
+  check "minimized ⪯ identity" true
+    (Diversification.preorder d1 (Diversification.identity d0));
+  (* the shared b is fully untangled: every third position isolated *)
+  Instance.iter
+    (fun f ->
+      let third = List.nth (Fact.args f) 2 in
+      check "third positions isolated" true
+        (Instance.isolated d1.Diversification.diversified third))
+    d1.Diversification.diversified;
+  (* the grid corners are not split: they carry the query match *)
+  check "a00 still original" true
+    (Term.ConstSet.mem (Named "a00") (Instance.dom d1.Diversification.diversified))
+
+let test_diversification_split_mechanics () =
+  let db = Instance.of_facts [ fact "R" [ "a"; "b" ]; fact "S" [ "b" ] ] in
+  let d = Diversification.identity db in
+  let d' = Diversification.split d (fact "R" [ "a"; "b" ]) 1 in
+  check "verify after split" true (Diversification.verify d');
+  check_int "same number of facts" 2 (Instance.size d'.Diversification.diversified);
+  check "S(b) untouched" true
+    (Instance.mem (fact "S" [ "b" ]) d'.Diversification.diversified);
+  check "R(a,b) replaced" false
+    (Instance.mem (fact "R" [ "a"; "b" ]) d'.Diversification.diversified);
+  check "d' ⪯ d" true (Diversification.preorder d' d);
+  check "not d ⪯ d'" false (Diversification.preorder d d');
+  check "bad fact rejected" true
+    (try
+       ignore (Diversification.split d (fact "R" [ "z"; "z" ]) 0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "features"
+    [
+      ( "restricted-chase",
+        [
+          Alcotest.test_case "skips satisfied heads" `Quick test_restricted_skips_satisfied;
+          Alcotest.test_case "terminates on loops" `Quick
+            test_restricted_can_terminate_where_oblivious_does_not;
+          Alcotest.test_case "same certain answers" `Quick test_restricted_same_certain_answers;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "verdicts" `Quick test_weak_acyclicity_verdicts;
+          Alcotest.test_case "predicts saturation" `Quick test_weak_acyclicity_predicts_saturation;
+          Alcotest.test_case "dependency edges" `Quick test_dependency_edges;
+        ] );
+      ( "dl",
+        [
+          Alcotest.test_case "translation classes" `Quick test_dl_translation_classes;
+          Alcotest.test_case "inverse roles" `Quick test_dl_inverse_roles;
+          Alcotest.test_case "answering" `Quick test_dl_answering;
+          Alcotest.test_case "rejects ⊤ left" `Quick test_dl_rejects_top_left;
+        ] );
+      ( "c5-gadget",
+        [
+          Alcotest.test_case "counter lengths" `Quick test_c5_gadget_counts;
+          Alcotest.test_case "separation" `Quick test_c5_separation;
+        ] );
+      ( "diversification",
+        [
+          Alcotest.test_case "example 6.3" `Quick test_diversification_example_6_3;
+          Alcotest.test_case "split mechanics" `Quick test_diversification_split_mechanics;
+        ] );
+      ( "omq-clique",
+        [
+          Alcotest.test_case "Σ = ∅" `Quick test_clique_to_omq_empty_sigma;
+          Alcotest.test_case "Σ ∈ G∩FULL" `Quick test_clique_to_omq_full_sigma;
+          Alcotest.test_case "rejects existentials" `Quick test_clique_to_omq_rejects_existential;
+        ] );
+    ]

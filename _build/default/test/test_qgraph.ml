@@ -1,0 +1,257 @@
+(* Tests for the graph substrate: graphs, tree decompositions, treewidth,
+   minors. *)
+
+open Qgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basics () =
+  let g = Graph.of_edges [ (1, 2); (2, 3); (3, 1) ] in
+  check_int "vertices" 3 (Graph.num_vertices g);
+  check_int "edges" 3 (Graph.num_edges g);
+  check "edge 1-2" true (Graph.mem_edge g 1 2);
+  check "edge symmetric" true (Graph.mem_edge g 2 1);
+  check "no edge 1-4" false (Graph.mem_edge g 1 4);
+  check_int "degree" 2 (Graph.degree g 1)
+
+let test_self_loop_ignored () =
+  let g = Graph.of_edges [ (1, 1) ] in
+  check_int "vertex kept" 1 (Graph.num_vertices g);
+  check_int "no edge" 0 (Graph.num_edges g)
+
+let test_components () =
+  let g = Graph.of_edges [ (1, 2); (3, 4); (4, 5) ] in
+  check_int "two components" 2 (List.length (Graph.components g));
+  check "not connected" false (Graph.is_connected g);
+  check "component of 3 has 3" true Graph.(ISet.mem 5 (component g 3))
+
+let test_induced () =
+  let g = Graph.of_edges [ (1, 2); (2, 3); (3, 4) ] in
+  let sub = Graph.induced g (Graph.ISet.of_list [ 1; 2; 3 ]) in
+  check_int "induced vertices" 3 (Graph.num_vertices sub);
+  check_int "induced edges" 2 (Graph.num_edges sub)
+
+let test_remove_vertex () =
+  let g = Graph.of_edges [ (1, 2); (2, 3) ] in
+  let g' = Graph.remove_vertex g 2 in
+  check_int "vertices after removal" 2 (Graph.num_vertices g');
+  check_int "edges after removal" 0 (Graph.num_edges g')
+
+let test_grid_shape () =
+  let g = Graph.grid 3 4 in
+  check_int "3x4 grid vertices" 12 (Graph.num_vertices g);
+  (* edges: 3*(4-1) horizontal per row? rows*cols: 3 rows of 3 + 4 cols of 2 *)
+  check_int "3x4 grid edges" ((3 * 3) + (4 * 2)) (Graph.num_edges g);
+  check "grid connected" true (Graph.is_connected g)
+
+let test_clique_detection () =
+  let g = Graph.of_edges [ (1, 2); (2, 3); (1, 3); (3, 4) ] in
+  check "has 3-clique" true (Graph.has_clique g 3);
+  check "no 4-clique" false (Graph.has_clique g 4);
+  (match Graph.find_clique g 3 with
+  | Some vs -> check_int "clique size" 3 (List.length vs)
+  | None -> Alcotest.fail "expected a 3-clique");
+  check "is_clique" true (Graph.is_clique g (Graph.ISet.of_list [ 1; 2; 3 ]));
+  check "not clique" false (Graph.is_clique g (Graph.ISet.of_list [ 1; 2; 4 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Treewidth                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_treewidth_known_values () =
+  check_int "path" 1 (Treewidth.treewidth (Graph.path 6));
+  check_int "cycle" 2 (Treewidth.treewidth (Graph.cycle 6));
+  check_int "K5" 4 (Treewidth.treewidth (Graph.complete 5));
+  check_int "3x3 grid" 3 (Treewidth.treewidth (Graph.grid 3 3));
+  check_int "2xN grid" 2 (Treewidth.treewidth (Graph.grid 2 5));
+  check_int "single vertex" 0 (Treewidth.treewidth (Graph.add_vertex Graph.empty 7));
+  check_int "empty graph" 0 (Treewidth.treewidth Graph.empty);
+  check_int "edgeless" 0
+    (Treewidth.treewidth (Graph.of_vertices_edges [ 1; 2; 3 ] []))
+
+let test_treewidth_disconnected () =
+  (* max over components: a triangle plus an isolated path *)
+  let g = Graph.of_edges [ (1, 2); (2, 3); (1, 3); (10, 11); (11, 12) ] in
+  check_int "triangle + path" 2 (Treewidth.treewidth g)
+
+let test_lower_upper_bracket () =
+  let g = Graph.grid 4 4 in
+  let lb = Treewidth.lower_bound g in
+  let ub, td = Treewidth.upper_bound g in
+  check "lb <= 4" true (lb <= 4);
+  check "ub >= 4" true (ub >= 4);
+  check "witness verifies" true (Tree_decomposition.verify g td);
+  check_int "witness width is ub" ub (Tree_decomposition.width td)
+
+let test_exact_decomposition () =
+  let g = Graph.grid 3 3 in
+  let k, td = Treewidth.exact_decomposition g in
+  check_int "3x3 exact" 3 k;
+  check "exact witness verifies" true (Tree_decomposition.verify g td)
+
+let test_at_most () =
+  check "path at most 1" true (Treewidth.at_most (Graph.path 8) 1);
+  check "grid not at most 2" false (Treewidth.at_most (Graph.grid 3 3) 2)
+
+(* ------------------------------------------------------------------ *)
+(* Tree decompositions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_td_verify_rejects_bad () =
+  let g = Graph.of_edges [ (1, 2); (2, 3) ] in
+  (* missing edge coverage *)
+  let bad =
+    Tree_decomposition.make
+      (Graph.IMap.of_seq
+         (List.to_seq
+            [ (0, Graph.ISet.of_list [ 1; 2 ]); (1, Graph.ISet.of_list [ 3 ]) ]))
+      [ (0, 1) ]
+  in
+  check "bad td rejected" false (Tree_decomposition.verify g bad);
+  (* disconnected occurrence of vertex 2 *)
+  let bad2 =
+    Tree_decomposition.make
+      (Graph.IMap.of_seq
+         (List.to_seq
+            [
+              (0, Graph.ISet.of_list [ 1; 2 ]);
+              (1, Graph.ISet.of_list [ 1 ]);
+              (2, Graph.ISet.of_list [ 2; 3 ]);
+            ]))
+      [ (0, 1); (1, 2) ]
+  in
+  check "broken connectivity rejected" false (Tree_decomposition.verify g bad2)
+
+let test_td_from_elimination () =
+  let g = Graph.cycle 5 in
+  let td = Tree_decomposition.of_elimination_order g [ 0; 1; 2; 3; 4 ] in
+  check "cycle td verifies" true (Tree_decomposition.verify g td);
+  check_int "cycle td width" 2 (Tree_decomposition.width td)
+
+(* ------------------------------------------------------------------ *)
+(* Minors                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_minor_subgraph () =
+  let h = Graph.grid 2 2 in
+  let g = Graph.grid 4 4 in
+  match Minor.find ~h ~g with
+  | Some m ->
+      check "verifies" true (Minor.verify ~h ~g m);
+      let m' = Minor.extend_onto ~g m in
+      check "onto after extension" true (Minor.is_onto ~g m');
+      check "still verifies" true (Minor.verify ~h ~g m')
+  | None -> Alcotest.fail "2x2 grid should embed in 4x4 grid"
+
+let test_minor_contraction_needed () =
+  (* C6 contains the triangle as a minor but not as a subgraph *)
+  let h = Graph.complete 3 and g = Graph.cycle 6 in
+  check "no triangle subgraph in C6" true
+    (Minor.find_subgraph_embedding ~h ~g = None);
+  match Minor.find ~h ~g with
+  | Some m -> check "triangle minor of C6" true (Minor.verify ~h ~g m)
+  | None -> Alcotest.fail "triangle should be a minor of C6"
+
+let test_minor_absent () =
+  (* K3 is not a minor of a path *)
+  let h = Graph.complete 3 and g = Graph.path 6 in
+  check "no K3 in path" true (Minor.find ~h ~g = None)
+
+let test_grid_minor () =
+  let g = Graph.grid 3 3 in
+  match Minor.find_grid ~k:2 ~l:3 g with
+  | Some m -> check "2x3 grid minor of 3x3" true (Minor.verify ~h:(Graph.grid 2 3) ~g m)
+  | None -> Alcotest.fail "2x3 grid should be a minor of the 3x3 grid"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let random_graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 9 in
+    let* edges =
+      list_size (int_range 0 (n * 2)) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return (Graph.of_vertices_edges (List.init n Fun.id) edges))
+
+let arb_graph = QCheck.make ~print:(Fmt.str "%a" Graph.pp) random_graph_gen
+
+let prop_heuristic_td_valid =
+  QCheck.Test.make ~name:"min-fill decomposition is always valid" ~count:100
+    arb_graph (fun g ->
+      let _, td = Treewidth.upper_bound g in
+      Tree_decomposition.verify g td)
+
+let prop_bounds_bracket_exact =
+  QCheck.Test.make ~name:"lower ≤ exact ≤ upper" ~count:100 arb_graph (fun g ->
+      let lb = Treewidth.lower_bound g in
+      let ub, _ = Treewidth.upper_bound g in
+      let k = Treewidth.treewidth g in
+      lb <= k && k <= ub)
+
+let prop_induced_monotone =
+  QCheck.Test.make ~name:"treewidth monotone under induced subgraphs" ~count:60
+    arb_graph (fun g ->
+      match Graph.vertices g with
+      | [] -> true
+      | v :: _ ->
+          let sub = Graph.induced g (Graph.ISet.remove v (Graph.vertex_set g)) in
+          Treewidth.treewidth sub <= Treewidth.treewidth g)
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the vertex set" ~count:100
+    arb_graph (fun g ->
+      let comps = Graph.components g in
+      let total = List.fold_left (fun acc c -> acc + Graph.ISet.cardinal c) 0 comps in
+      total = Graph.num_vertices g)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_heuristic_td_valid;
+      prop_bounds_bracket_exact;
+      prop_induced_monotone;
+      prop_components_partition;
+    ]
+
+let () =
+  Alcotest.run "qgraph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "self loop" `Quick test_self_loop_ignored;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "remove vertex" `Quick test_remove_vertex;
+          Alcotest.test_case "grid" `Quick test_grid_shape;
+          Alcotest.test_case "cliques" `Quick test_clique_detection;
+        ] );
+      ( "treewidth",
+        [
+          Alcotest.test_case "known values" `Quick test_treewidth_known_values;
+          Alcotest.test_case "disconnected" `Quick test_treewidth_disconnected;
+          Alcotest.test_case "bounds bracket" `Quick test_lower_upper_bracket;
+          Alcotest.test_case "exact witness" `Quick test_exact_decomposition;
+          Alcotest.test_case "at_most" `Quick test_at_most;
+        ] );
+      ( "tree-decomposition",
+        [
+          Alcotest.test_case "verify rejects" `Quick test_td_verify_rejects_bad;
+          Alcotest.test_case "elimination order" `Quick test_td_from_elimination;
+        ] );
+      ( "minor",
+        [
+          Alcotest.test_case "subgraph case" `Quick test_minor_subgraph;
+          Alcotest.test_case "contraction case" `Quick test_minor_contraction_needed;
+          Alcotest.test_case "absent" `Quick test_minor_absent;
+          Alcotest.test_case "grid minor" `Quick test_grid_minor;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,414 @@
+(* Tests for the relational substrate: instances, homomorphisms, CQs/UCQs,
+   containment, cores. *)
+
+open Relational
+open Relational.Term
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Helpers *)
+let v = Term.var
+let c s = Term.const s
+let atom p args = Atom.make p args
+let fact p args = Fact.make p (List.map (fun s -> Named s) args)
+
+let db_path n =
+  (* E(a0,a1), ..., E(a_{n-1},a_n) *)
+  Instance.of_facts
+    (List.init n (fun i ->
+         fact "E" [ "a" ^ string_of_int i; "a" ^ string_of_int (i + 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_instance_basics () =
+  let i = Instance.of_facts [ fact "R" [ "a"; "b" ]; fact "S" [ "b" ] ] in
+  check_int "size" 2 (Instance.size i);
+  check "mem" true (Instance.mem (fact "R" [ "a"; "b" ]) i);
+  check "not mem" false (Instance.mem (fact "R" [ "b"; "a" ]) i);
+  check_int "dom" 2 (ConstSet.cardinal (Instance.dom i));
+  check "dedup" true
+    (Instance.equal i (Instance.add_fact (fact "R" [ "a"; "b" ]) i))
+
+let test_instance_restrict () =
+  let i =
+    Instance.of_facts
+      [ fact "R" [ "a"; "b" ]; fact "R" [ "b"; "c" ]; fact "S" [ "a" ] ]
+  in
+  let r = Instance.restrict i (ConstSet.of_list [ Named "a"; Named "b" ]) in
+  check_int "restricted size" 2 (Instance.size r);
+  check "keeps R(a,b)" true (Instance.mem (fact "R" [ "a"; "b" ]) r);
+  check "drops R(b,c)" false (Instance.mem (fact "R" [ "b"; "c" ]) r)
+
+let test_instance_gaifman () =
+  let i = Instance.of_facts [ fact "R" [ "a"; "b" ]; fact "R" [ "b"; "c" ] ] in
+  let g, _ = Instance.gaifman i in
+  check_int "gaifman vertices" 3 (Qgraph.Graph.num_vertices g);
+  check_int "gaifman edges" 2 (Qgraph.Graph.num_edges g);
+  check_int "path instance tw" 1 (Instance.treewidth i)
+
+let test_isolated_and_guarded () =
+  let i =
+    Instance.of_facts [ fact "R" [ "a"; "b"; "c" ]; fact "S" [ "a"; "b" ] ]
+  in
+  check "c isolated" true (Instance.isolated i (Named "c"));
+  check "a not isolated" false (Instance.isolated i (Named "a"));
+  let mgs = Instance.maximal_guarded_sets i in
+  check_int "one maximal guarded set" 1 (List.length mgs);
+  check "it is {a,b,c}" true
+    (ConstSet.equal (List.hd mgs) (ConstSet.of_list [ Named "a"; Named "b"; Named "c" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphisms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_hom_basic () =
+  let i = Instance.of_facts [ fact "E" [ "a"; "b" ]; fact "E" [ "b"; "c" ] ] in
+  let pattern = [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "y"; v "z" ] ] in
+  check "path pattern matches" true (Homomorphism.exists pattern i);
+  check_int "one hom" 1 (List.length (Homomorphism.all pattern i));
+  let triangle =
+    [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "y"; v "z" ]; atom "E" [ v "z"; v "x" ] ]
+  in
+  check "no triangle" false (Homomorphism.exists triangle i)
+
+let test_hom_repeated_vars_and_consts () =
+  let i = Instance.of_facts [ fact "R" [ "a"; "a" ]; fact "R" [ "a"; "b" ] ] in
+  check "loop var" true (Homomorphism.exists [ atom "R" [ v "x"; v "x" ] ] i);
+  check "const positions" true
+    (Homomorphism.exists [ atom "R" [ c "a"; v "y" ] ] i);
+  check "no match" false (Homomorphism.exists [ atom "R" [ c "b"; v "y" ] ] i)
+
+let test_hom_injective () =
+  let i = Instance.of_facts [ fact "E" [ "a"; "a" ] ] in
+  let pattern = [ atom "E" [ v "x"; v "y" ] ] in
+  check "non-injective ok" true (Homomorphism.exists pattern i);
+  check "injective fails" false (Homomorphism.exists ~injective:true pattern i)
+
+let test_hom_init () =
+  let i = Instance.of_facts [ fact "E" [ "a"; "b" ]; fact "E" [ "c"; "d" ] ] in
+  let init = VarMap.singleton "x" (Named "c") in
+  let b = Homomorphism.find ~init [ atom "E" [ v "x"; v "y" ] ] i in
+  match b with
+  | Some b -> check "y bound to d" true (equal_const (VarMap.find "y" b) (Named "d"))
+  | None -> Alcotest.fail "expected a homomorphism"
+
+let test_hom_between_instances () =
+  let src = Instance.of_facts [ fact "E" [ "x"; "y" ]; fact "E" [ "y"; "z" ] ] in
+  let dst = Instance.of_facts [ fact "E" [ "a"; "a" ] ] in
+  check "path maps to loop" true (Homomorphism.maps_to src dst);
+  check "loop does not map to path" false (Homomorphism.maps_to dst (db_path 3));
+  (match Homomorphism.find_between src dst with
+  | Some h -> check "verified" true (Homomorphism.verify_between src dst h)
+  | None -> Alcotest.fail "expected instance hom");
+  (* fixed constants *)
+  let fixed = ConstMap.singleton (Named "x") (Named "a") in
+  check "fixed respected" true (Homomorphism.maps_to ~fixed src dst)
+
+let test_hom_empty_pattern () =
+  check "empty pattern holds" true (Homomorphism.exists [] (db_path 1))
+
+(* ------------------------------------------------------------------ *)
+(* CQs                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cq_eval () =
+  let q =
+    Cq.make ~answer:[ "x" ] [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "y"; v "z" ] ]
+  in
+  let db = db_path 3 in
+  let ans = Cq.answers db q in
+  check_int "two answers" 2 (List.length ans);
+  check "a0 answer" true (Cq.entails db q [ Named "a0" ]);
+  check "a2 not answer" false (Cq.entails db q [ Named "a2" ])
+
+let test_cq_boolean () =
+  let q = Cq.make [ atom "E" [ v "x"; v "x" ] ] in
+  check "no loop in path" false (Cq.holds (db_path 3) q);
+  let loop = Instance.of_facts [ fact "E" [ "a"; "a" ] ] in
+  check "loop holds" true (Cq.holds loop q)
+
+let test_cq_canonical_db () =
+  let q = Cq.make ~answer:[ "x" ] [ atom "E" [ v "x"; v "y" ] ] in
+  let db = Cq.canonical_db q in
+  check_int "canonical size" 1 (Instance.size db);
+  check "frozen fact" true
+    (Instance.mem (Fact.make "E" [ Cq.freeze "x"; Cq.freeze "y" ]) db);
+  (* round trip *)
+  let q' = Cq.of_instance ~answer:[ Cq.freeze "x" ] db in
+  check "round trip equivalent" true (Containment.cq_equivalent q q')
+
+let test_cq_treewidth_paper_convention () =
+  (* single-atom CQ: existential subgraph is a clique of size arity *)
+  let q3 = Cq.make [ atom "T" [ v "x"; v "y"; v "z" ] ] in
+  check_int "ternary atom tw" 2 (Cq.treewidth q3);
+  (* all variables free: empty existential subgraph -> treewidth 1 *)
+  let qfree = Cq.make ~answer:[ "x"; "y"; "z" ] [ atom "T" [ v "x"; v "y"; v "z" ] ] in
+  check_int "free vars tw is 1" 1 (Cq.treewidth qfree);
+  (* the 3x3 grid query is treewidth 3 *)
+  let grid_q =
+    let at i j = Printf.sprintf "x%d%d" i j in
+    let atoms =
+      List.concat_map
+        (fun i ->
+          List.concat_map
+            (fun j ->
+              (if i < 2 then [ atom "X" [ v (at i j); v (at (i + 1) j) ] ] else [])
+              @ if j < 2 then [ atom "Y" [ v (at i j); v (at i (j + 1)) ] ] else [])
+            [ 0; 1; 2 ])
+        [ 0; 1; 2 ]
+    in
+    Cq.make atoms
+  in
+  check_int "3x3 grid query tw" 3 (Cq.treewidth grid_q);
+  check "in CQ3" true (Cq.in_cqk 3 grid_q);
+  check "not in CQ2" false (Cq.in_cqk 2 grid_q)
+
+let test_cq_contractions () =
+  let q = Cq.make [ atom "E" [ v "x"; v "y" ] ] in
+  let cs = Cq.contractions q in
+  (* E(x,y) and E(x,x) *)
+  check_int "two contractions" 2 (List.length cs);
+  check "loop among them" true
+    (List.exists (fun q' -> Cq.holds (Instance.of_facts [ fact "E" [ "a"; "a" ] ]) q' && List.length (Cq.atoms q') = 1) cs)
+
+let test_cq_contraction_answer_vars () =
+  let q = Cq.make ~answer:[ "x"; "y" ] [ atom "E" [ v "x"; v "y" ] ] in
+  check "answer vars cannot merge" true (Cq.contract_pair q "x" "y" = None);
+  let q2 = Cq.make ~answer:[ "x" ] [ atom "E" [ v "x"; v "y" ] ] in
+  match Cq.contract_pair q2 "x" "y" with
+  | Some q' ->
+      check "answer var survives" true (Cq.answer q' = [ "x" ]);
+      check_int "one var" 1 (VarSet.cardinal (Cq.vars q'))
+  | None -> Alcotest.fail "expected contraction"
+
+let test_v_connected_components () =
+  (* q = E(x,y), E(y,z), F(u,w) with V = {y}: components {x}, {z}, {u,w} *)
+  let q =
+    Cq.make
+      [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "y"; v "z" ]; atom "F" [ v "u"; v "w" ] ]
+  in
+  let vset = VarSet.singleton "y" in
+  let comps = Cq.v_connected_components q vset in
+  check_int "three components" 3 (List.length comps);
+  check "q[V] is all atoms" true (List.length (Cq.drop q vset) = 3);
+  check "q|V empty" true (Cq.restrict_to q vset = [])
+
+(* ------------------------------------------------------------------ *)
+(* UCQ                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ucq_eval () =
+  let q1 = Cq.make ~answer:[ "x" ] [ atom "R" [ v "x" ] ] in
+  let q2 = Cq.make ~answer:[ "x" ] [ atom "S" [ v "x" ] ] in
+  let u = Ucq.make [ q1; q2 ] in
+  let db = Instance.of_facts [ fact "R" [ "a" ]; fact "S" [ "b" ] ] in
+  check_int "union answers" 2 (List.length (Ucq.answers db u));
+  check "arity mismatch rejected" true
+    (try
+       ignore (Ucq.make [ q1; Cq.make [ atom "R" [ v "x" ] ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Containment and cores                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_containment () =
+  let path2 =
+    Cq.make ~answer:[ "x" ] [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "y"; v "z" ] ]
+  in
+  let path1 = Cq.make ~answer:[ "x" ] [ atom "E" [ v "x"; v "y" ] ] in
+  check "path2 ⊆ path1" true (Containment.cq_contained path2 path1);
+  check "path1 ⊄ path2" false (Containment.cq_contained path1 path2);
+  check "not equivalent" false (Containment.cq_equivalent path1 path2)
+
+let test_core_grid_example () =
+  (* Example 4.4 of the paper: q is a core of treewidth 2 equivalent to
+     nothing smaller without the ontology. *)
+  let q =
+    Cq.make
+      [
+        atom "P" [ v "x2"; v "x1" ];
+        atom "P" [ v "x4"; v "x1" ];
+        atom "P" [ v "x2"; v "x3" ];
+        atom "P" [ v "x4"; v "x3" ];
+        atom "R1" [ v "x1" ];
+        atom "R2" [ v "x2" ];
+        atom "R3" [ v "x3" ];
+        atom "R4" [ v "x4" ];
+      ]
+  in
+  check "example 4.4 query is a core" true (Cq_core.is_core q);
+  check_int "its treewidth is 2" 2 (Cq.treewidth q)
+
+let test_core_collapses () =
+  (* E(x,y) ∧ E(x,z): z can retract onto y *)
+  let q = Cq.make [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "x"; v "z" ] ] in
+  let core = Cq_core.core q in
+  check_int "core has one atom" 1 (List.length (Cq.atoms core));
+  check "equivalent to original" true (Containment.cq_equivalent q core)
+
+let test_core_fixes_answers () =
+  (* with y an answer variable, E(x,y) ∧ E(x,z) retracts only z *)
+  let q = Cq.make ~answer:[ "y" ] [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "x"; v "z" ] ] in
+  let core = Cq_core.core q in
+  check_int "core still one atom" 1 (List.length (Cq.atoms core));
+  check "y kept" true (List.mem "y" (Cq.answer core));
+  check "equivalent" true (Containment.cq_equivalent q core)
+
+let test_semantic_treewidth () =
+  (* 2x2 grid query with a diagonal fold: contractible to a path.
+     C4 as a query: X(x1,x2), X(x3,x2)?? — use the 4-cycle which is
+     equivalent to its core = one edge when relations allow folding:
+     E(x1,x2), E(x3,x2), E(x3,x4), E(x1,x4) folds onto E(x1,x2). *)
+  let q =
+    Cq.make
+      [
+        atom "E" [ v "x1"; v "x2" ];
+        atom "E" [ v "x3"; v "x2" ];
+        atom "E" [ v "x3"; v "x4" ];
+        atom "E" [ v "x1"; v "x4" ];
+      ]
+  in
+  let core = Cq_core.core q in
+  check_int "C4 core is one edge" 1 (List.length (Cq.atoms core));
+  check_int "semantic treewidth 1" 1 (Cq_core.semantic_treewidth q);
+  check "in CQ≡1" true (Cq_core.in_cqk_equiv 1 q)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random small CQs over a fixed binary/unary schema. *)
+let gen_cq =
+  QCheck.Gen.(
+    let var_names = [ "x"; "y"; "z"; "u"; "w" ] in
+    let gen_var = map (List.nth var_names) (int_range 0 4) in
+    let gen_atom =
+      let* p = int_range 0 2 in
+      match p with
+      | 0 ->
+          let* a = gen_var and* b = gen_var in
+          return (atom "E" [ v a; v b ])
+      | 1 ->
+          let* a = gen_var in
+          return (atom "R" [ v a ])
+      | _ ->
+          let* a = gen_var and* b = gen_var in
+          return (atom "F" [ v a; v b ])
+    in
+    let* atoms = list_size (int_range 1 5) gen_atom in
+    return (Cq.make atoms))
+
+let arb_cq = QCheck.make ~print:(Fmt.str "%a" Cq.pp) gen_cq
+
+let gen_db =
+  QCheck.Gen.(
+    let consts = [ "a"; "b"; "c" ] in
+    let gen_c = map (List.nth consts) (int_range 0 2) in
+    let gen_fact =
+      let* p = int_range 0 2 in
+      match p with
+      | 0 ->
+          let* a = gen_c and* b = gen_c in
+          return (fact "E" [ a; b ])
+      | 1 ->
+          let* a = gen_c in
+          return (fact "R" [ a ])
+      | _ ->
+          let* a = gen_c and* b = gen_c in
+          return (fact "F" [ a; b ])
+    in
+    let* facts = list_size (int_range 0 6) gen_fact in
+    return (Instance.of_facts facts))
+
+let arb_cq_db =
+  QCheck.make
+    ~print:(fun (q, db) -> Fmt.str "%a over %a" Cq.pp q Instance.pp db)
+    QCheck.Gen.(pair gen_cq gen_db)
+
+let prop_core_equivalent =
+  QCheck.Test.make ~name:"core is equivalent to the query" ~count:100 arb_cq
+    (fun q -> Containment.cq_equivalent q (Cq_core.core q))
+
+let prop_core_is_core =
+  QCheck.Test.make ~name:"core of core is itself" ~count:100 arb_cq (fun q ->
+      Cq_core.is_core (Cq_core.core q))
+
+let prop_eval_agrees_with_core =
+  QCheck.Test.make ~name:"evaluation invariant under coring" ~count:100
+    arb_cq_db (fun (q, db) -> Cq.holds db q = Cq.holds db (Cq_core.core q))
+
+let prop_containment_sound =
+  QCheck.Test.make ~name:"q ⊆ q' implies answers(q) ⊆ answers(q')" ~count:100
+    (QCheck.pair arb_cq_db arb_cq)
+    (fun ((q, db), q') ->
+      if Containment.cq_contained q q' then
+        (not (Cq.holds db q)) || Cq.holds db q'
+      else true)
+
+let prop_contraction_maps_home =
+  QCheck.Test.make ~name:"every contraction maps onto the original canon db"
+    ~count:60 arb_cq (fun q ->
+      List.for_all
+        (fun qc -> Containment.cq_contained qc q)
+        (Cq.contractions q))
+
+let prop_canonical_db_self_entails =
+  QCheck.Test.make ~name:"D[q] ⊨ q" ~count:100 arb_cq (fun q ->
+      Cq.holds (Cq.canonical_db q) q)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_core_equivalent;
+      prop_core_is_core;
+      prop_eval_agrees_with_core;
+      prop_containment_sound;
+      prop_contraction_maps_home;
+      prop_canonical_db_self_entails;
+    ]
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "basics" `Quick test_instance_basics;
+          Alcotest.test_case "restrict" `Quick test_instance_restrict;
+          Alcotest.test_case "gaifman" `Quick test_instance_gaifman;
+          Alcotest.test_case "isolated/guarded" `Quick test_isolated_and_guarded;
+        ] );
+      ( "homomorphism",
+        [
+          Alcotest.test_case "basic" `Quick test_hom_basic;
+          Alcotest.test_case "repeated vars/consts" `Quick test_hom_repeated_vars_and_consts;
+          Alcotest.test_case "injective" `Quick test_hom_injective;
+          Alcotest.test_case "init binding" `Quick test_hom_init;
+          Alcotest.test_case "between instances" `Quick test_hom_between_instances;
+          Alcotest.test_case "empty pattern" `Quick test_hom_empty_pattern;
+        ] );
+      ( "cq",
+        [
+          Alcotest.test_case "evaluation" `Quick test_cq_eval;
+          Alcotest.test_case "boolean" `Quick test_cq_boolean;
+          Alcotest.test_case "canonical db" `Quick test_cq_canonical_db;
+          Alcotest.test_case "treewidth conventions" `Quick test_cq_treewidth_paper_convention;
+          Alcotest.test_case "contractions" `Quick test_cq_contractions;
+          Alcotest.test_case "contraction answers" `Quick test_cq_contraction_answer_vars;
+          Alcotest.test_case "[V]-components" `Quick test_v_connected_components;
+        ] );
+      ("ucq", [ Alcotest.test_case "evaluation" `Quick test_ucq_eval ]);
+      ( "containment-core",
+        [
+          Alcotest.test_case "containment" `Quick test_containment;
+          Alcotest.test_case "example 4.4 core" `Quick test_core_grid_example;
+          Alcotest.test_case "core collapses" `Quick test_core_collapses;
+          Alcotest.test_case "core fixes answers" `Quick test_core_fixes_answers;
+          Alcotest.test_case "semantic treewidth" `Quick test_semantic_treewidth;
+        ] );
+      ("properties", qcheck_tests);
+    ]
