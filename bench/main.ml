@@ -495,6 +495,67 @@ let e14 ~full () =
     ns
 
 (* ------------------------------------------------------------------ *)
+(* E15 — naive vs indexed saturation engine (lib/engine ablation)       *)
+(* ------------------------------------------------------------------ *)
+
+let e15 ~full () =
+  header "E15: semi-naive indexed chase vs naive re-enumeration"
+    "not a paper claim — ablation of the lib/engine saturation engine (DESIGN.md §2.7)"
+    "indexed time grows ~linearly with derived facts; naive re-scans every level";
+  let rows = ref [] in
+  let bench_case ~workload ~sigma ~db ~max_level =
+    let t_idx =
+      measure ~repeat:1 (fun () ->
+          ignore (Tgds.Chase.run ~engine:`Indexed ~max_level sigma db))
+    in
+    let r = Tgds.Chase.run ~engine:`Indexed ~max_level sigma db in
+    let chased = Instance.size (Tgds.Chase.instance r) in
+    let t_naive =
+      measure ~repeat:1 (fun () ->
+          ignore (Tgds.Chase.run ~engine:`Naive ~max_level sigma db))
+    in
+    let stats = Option.get (Tgds.Chase.stats r) in
+    rows :=
+      (workload, Instance.size db, chased, stats.Engine.Saturate.triggers_fired,
+       t_naive, t_idx)
+      :: !rows;
+    row "  %-18s %8d %10d %10d %12.4f %12.4f %9.1fx@." workload
+      (Instance.size db) chased stats.Engine.Saturate.triggers_fired t_naive
+      t_idx (t_naive /. t_idx)
+  in
+  row "  %-18s %8s %10s %10s %12s %12s %9s@." "workload" "||D||" "chased"
+    "triggers" "naive(s)" "indexed(s)" "speedup";
+  let unis = if full then [ 10; 40; 160; 640 ] else [ 10; 40; 160 ] in
+  List.iter
+    (fun u ->
+      let sigma, db = Workload.lubm ~universities:u () in
+      bench_case ~workload:(Printf.sprintf "lubm-%d" u) ~sigma ~db ~max_level:6)
+    unis;
+  let gf = Workload.guarded_full_chain ~depth:4 in
+  List.iter
+    (fun n ->
+      let db = Workload.path_db ~pred:"E" n in
+      bench_case ~workload:(Printf.sprintf "full-chain-%d" n) ~sigma:gf ~db
+        ~max_level:max_int)
+    (if full then [ 200; 800; 2000; 4000 ] else [ 200; 800; 2000 ]);
+  (* emit machine-readable results for the ablation record *)
+  let oc = open_out "BENCH_engine.json" in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "[\n";
+  List.iteri
+    (fun i (w, d, c, tr, tn, ti) ->
+      pr
+        "  {\"workload\": %S, \"db_facts\": %d, \"chase_facts\": %d, \
+         \"triggers\": %d, \"naive_s\": %.6f, \"indexed_s\": %.6f, \
+         \"speedup\": %.2f}%s\n"
+        w d c tr tn ti (tn /. ti)
+        (if i = List.length !rows - 1 then "" else ","))
+    (List.rev !rows);
+  pr "]\n";
+  close_out oc;
+  row "@.  wrote BENCH_engine.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per experiment's kernel)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -584,7 +645,7 @@ let all_experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14);
+    ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
 let () =

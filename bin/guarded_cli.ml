@@ -45,17 +45,34 @@ let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Treewidth boun
 (* chase                                                                *)
 (* ------------------------------------------------------------------ *)
 
+let engine_arg =
+  let engine_conv =
+    Arg.enum [ ("indexed", `Indexed); ("naive", `Naive) ]
+  in
+  Arg.(
+    value & opt engine_conv `Indexed
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Saturation engine: $(b,indexed) (semi-naive, default) or $(b,naive).")
+
 let chase_cmd =
-  let run file max_level =
+  let run file max_level engine =
     with_program file (fun p ->
-        let r = Tgds.Chase.run ~max_level p.Syntax.Parser.tgds (Syntax.Parser.database p) in
+        let r =
+          Tgds.Chase.run ~engine ~max_level p.Syntax.Parser.tgds
+            (Syntax.Parser.database p)
+        in
         Fmt.pr "%% chase %s (max level %d)@." (if Tgds.Chase.saturated r then "saturated" else "truncated") max_level;
+        (match Tgds.Chase.stats r with
+        | Some s ->
+            Fmt.pr "%% %d triggers fired, %d index probes@."
+              s.Engine.Saturate.triggers_fired s.Engine.Saturate.index_probes
+        | None -> ());
         Instance.iter (fun f -> Fmt.pr "%a.@." Fact.pp f) (Tgds.Chase.instance r);
         0)
   in
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the level-bounded oblivious chase and print the result.")
-    Term.(const run $ file_arg $ level_arg)
+    Term.(const run $ file_arg $ level_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                             *)

@@ -7,13 +7,15 @@
     the query before evaluation — the executable content of the
     tractability direction (3) ⇒ (1) of Theorems 5.7/5.12: when the CQS is
     uniformly UCQk-equivalent, evaluating the equivalent low-treewidth
-    query is polynomial. *)
+    query is polynomial.
 
-open Relational
+    Direct evaluation indexes the database once ([Engine.Index]) and
+    matches query atoms through the joiner's posting lists. *)
 
 (** [eval s db c̄] — is [c̄ ∈ q(db)]? ([db] should satisfy the constraints;
     use {!Cqs.admissible} to check the promise.) *)
-let eval (s : Cqs.t) db tuple = Ucq.entails db (Cqs.query s) tuple
+let eval (s : Cqs.t) db tuple =
+  Engine.Joiner.entails_ucq (Engine.Index.of_instance db) (Cqs.query s) tuple
 
 (** [eval_tw s db c̄] — same, through the bounded-treewidth evaluator of
     Proposition 2.1 (polynomial for [q ∈ UCQ_k]). *)
@@ -30,7 +32,8 @@ let optimize (s : Cqs.t) =
     treewidth-aware engine. *)
 let eval_optimized (s : Cqs.t) db tuple = eval_tw (optimize s) db tuple
 
-(** [answers s db] — all answers of the (possibly optimized) query. *)
+(** [answers s db] — all answers of the (possibly optimized) query, with
+    the database indexed once for every disjunct. *)
 let answers ?(optimize_first = false) (s : Cqs.t) db =
   let s = if optimize_first then optimize s else s in
-  Ucq.answers db (Cqs.query s)
+  Engine.Joiner.answers_ucq (Engine.Index.of_instance db) (Cqs.query s)

@@ -10,7 +10,11 @@
       Proposition 2.1 when the UCQ is tree-like.
     - {!certain_atomic}: exact evaluation of atomic queries over ground
       tuples for guarded ontologies via the ground closure (always
-      terminating, polynomial in the data for fixed Σ). *)
+      terminating, polynomial in the data for fixed Σ).
+
+    UCQ checks over chased instances run through the indexed joiner
+    ([Engine.Joiner]): the chase already hands back its fact store, so no
+    relation is rescanned per query atom. *)
 
 open Relational
 module Chase = Tgds.Chase
@@ -27,7 +31,7 @@ let certain ?(max_level = 8) ?max_facts (q : Omq.t) db tuple =
   if not (Omq.accepts_database q db) then
     invalid_arg "Omq_eval.certain: not a database over the data schema";
   let r = Chase.run ~max_level ?max_facts (Omq.ontology q) db in
-  { holds = Ucq.entails (Chase.instance r) (Omq.query q) tuple;
+  { holds = Engine.Joiner.entails_ucq (Chase.index r) (Omq.query q) tuple;
     exact = Chase.saturated r }
 
 (** The FPT pipeline of Proposition 3.3(3): requires [Σ ∈ G]. The data-side
@@ -42,11 +46,10 @@ let certain_fpt ?(max_level = 10) ?max_facts ?max_types (q : Omq.t) db tuple =
   let lin = Tgds.Linearize.make ?max_types (Omq.ontology q) db in
   let r = Chase.run ~max_level ?max_facts lin.Tgds.Linearize.sigma_star
       lin.Tgds.Linearize.db_star in
-  let inst = Chase.instance r in
   let ucq = Omq.query q in
   let holds =
-    if Ucq.in_ucqk 2 ucq then Tw_eval.entails_ucq inst ucq tuple
-    else Ucq.entails inst ucq tuple
+    if Ucq.in_ucqk 2 ucq then Tw_eval.entails_ucq (Chase.instance r) ucq tuple
+    else Engine.Joiner.entails_ucq (Chase.index r) ucq tuple
   in
   { holds; exact = Chase.saturated r && lin.Tgds.Linearize.complete }
 
@@ -59,6 +62,7 @@ let certain_atomic (ontology : Tgds.Tgd.t list) db (fact : Fact.t) =
     active domain (sound; exact when the chase saturates). *)
 let answers ?(max_level = 8) ?max_facts (q : Omq.t) db =
   let r = Chase.run ~max_level ?max_facts (Omq.ontology q) db in
+  let idx = Chase.index r in
   let dom = Term.ConstSet.elements (Instance.dom db) in
   let rec tuples n =
     if n = 0 then [ [] ]
@@ -66,5 +70,5 @@ let answers ?(max_level = 8) ?max_facts (q : Omq.t) db =
       List.concat_map (fun t -> List.map (fun c -> c :: t) dom) (tuples (n - 1))
   in
   let candidates = tuples (Omq.arity q) in
-  ( List.filter (fun c -> Ucq.entails (Chase.instance r) (Omq.query q) c) candidates,
+  ( List.filter (fun c -> Engine.Joiner.entails_ucq idx (Omq.query q) c) candidates,
     Chase.saturated r )

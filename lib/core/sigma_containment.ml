@@ -41,7 +41,7 @@ let cq_step ?(max_level = 8) ?(max_facts = 60_000) sigma (p1 : Cq.t) (p2 : Cq.t)
     let db = Cq.canonical_db p1 in
     let target = Cq.frozen_answer p1 in
     let r = Chase.run ~max_level ~max_facts sigma db in
-    if Cq.entails (Chase.instance r) p2 target then Holds
+    if Engine.Joiner.entails_cq (Chase.index r) p2 target then Holds
     else if Chase.saturated r then Fails
     else
       (* the bounded chase is inconclusive: refute on a finite model *)

@@ -1,0 +1,110 @@
+(** Indexed fact store: per-predicate tuple lists plus posting lists
+    keyed by [(predicate, position, constant)]. See the interface for the
+    contract; the representation is mutable and meant to be used
+    linearly. Buckets carry their length so candidate counting never
+    walks a list. *)
+
+open Relational
+open Relational.Term
+
+type key = string * int * const
+type bucket = { mutable tuples : const list list; mutable n : int }
+
+type t = {
+  facts : (Fact.t, unit) Hashtbl.t;  (** membership *)
+  by_pred : (string, bucket) Hashtbl.t;
+  by_pos : (key, bucket) Hashtbl.t;
+  probes : int ref;
+}
+
+let create () =
+  {
+    facts = Hashtbl.create 256;
+    by_pred = Hashtbl.create 16;
+    by_pos = Hashtbl.create 1024;
+    probes = ref 0;
+  }
+
+let mem f idx = Hashtbl.mem idx.facts f
+let size idx = Hashtbl.length idx.facts
+let probes idx = !(idx.probes)
+
+let bucket tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some b -> b
+  | None ->
+      let b = { tuples = []; n = 0 } in
+      Hashtbl.replace tbl key b;
+      b
+
+let push b tuple =
+  b.tuples <- tuple :: b.tuples;
+  b.n <- b.n + 1
+
+(** [insert f idx] — add [f]; [false] when it was already present. *)
+let insert f idx =
+  if Hashtbl.mem idx.facts f then false
+  else begin
+    Hashtbl.replace idx.facts f ();
+    let p = Fact.pred f and args = Fact.args f in
+    push (bucket idx.by_pred p) args;
+    List.iteri (fun i c -> push (bucket idx.by_pos (p, i, c)) args) args;
+    true
+  end
+
+let add f idx =
+  ignore (insert f idx);
+  idx
+
+let of_instance inst =
+  let idx = create () in
+  Instance.iter (fun f -> ignore (insert f idx)) inst;
+  idx
+
+let to_instance idx =
+  Hashtbl.fold (fun f () acc -> Instance.add_fact f acc) idx.facts Instance.empty
+
+let tuples_of idx p =
+  incr idx.probes;
+  match Hashtbl.find_opt idx.by_pred p with Some b -> b.tuples | None -> []
+
+let tuples_at idx p i c =
+  incr idx.probes;
+  match Hashtbl.find_opt idx.by_pos (p, i, c) with Some b -> b.tuples | None -> []
+
+let count_at idx p i c =
+  match Hashtbl.find_opt idx.by_pos (p, i, c) with Some b -> b.n | None -> 0
+
+let count_of idx p =
+  match Hashtbl.find_opt idx.by_pred p with Some b -> b.n | None -> 0
+
+(* The constant at a bound argument position, if any. *)
+let bound_const (b : Homomorphism.binding) = function
+  | Const c -> Some c
+  | Var x -> VarMap.find_opt x b
+
+(* Cheapest bound position of [a] under [b]: [(position, constant, size)]. *)
+let best_position idx a (b : Homomorphism.binding) =
+  let p = Atom.pred a in
+  let best = ref None in
+  List.iteri
+    (fun i t ->
+      match bound_const b t with
+      | None -> ()
+      | Some c ->
+          let n = count_at idx p i c in
+          (match !best with
+          | Some (_, _, m) when m <= n -> ()
+          | _ -> best := Some (i, c, n)))
+    (Atom.args a);
+  !best
+
+let candidates idx a b =
+  match best_position idx a b with
+  | Some (i, c, _) -> tuples_at idx (Atom.pred a) i c
+  | None -> tuples_of idx (Atom.pred a)
+
+let candidate_count idx a b =
+  match best_position idx a b with
+  | Some (_, _, n) -> n
+  | None -> count_of idx (Atom.pred a)

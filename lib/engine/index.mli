@@ -1,0 +1,70 @@
+(** Indexed fact store.
+
+    A hashed view of a {!Relational.Instance.t} keyed by
+    [(predicate, argument position, constant)]: for every fact
+    [R(c1,…,cn)] and every position [i], the tuple [(c1,…,cn)] is filed
+    under [(R, i, ci)]. A join atom with at least one bound position is
+    then matched against the smallest posting list of its bound positions
+    instead of the whole relation — the O(1)-per-candidate retrieval the
+    semi-naive chase and the {!Joiner} build on.
+
+    The API is immutable in style — {!add} returns the store — but the
+    store shares its internal hash tables: use it linearly (the returned
+    handle supersedes the argument). Conversion to and from
+    [Instance.t] is provided at both ends. *)
+
+open Relational
+open Relational.Term
+
+type t
+
+(** A fresh empty store. *)
+val create : unit -> t
+
+(** Build a store holding the facts of an instance. *)
+val of_instance : Instance.t -> t
+
+(** The facts of the store, as an instance. *)
+val to_instance : t -> Instance.t
+
+(** [add f idx] — file [f] under every argument position. No-op when the
+    fact is already present. Mutates [idx] in place and returns it. *)
+val add : Fact.t -> t -> t
+
+(** [insert f idx] — like {!add}, but reports whether the fact was new
+    (a single membership probe; the engine's hot path). *)
+val insert : Fact.t -> t -> bool
+
+val mem : Fact.t -> t -> bool
+
+(** Number of (distinct) facts. *)
+val size : t -> int
+
+(** All tuples of predicate [p] (most recently added first). *)
+val tuples_of : t -> string -> const list list
+
+(** [tuples_at idx p i c] — the posting list of [(p, i, c)]: tuples of
+    [p] whose [i]-th argument (0-based) is [c]. *)
+val tuples_at : t -> string -> int -> const -> const list list
+
+(** [count_at idx p i c] — length of the posting list, without
+    materializing it. *)
+val count_at : t -> string -> int -> const -> int
+
+(** Number of tuples of [p]. *)
+val count_of : t -> string -> int
+
+(** [candidates idx atom binding] — candidate tuples for [atom] under
+    [binding]: the smallest posting list over the bound positions of the
+    atom (argument is a constant, or a variable bound by [binding]), or
+    the whole relation when no position is bound. Every returned tuple
+    still has to be checked positionally by the caller. *)
+val candidates : t -> Atom.t -> Homomorphism.binding -> const list list
+
+(** [candidate_count idx atom binding] — the length of the list
+    {!candidates} would return, computed from bucket sizes only (used
+    for cheapest-first atom ordering). *)
+val candidate_count : t -> Atom.t -> Homomorphism.binding -> int
+
+(** Number of posting-list probes performed so far (statistics). *)
+val probes : t -> int

@@ -1,0 +1,90 @@
+(** Index-aware backtracking homomorphism search; see the interface for
+    the contract. Atom selection is cheapest-first by posting-list size,
+    so selection costs O(arity) per pending atom instead of a candidate
+    scan. *)
+
+open Relational
+open Relational.Term
+
+type binding = Homomorphism.binding
+
+let fold ?(injective = false) ?(init = VarMap.empty) ?delta atoms idx f acc =
+  (* match the remaining atoms, cheapest first *)
+  let rec search b pending acc =
+    match pending with
+    | [] -> f b acc
+    | _ ->
+        let best_i, best_a, _ =
+          List.fold_left
+            (fun (bi, ba, bc) (i, a) ->
+              let c = Index.candidate_count idx a b in
+              if c < bc then (i, a, c) else (bi, ba, bc))
+            (-1, List.hd pending, max_int)
+            (List.mapi (fun i a -> (i, a)) pending)
+        in
+        let rest = List.filteri (fun i _ -> i <> best_i) pending in
+        List.fold_left
+          (fun acc tuple ->
+            match Homomorphism.match_atom ~injective b best_a tuple with
+            | Some b' -> search b' rest acc
+            | None -> acc)
+          acc
+          (Index.candidates idx best_a b)
+  in
+  match (delta, atoms) with
+  | None, _ | _, [] -> search init atoms acc
+  | Some dfacts, pivot :: rest ->
+      let p = Atom.pred pivot in
+      List.fold_left
+        (fun acc df ->
+          if Fact.pred df <> p then acc
+          else
+            match Homomorphism.match_atom ~injective init pivot (Fact.args df) with
+            | Some b -> search b rest acc
+            | None -> acc)
+        acc dfacts
+
+exception Found of binding
+
+let find ?injective ?init ?delta atoms idx =
+  try
+    fold ?injective ?init ?delta atoms idx (fun b _ -> raise (Found b)) ();
+    None
+  with Found b -> Some b
+
+let exists ?injective ?init ?delta atoms idx =
+  Option.is_some (find ?injective ?init ?delta atoms idx)
+
+let all ?injective ?init ?delta atoms idx =
+  List.rev (fold ?injective ?init ?delta atoms idx (fun b acc -> b :: acc) [])
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation over an index                                       *)
+(* ------------------------------------------------------------------ *)
+
+let entails_cq idx q tuple =
+  List.length tuple = Cq.arity q
+  &&
+  let init =
+    List.fold_left2
+      (fun acc x c -> VarMap.add x c acc)
+      VarMap.empty (Cq.answer q) tuple
+  in
+  exists ~init (Cq.atoms q) idx
+
+let holds_cq idx q = exists (Cq.atoms q) idx
+
+let answers_cq idx q =
+  fold (Cq.atoms q) idx
+    (fun b acc -> List.map (fun x -> VarMap.find x b) (Cq.answer q) :: acc)
+    []
+  |> List.sort_uniq Stdlib.compare
+
+let entails_ucq idx u tuple =
+  List.exists (fun q -> entails_cq idx q tuple) (Ucq.disjuncts u)
+
+let holds_ucq idx u = List.exists (holds_cq idx) (Ucq.disjuncts u)
+
+let answers_ucq idx u =
+  List.concat_map (answers_cq idx) (Ucq.disjuncts u)
+  |> List.sort_uniq Stdlib.compare

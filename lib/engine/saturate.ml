@@ -1,0 +1,185 @@
+(** Semi-naive saturation; see the interface for the level-equivalence
+    argument. The driver keeps the naive chase's observable behaviour —
+    trigger keys, per-level trigger sets, level assignment, policy and
+    overflow handling — while enumerating each trigger exactly once, at
+    the level where the last fact of its body appears. *)
+
+open Relational
+open Relational.Term
+
+type policy = Oblivious | Restricted
+type rule = { body : Atom.t list; head : Atom.t list }
+
+type stats = {
+  triggers_fired : int;
+  triggers_dismissed : int;
+  index_probes : int;
+  facts_per_level : int list;
+}
+
+type result = {
+  index : Index.t;
+  level_of : (Fact.t, int) Hashtbl.t;
+  saturated : bool;
+  max_level : int;
+  stats : stats;
+}
+
+(* Key identifying a trigger: rule index + body-variable image (same shape
+   as the naive chase's key, so the two engines dismiss identically). *)
+let trigger_key i (b : Homomorphism.binding) body_vars =
+  (i, List.map (fun x -> VarMap.find_opt x b) body_vars)
+
+(* Group the delta by predicate so each pivot only sees matching facts. *)
+let group_by_pred facts =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let cur = try Hashtbl.find tbl (Fact.pred f) with Not_found -> [] in
+      Hashtbl.replace tbl (Fact.pred f) (f :: cur))
+    facts;
+  tbl
+
+(* [pivots body] — [(pivot, body reordered pivot-first)] for each body
+   position; a predicate repeated in the body is pivoted once per
+   occurrence (the per-pass key set deduplicates the bindings). *)
+let pivots body =
+  List.mapi
+    (fun i a -> (a, a :: List.filteri (fun j _ -> j <> i) body))
+    body
+
+(* Instantiate an atom whose variables are all bound, straight to a fact
+   (no intermediate ground atom). *)
+let ground (b : Homomorphism.binding) a =
+  Fact.make (Atom.pred a)
+    (List.map
+       (function Const c -> c | Var x -> VarMap.find x b)
+       (Atom.args a))
+
+let run ?(policy = Oblivious) ?(max_level = max_int) ?(max_facts = max_int)
+    rules db =
+  let rules = Array.of_list rules in
+  let info =
+    Array.map
+      (fun r ->
+        let vars_of atoms =
+          List.fold_left
+            (fun acc a -> VarSet.union (Atom.vars a) acc)
+            VarSet.empty atoms
+        in
+        let bv = vars_of r.body and hv = vars_of r.head in
+        ( VarSet.elements bv,
+          VarSet.elements (VarSet.diff hv bv),
+          VarSet.inter bv hv,
+          pivots r.body ))
+      rules
+  in
+  let idx = Index.of_instance db in
+  let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
+  Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
+  let fired = Hashtbl.create 256 in
+  let triggers_fired = ref 0 and triggers_dismissed = ref 0 in
+  let facts_per_level = ref [] in
+  let delta = ref (Instance.facts db) in
+  let first_pass = ref true in
+  let saturated = ref false in
+  let level = ref 0 in
+  let overflow = ref false in
+  while (not !saturated) && (not !overflow) && !level < max_level do
+    let delta_by_pred = group_by_pred !delta in
+    let pending = Hashtbl.create 64 in
+    let new_triggers = ref [] in
+    let consider i b =
+      let body_vars, _, frontier, _ = info.(i) in
+      let key = trigger_key i b body_vars in
+      if not (Hashtbl.mem fired key || Hashtbl.mem pending key) then begin
+        let active =
+          match policy with
+          | Oblivious -> true
+          | Restricted ->
+              let init = VarMap.filter (fun x _ -> VarSet.mem x frontier) b in
+              not (Joiner.exists ~init rules.(i).head idx)
+        in
+        if active then begin
+          Hashtbl.replace pending key ();
+          new_triggers := (i, b, key) :: !new_triggers
+        end
+        else begin
+          incr triggers_dismissed;
+          Hashtbl.replace fired key ()
+        end
+      end
+    in
+    Array.iteri
+      (fun i r ->
+        if r.body = [] then begin
+          (* bodiless rules have a single (empty) trigger; it exists from
+             the start, so only the first pass needs to consider it *)
+          if !first_pass then consider i VarMap.empty
+        end
+        else
+          let _, _, _, pvs = info.(i) in
+          List.iter
+            (fun (pivot, reordered) ->
+              match Hashtbl.find_opt delta_by_pred (Atom.pred pivot) with
+              | None -> ()
+              | Some dfacts ->
+                  Joiner.fold ~delta:dfacts reordered idx
+                    (fun b () -> consider i b)
+                    ())
+            pvs)
+      rules;
+    first_pass := false;
+    if !new_triggers = [] then saturated := true
+    else begin
+      incr level;
+      let new_delta = ref [] in
+      let new_count = ref 0 in
+      List.iter
+        (fun (i, b, key) ->
+          if not !overflow then begin
+            Hashtbl.replace fired key ();
+            incr triggers_fired;
+            let r = rules.(i) in
+            let _, existentials, _, _ = info.(i) in
+            let body_level =
+              List.fold_left
+                (fun acc a ->
+                  let f = ground b a in
+                  max acc (try Hashtbl.find level_of f with Not_found -> 0))
+                0 r.body
+            in
+            let full_binding =
+              List.fold_left
+                (fun acc z -> VarMap.add z (fresh_null ()) acc)
+                b existentials
+            in
+            List.iter
+              (fun h ->
+                let f = ground full_binding h in
+                if Index.insert f idx then begin
+                  Hashtbl.replace level_of f (body_level + 1);
+                  incr new_count;
+                  new_delta := f :: !new_delta;
+                  if Hashtbl.length level_of > max_facts then overflow := true
+                end)
+              r.head
+          end)
+        (List.rev !new_triggers);
+      facts_per_level := !new_count :: !facts_per_level;
+      delta := !new_delta
+    end
+  done;
+  {
+    index = idx;
+    level_of;
+    saturated = !saturated;
+    max_level = !level;
+    stats =
+      {
+        triggers_fired = !triggers_fired;
+        triggers_dismissed = !triggers_dismissed;
+        index_probes = Index.probes idx;
+        facts_per_level = List.rev !facts_per_level;
+      };
+  }

@@ -7,6 +7,13 @@ type binding = Term.const Term.VarMap.t
 (** Apply a binding to an atom (unbound variables stay). *)
 val apply_binding : binding -> Atom.t -> Atom.t
 
+(** [match_atom ~injective b a tuple] — extend [b] so that [a] becomes
+    the fact with arguments [tuple], checking repeated variables and
+    constants positionally; [None] when the atom does not match. Exposed
+    for index-aware matchers (lib/engine). *)
+val match_atom :
+  injective:bool -> binding -> Atom.t -> Term.const list -> binding option
+
 (** [fold_homs ?injective ?init ?ordering atoms inst f acc] — fold [f]
     over every homomorphism from [atoms] to [inst] extending [init].
     [injective] constrains the whole variable-to-constant map. [ordering]

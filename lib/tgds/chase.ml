@@ -5,16 +5,25 @@
     regardless of whether the head is already satisfied, inventing fresh
     labelled nulls for the existential variables. Because the chase is
     oblivious, the result is unique up to isomorphism, so the level-bounded
-    instances [chase^ℓ_s(D,Σ)] of Lemma A.1 are canonical. *)
+    instances [chase^ℓ_s(D,Σ)] of Lemma A.1 are canonical.
+
+    Two engines produce the same levels (and the same instance up to null
+    renaming): the default [`Indexed] engine runs the semi-naive
+    saturation of {!Engine.Saturate} — per-level delta-driven trigger
+    enumeration over an indexed fact store — while [`Naive] re-enumerates
+    every body homomorphism against the whole instance at every level
+    (kept for the ablation benchmarks, E15). *)
 
 open Relational
 open Relational.Term
 
 type result = {
-  instance : Instance.t;
+  instance : Instance.t Lazy.t;
   level_of : (Fact.t, int) Hashtbl.t;
   saturated : bool;
   max_level : int;
+  index : Engine.Index.t option;  (** the engine's store, when indexed *)
+  stats : Engine.Saturate.stats option;
 }
 
 (* Key identifying a trigger: TGD index + frontier/body binding. *)
@@ -24,24 +33,12 @@ let trigger_key i (b : Homomorphism.binding) (sigma_i : Tgd.t) =
   (i, img)
 
 type policy = Oblivious | Restricted
+type engine = [ `Naive | `Indexed ]
 
-(** [run ?policy ?max_level ?max_facts sigma db] — the level-wise chase of
-    [db] under [sigma].
-
-    [policy] defaults to [Oblivious], the paper's semantics (§2): a
-    trigger fires whenever its body is satisfied, regardless of the head,
-    making the result unique up to isomorphism. [Restricted] skips
-    triggers whose head is already satisfied — it produces (often much)
-    smaller instances with the same certain answers, at the price of
-    order-dependence; it is offered for the ablation benchmarks.
-
-    Stops when saturated, or when the next level would exceed [max_level],
-    or when more than [max_facts] facts have been produced. The result
-    records each fact's s-level (facts of the input database have level 0;
-    a derived fact's level is 1 + the maximum level of the trigger's body
-    image, per Appendix A). *)
-let run ?(policy = Oblivious) ?(max_level = max_int) ?(max_facts = max_int)
-    sigma db =
+(* The original level-wise loop: every level re-enumerates all body
+   homomorphisms of every TGD against the entire instance, deduplicating
+   by trigger key. *)
+let run_naive ~policy ~max_level ~max_facts sigma db =
   let sigma = Array.of_list sigma in
   let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
   let fired = Hashtbl.create 256 in
@@ -114,23 +111,81 @@ let run ?(policy = Oblivious) ?(max_level = max_int) ?(max_facts = max_int)
     end
   done;
   {
-    instance = !inst;
+    instance = Lazy.from_val !inst;
     level_of;
     saturated = !saturated;
     max_level = !level;
+    index = None;
+    stats = None;
   }
 
+let run_indexed ~policy ~max_level ~max_facts sigma db =
+  let rules =
+    List.map
+      (fun t -> Engine.Saturate.{ body = Tgd.body t; head = Tgd.head t })
+      sigma
+  in
+  let policy =
+    match policy with
+    | Oblivious -> Engine.Saturate.Oblivious
+    | Restricted -> Engine.Saturate.Restricted
+  in
+  let r = Engine.Saturate.run ~policy ~max_level ~max_facts rules db in
+  {
+    instance = lazy (Engine.Index.to_instance r.Engine.Saturate.index);
+    level_of = r.Engine.Saturate.level_of;
+    saturated = r.Engine.Saturate.saturated;
+    max_level = r.Engine.Saturate.max_level;
+    index = Some r.Engine.Saturate.index;
+    stats = Some r.Engine.Saturate.stats;
+  }
+
+(** [run ?engine ?policy ?max_level ?max_facts sigma db] — the level-wise
+    chase of [db] under [sigma].
+
+    [engine] selects the trigger-enumeration machinery: [`Indexed]
+    (default), the semi-naive engine of [lib/engine]; [`Naive], the
+    re-enumerating loop (ablations). Both produce the same levels.
+
+    [policy] defaults to [Oblivious], the paper's semantics (§2): a
+    trigger fires whenever its body is satisfied, regardless of the head,
+    making the result unique up to isomorphism. [Restricted] skips
+    triggers whose head is already satisfied — it produces (often much)
+    smaller instances with the same certain answers, at the price of
+    order-dependence; it is offered for the ablation benchmarks.
+
+    Stops when saturated, or when the next level would exceed [max_level],
+    or when more than [max_facts] facts have been produced. The result
+    records each fact's s-level (facts of the input database have level 0;
+    a derived fact's level is 1 + the maximum level of the trigger's body
+    image, per Appendix A). *)
+let run ?(engine = `Indexed) ?(policy = Oblivious) ?(max_level = max_int)
+    ?(max_facts = max_int) sigma db =
+  match engine with
+  | `Naive -> run_naive ~policy ~max_level ~max_facts sigma db
+  | `Indexed -> run_indexed ~policy ~max_level ~max_facts sigma db
+
 (** [instance r] — the chased instance. *)
-let instance (r : result) = r.instance
+let instance (r : result) = Lazy.force r.instance
 
 let saturated (r : result) = r.saturated
+
+(** [index r] — the chased instance as an {!Engine.Index.t}, reusing the
+    engine's store when the run was indexed. *)
+let index (r : result) =
+  match r.index with
+  | Some idx -> idx
+  | None -> Engine.Index.of_instance (Lazy.force r.instance)
+
+(** Per-run saturation statistics ([None] for naive runs). *)
+let stats (r : result) = r.stats
 
 (** [up_to_level r l] — the sub-instance of facts with s-level ≤ [l]
     (i.e. [chase^l_s(D,Σ)] when the run reached at least level [l]). *)
 let up_to_level (r : result) l =
   Instance.filter
     (fun f -> match Hashtbl.find_opt r.level_of f with Some lv -> lv <= l | None -> true)
-    r.instance
+    (Lazy.force r.instance)
 
 (** [level r f] — the s-level of a fact of the result. *)
 let level (r : result) f = Hashtbl.find_opt r.level_of f
@@ -138,16 +193,16 @@ let level (r : result) f = Hashtbl.find_opt r.level_of f
 (** The ground part [chase↓]: facts whose constants are all from [dom db]
     (equivalently, contain no labelled null invented by the chase). *)
 let ground_part (r : result) =
-  Instance.filter (fun f -> not (Fact.is_ground_of_nulls f)) r.instance
+  Instance.filter (fun f -> not (Fact.is_ground_of_nulls f)) (Lazy.force r.instance)
 
 (** Convenience: chase and return the instance. *)
-let chase ?max_level ?max_facts sigma db =
-  (run ?max_level ?max_facts sigma db).instance
+let chase ?engine ?max_level ?max_facts sigma db =
+  instance (run ?engine ?max_level ?max_facts sigma db)
 
 (** [certain ?max_level sigma db q tuple] — sound check that
     [tuple ∈ q(chase(db,sigma))] using a level-bounded chase; complete when
     the run saturates (Proposition 3.1). Returns the verdict together with
     whether it is known complete. *)
-let certain ?(max_level = 6) ?max_facts sigma db (q : Ucq.t) tuple =
-  let r = run ~max_level ?max_facts sigma db in
-  (Ucq.entails r.instance q tuple, r.saturated)
+let certain ?engine ?(max_level = 6) ?max_facts sigma db (q : Ucq.t) tuple =
+  let r = run ?engine ~max_level ?max_facts sigma db in
+  (Engine.Joiner.entails_ucq (index r) q tuple, r.saturated)

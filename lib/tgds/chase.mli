@@ -4,7 +4,12 @@
     instance; triggers fire once, inventing fresh labelled nulls for the
     existential variables. The default, oblivious policy is the paper's
     (§2): the result is unique up to isomorphism and the level-bounded
-    slices [chase^ℓ_s(D,Σ)] of Lemma A.1 are canonical. *)
+    slices [chase^ℓ_s(D,Σ)] of Lemma A.1 are canonical.
+
+    Two engines: [`Indexed] (default) runs the semi-naive saturation of
+    [lib/engine]; [`Naive] is the original re-enumerating loop, kept for
+    the ablation benchmarks. Both produce the same s-levels (and the same
+    instance up to null renaming). *)
 
 open Relational
 
@@ -14,9 +19,12 @@ type policy =
   | Oblivious  (** the paper's semantics: fire regardless of the head *)
   | Restricted  (** skip triggers whose head is already satisfied *)
 
-(** [run ?policy ?max_level ?max_facts sigma db] — chase until saturation,
-    the level bound, or the fact budget. *)
+type engine = [ `Naive | `Indexed ]
+
+(** [run ?engine ?policy ?max_level ?max_facts sigma db] — chase until
+    saturation, the level bound, or the fact budget. *)
 val run :
+  ?engine:engine ->
   ?policy:policy ->
   ?max_level:int ->
   ?max_facts:int ->
@@ -30,6 +38,13 @@ val instance : result -> Instance.t
 (** No unfired trigger remained — the chase terminated. *)
 val saturated : result -> bool
 
+(** The chased instance as an indexed store (the engine's own store when
+    the run was indexed; built on demand after a naive run). *)
+val index : result -> Engine.Index.t
+
+(** Saturation statistics ([None] after a naive run). *)
+val stats : result -> Engine.Saturate.stats option
+
 (** [up_to_level r l] — the sub-instance of facts with s-level ≤ [l]
     ([chase^l_s(D,Σ)] when the run reached level [l]). *)
 val up_to_level : result -> int -> Instance.t
@@ -41,12 +56,19 @@ val level : result -> Fact.t -> int option
 val ground_part : result -> Instance.t
 
 (** Chase and return the instance. *)
-val chase : ?max_level:int -> ?max_facts:int -> Tgd.t list -> Instance.t -> Instance.t
+val chase :
+  ?engine:engine ->
+  ?max_level:int ->
+  ?max_facts:int ->
+  Tgd.t list ->
+  Instance.t ->
+  Instance.t
 
 (** [certain ?max_level sigma db q c̄] — sound bounded check of
     [c̄ ∈ q(chase(db,sigma))] (Proposition 3.1); the boolean reports
     whether the run saturated (verdict then exact). *)
 val certain :
+  ?engine:engine ->
   ?max_level:int ->
   ?max_facts:int ->
   Tgd.t list ->

@@ -2,9 +2,11 @@
 
 open Relational
 
-(** [saturate sigma db] — the finite chase; raises [Invalid_argument] on
-    non-full TGDs. *)
-val saturate : Tgd.t list -> Instance.t -> Instance.t
+(** [saturate ?engine sigma db] — the finite chase; raises
+    [Invalid_argument] on non-full TGDs. [`Indexed] (default) runs the
+    semi-naive engine; [`Naive] the original re-enumerating loop. *)
+val saturate :
+  ?engine:[ `Naive | `Indexed ] -> Tgd.t list -> Instance.t -> Instance.t
 
 (** Exact UCQ certain answering over a full TGD set. *)
 val entails : Tgd.t list -> Instance.t -> Ucq.t -> Term.const list -> bool

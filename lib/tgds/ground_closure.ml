@@ -73,13 +73,15 @@ type state = {
 
 (* One saturation round over [cur]: fire every trigger; ground heads are
    added directly, existential heads go through a recursively saturated
-   child bag whose facts over [dom cur] flow back. *)
+   child bag whose facts over [dom cur] flow back. Body matching runs on
+   the indexed joiner (lib/engine) over a per-round index of [cur]. *)
 let rec round st cur =
   let additions = ref [] in
   let dom_cur = Instance.dom !cur in
+  let idx = Engine.Index.of_instance !cur in
   List.iter
     (fun t ->
-      Homomorphism.fold_homs (Tgd.body t) !cur
+      Engine.Joiner.fold (Tgd.body t) idx
         (fun b () ->
           let ex = Tgd.existential_vars t in
           if VarSet.is_empty ex then

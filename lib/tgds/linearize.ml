@@ -223,4 +223,5 @@ let make ?(max_types = 4000) sigma db =
     exhaustive). *)
 let certain ?(max_level = 8) ?max_facts lin (q : Ucq.t) tuple =
   let r = Chase.run ~max_level ?max_facts lin.sigma_star lin.db_star in
-  (Ucq.entails (Chase.instance r) q tuple, Chase.saturated r && lin.complete)
+  ( Engine.Joiner.entails_ucq (Chase.index r) q tuple,
+    Chase.saturated r && lin.complete )

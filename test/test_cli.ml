@@ -9,9 +9,9 @@ let cli =
   Filename.concat (Filename.dirname Sys.executable_name) "../bin/guarded_cli.exe"
 
 let run_cli args =
-  let cmd =
-    Filename.quote_command cli args ~stdout:"cli_out.txt" ~stderr:"cli_err.txt"
-  in
+  let out_file = Filename.temp_file "guarded_cli" ".out" in
+  let err_file = Filename.temp_file "guarded_cli" ".err" in
+  let cmd = Filename.quote_command cli args ~stdout:out_file ~stderr:err_file in
   let status = Sys.command cmd in
   let slurp path =
     if Sys.file_exists path then (
@@ -22,30 +22,21 @@ let run_cli args =
       s)
     else ""
   in
-  (status, slurp "cli_out.txt", slurp "cli_err.txt")
+  let out = slurp out_file and err = slurp err_file in
+  Sys.remove out_file;
+  Sys.remove err_file;
+  (status, out, err)
 
-let write_program name contents =
-  let oc = open_out name in
-  output_string oc contents;
-  close_out oc;
-  name
+(* programs are checked in; the directory is a declared source_tree dep *)
+let prog name = Filename.concat "../examples/programs" name
 
 let contains haystack needle =
   let lh = String.length haystack and ln = String.length needle in
   let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
   ln = 0 || go 0
 
-let program =
-  {|
-prof(X) -> teaches(X,C).
-teaches(X,C) -> course(C).
-prof(ada).
-q() :- course(C).
-who(X) :- teaches(X,C).
-|}
-
 let test_eval () =
-  let file = write_program "prog_eval.gd" program in
+  let file = prog "prog_eval.gd" in
   let status, out, err = run_cli [ "eval"; file; "-q"; "q" ] in
   check "exit 0" true (status = 0);
   check (Fmt.str "says true (out=%S err=%S)" out err) true (contains out "true");
@@ -53,13 +44,13 @@ let test_eval () =
   check "ada is certain" true (contains out2 "ada")
 
 let test_eval_fpt_flag () =
-  let file = write_program "prog_fpt.gd" program in
+  let file = prog "prog_fpt.gd" in
   let status, out, _ = run_cli [ "eval"; file; "-q"; "q"; "--fpt" ] in
   check "exit 0" true (status = 0);
   check "fpt engine agrees" true (contains out "true")
 
 let test_chase () =
-  let file = write_program "prog_chase.gd" program in
+  let file = prog "prog_chase.gd" in
   let status, out, _ = run_cli [ "chase"; file ] in
   check "exit 0" true (status = 0);
   check "saturated" true (contains out "saturated");
@@ -67,47 +58,27 @@ let test_chase () =
   check "null printed" true (contains out "_:n")
 
 let test_classify () =
-  let file = write_program "prog_cls.gd" program in
+  let file = prog "prog_cls.gd" in
   let status, out, _ = run_cli [ "classify"; file ] in
   check "exit 0" true (status = 0);
   check "linear" true (contains out "linear (L):           true");
   check "guarded" true (contains out "guarded (G):          true")
 
 let test_cqs_eval_and_optimize () =
-  let file =
-    write_program "prog_cqs.gd"
-      {|
-order(O,C) -> customer(C).
-customer(alice).
-order(o1,alice).
-q(O) :- order(O,C), customer(C).
-|}
-  in
+  let file = prog "prog_cqs.gd" in
   let status, out, _ = run_cli [ "cqs-eval"; file; "-q"; "q"; "--optimize" ] in
   check "exit 0" true (status = 0);
   check "answer o1" true (contains out "o1");
   check "optimized to single atom" true (contains out "optimized query")
 
 let test_equiv () =
-  let file =
-    write_program "prog_eq.gd"
-      {|
-r2(X) -> r4(X).
-q() :- p(X2,X1), p(X4,X1), p(X2,X3), p(X4,X3), r1(X1), r2(X2), r3(X3), r4(X4).
-|}
-  in
+  let file = prog "prog_eq.gd" in
   let status, out, _ = run_cli [ "equiv"; file; "-q"; "q"; "-k"; "1" ] in
   check "exit 0" true (status = 0);
   check "holds" true (contains out "holds")
 
 let test_rewrite () =
-  let file =
-    write_program "prog_rw.gd"
-      {|
-a(X) -> s(X,Y).
-q() :- s(U,W).
-|}
-  in
+  let file = prog "prog_rw.gd" in
   let status, out, _ = run_cli [ "rewrite"; file; "-q"; "q" ] in
   check "exit 0" true (status = 0);
   check "original disjunct" true (contains out "s(");
@@ -119,45 +90,30 @@ let test_clique () =
   check "reports both verdicts" true (contains out "direct search")
 
 let test_terminates () =
-  let file = write_program "prog_term.gd" program in
+  let file = prog "prog_term.gd" in
   let status, out, _ = run_cli [ "terminates"; file ] in
   check "exit 0" true (status = 0);
   check "weakly acyclic" true (contains out "weakly acyclic:            true");
   check "edges printed" true (contains out "->")
 
 let test_witness () =
-  let file =
-    write_program "prog_wit.gd"
-      {|
-emp(X) -> reports(X,M).
-reports(X,M) -> emp(M).
-emp(eve).
-|}
-  in
+  let file = prog "prog_wit.gd" in
   let status, out, _ = run_cli [ "witness"; file; "-n"; "2" ] in
   check "exit 0" true (status = 0);
   check "model verified" true (contains out "model: true")
 
 let test_reduce () =
-  let file =
-    write_program "prog_red.gd"
-      {|
-emp(X) -> reports(X,M).
-reports(X,M) -> emp(M).
-emp(eve).
-q() :- reports(X,M), emp(M).
-|}
-  in
+  let file = prog "prog_red.gd" in
   let status, out, _ = run_cli [ "reduce"; file; "-q"; "q" ] in
   check "exit 0" true (status = 0);
   check "satisfies sigma" true (contains out "satisfies Σ: true")
 
 let test_errors_reported () =
-  let file = write_program "prog_bad.gd" "knows(X,Y." in
+  let file = prog "prog_bad.gd" in
   let status, _, err = run_cli [ "eval"; file ] in
   check "non-zero exit" true (status <> 0);
   check "position in message" true (contains err "prog_bad.gd:1:");
-  let status2, _, err2 = run_cli [ "eval"; "prog_eval.gd"; "-q"; "nope" ] in
+  let status2, _, err2 = run_cli [ "eval"; prog "prog_eval.gd"; "-q"; "nope" ] in
   check "missing query reported" true (status2 <> 0 && contains err2 "no query named")
 
 let () =

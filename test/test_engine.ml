@@ -1,0 +1,222 @@
+(* Randomized cross-validation of the indexed semi-naive saturation engine
+   (lib/engine) against the naive re-enumerating chase: identical s-levels
+   (Lemma A.1 canonicity is preserved by the delta-driven evaluation),
+   identical certain answers, and joiner/index unit properties. *)
+
+open Relational
+open Relational.Term
+module Tgd = Tgds.Tgd
+module Chase = Tgds.Chase
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let v = Term.var
+let atom p args = Atom.make p args
+let fact p args = Fact.make p (List.map (fun s -> Named s) args)
+let tgd body head = Tgd.make ~body ~head
+let bool_q atoms = Ucq.of_cq (Cq.make atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Generators: random guarded TGD sets over {A/1, B/1, S/2, T/2} with   *)
+(* joins and existentials, and small random databases                   *)
+(* ------------------------------------------------------------------ *)
+
+let tgd_pool =
+  [|
+    (* linear, existential *)
+    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+    (* linear, frontier only *)
+    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ];
+    (* guarded join *)
+    tgd [ atom "S" [ v "x"; v "y" ]; atom "A" [ v "x" ] ] [ atom "B" [ v "x" ] ];
+    (* existential chain *)
+    tgd [ atom "B" [ v "x" ] ] [ atom "T" [ v "x"; v "z" ] ];
+    (* reflexive guard *)
+    tgd [ atom "S" [ v "x"; v "x" ] ] [ atom "B" [ v "x" ] ];
+    (* two-atom guarded body across predicates *)
+    tgd [ atom "T" [ v "x"; v "y" ]; atom "B" [ v "x" ] ] [ atom "S" [ v "y"; v "x" ] ];
+    (* multi-atom head *)
+    tgd [ atom "T" [ v "x"; v "y" ] ] [ atom "A" [ v "x" ]; atom "B" [ v "y" ] ];
+  |]
+
+let gen_sigma =
+  QCheck.Gen.(
+    map
+      (List.map (Array.get tgd_pool))
+      (list_size (int_range 1 4) (int_range 0 (Array.length tgd_pool - 1))))
+
+let gen_db =
+  QCheck.Gen.(
+    let gc = map (List.nth [ "a"; "b"; "c" ]) (int_range 0 2) in
+    let gen_fact =
+      let* p = int_range 0 3 in
+      match p with
+      | 0 ->
+          let* a = gc in
+          return (fact "A" [ a ])
+      | 1 ->
+          let* a = gc in
+          return (fact "B" [ a ])
+      | 2 ->
+          let* a = gc and* b = gc in
+          return (fact "S" [ a; b ])
+      | _ ->
+          let* a = gc and* b = gc in
+          return (fact "T" [ a; b ])
+    in
+    map Instance.of_facts (list_size (int_range 1 5) gen_fact))
+
+let arb_sigma_db =
+  QCheck.make
+    ~print:(fun (s, db) -> Fmt.str "Σ=%a D=%a" (Fmt.list Tgd.pp) s Instance.pp db)
+    QCheck.Gen.(pair gen_sigma gen_db)
+
+(* ------------------------------------------------------------------ *)
+(* Level-wise equivalence: chase^ℓ_s agrees level by level              *)
+(* ------------------------------------------------------------------ *)
+
+let max_level = 6
+
+let levels_agree ~policy (sigma, db) =
+  let naive = Chase.run ~engine:`Naive ~policy ~max_level ~max_facts:5000 sigma db in
+  let indexed =
+    Chase.run ~engine:`Indexed ~policy ~max_level ~max_facts:5000 sigma db
+  in
+  Chase.saturated naive = Chase.saturated indexed
+  && List.for_all
+       (fun l ->
+         Instance.size (Chase.up_to_level naive l)
+         = Instance.size (Chase.up_to_level indexed l))
+       (List.init (max_level + 1) Fun.id)
+
+let prop_levels_oblivious =
+  QCheck.Test.make ~name:"indexed ≍ naive per level (oblivious)" ~count:200
+    arb_sigma_db
+    (levels_agree ~policy:Chase.Oblivious)
+
+let prop_levels_restricted =
+  QCheck.Test.make ~name:"indexed ≍ naive per level (restricted)" ~count:200
+    arb_sigma_db
+    (levels_agree ~policy:Chase.Restricted)
+
+(* ------------------------------------------------------------------ *)
+(* Certain answers agree under both engines                             *)
+(* ------------------------------------------------------------------ *)
+
+let queries =
+  [
+    bool_q [ atom "A" [ v "u" ] ];
+    bool_q [ atom "B" [ v "u" ] ];
+    bool_q [ atom "S" [ v "u"; v "w" ] ];
+    bool_q [ atom "T" [ v "u"; v "w" ] ];
+    bool_q [ atom "S" [ v "u"; v "w" ]; atom "B" [ v "u" ] ];
+    bool_q [ atom "S" [ v "u"; v "w" ]; atom "T" [ v "w"; v "z" ] ];
+  ]
+
+let prop_certain_agrees =
+  QCheck.Test.make ~name:"certain answers agree across engines" ~count:120
+    arb_sigma_db (fun (sigma, db) ->
+      List.for_all
+        (fun q ->
+          let vn, en = Chase.certain ~engine:`Naive ~max_level:8 sigma db q [] in
+          let vi, ei = Chase.certain ~engine:`Indexed ~max_level:8 sigma db q [] in
+          en = ei && ((not en) || vn = vi))
+        queries)
+
+(* ------------------------------------------------------------------ *)
+(* Joiner ≡ Homomorphism.fold_homs on random instances                  *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_homs fold =
+  fold (fun b acc -> VarMap.bindings b :: acc) [] |> List.sort Stdlib.compare
+
+let prop_joiner_matches_fold_homs =
+  QCheck.Test.make ~name:"Joiner.fold enumerates the same homomorphisms"
+    ~count:200 arb_sigma_db (fun (sigma, db) ->
+      let inst = Chase.instance (Chase.run ~max_level:3 ~max_facts:500 sigma db) in
+      let idx = Engine.Index.of_instance inst in
+      List.for_all
+        (fun q ->
+          let body = Cq.atoms (List.hd (Ucq.disjuncts q)) in
+          sorted_homs (fun f acc -> Homomorphism.fold_homs body inst f acc)
+          = sorted_homs (fun f acc -> Engine.Joiner.fold body idx f acc))
+        queries)
+
+(* ------------------------------------------------------------------ *)
+(* Index unit properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_index_roundtrip =
+  QCheck.Test.make ~name:"Index.of_instance/to_instance roundtrip" ~count:200
+    (QCheck.make ~print:(Fmt.str "%a" Instance.pp) gen_db) (fun db ->
+      Instance.equal db (Engine.Index.to_instance (Engine.Index.of_instance db)))
+
+let test_index_postings () =
+  let idx =
+    Engine.Index.of_instance
+      (Instance.of_facts
+         [ fact "S" [ "a"; "b" ]; fact "S" [ "a"; "c" ]; fact "S" [ "b"; "c" ] ])
+  in
+  check_int "bucket (S,0,a)" 2 (Engine.Index.count_at idx "S" 0 (Named "a"));
+  check_int "bucket (S,1,c)" 2 (Engine.Index.count_at idx "S" 1 (Named "c"));
+  check_int "relation size" 3 (Engine.Index.count_of idx "S");
+  check "duplicate insert rejected" false
+    (Engine.Index.insert (fact "S" [ "a"; "b" ]) idx);
+  check_int "size unchanged" 3 (Engine.Index.size idx)
+
+let test_delta_restriction () =
+  (* with ~delta, only matches using a delta fact for the first atom *)
+  let inst =
+    Instance.of_facts [ fact "A" [ "a" ]; fact "A" [ "b" ]; fact "S" [ "a"; "b" ] ]
+  in
+  let idx = Engine.Index.of_instance inst in
+  let body = [ atom "A" [ v "x" ]; atom "S" [ v "x"; v "y" ] ] in
+  let all = Engine.Joiner.all body idx in
+  check_int "unrestricted: one hom" 1 (List.length all);
+  let none =
+    Engine.Joiner.fold ~delta:[ fact "A" [ "b" ] ] body idx
+      (fun _ n -> n + 1)
+      0
+  in
+  check_int "delta A(b): no hom" 0 none;
+  let one =
+    Engine.Joiner.fold ~delta:[ fact "A" [ "a" ] ] body idx
+      (fun _ n -> n + 1)
+      0
+  in
+  check_int "delta A(a): one hom" 1 one
+
+let test_stats_reported () =
+  let sigma =
+    [ tgd [ atom "S" [ v "x"; v "y" ]; atom "A" [ v "x" ] ] [ atom "B" [ v "x" ] ] ]
+  in
+  let db = Instance.of_facts [ fact "A" [ "a" ]; fact "S" [ "a"; "b" ] ] in
+  let r = Chase.run ~engine:`Indexed sigma db in
+  match Chase.stats r with
+  | None -> Alcotest.fail "indexed run must report stats"
+  | Some s ->
+      check_int "one trigger" 1 s.Engine.Saturate.triggers_fired;
+      check "probes counted" true (s.Engine.Saturate.index_probes > 0);
+      check_int "one fact at level 1" 1 (List.hd s.Engine.Saturate.facts_per_level)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_levels_oblivious;
+      prop_levels_restricted;
+      prop_certain_agrees;
+      prop_joiner_matches_fold_homs;
+      prop_index_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "index postings" `Quick test_index_postings;
+          Alcotest.test_case "delta restriction" `Quick test_delta_restriction;
+          Alcotest.test_case "saturation stats" `Quick test_stats_reported;
+        ] );
+      ("properties", qcheck_tests);
+    ]
