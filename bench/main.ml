@@ -514,14 +514,19 @@ let e15 ~full () =
       measure ~repeat:1 (fun () ->
           ignore (Tgds.Chase.run ~engine:`Naive ~max_level sigma db))
     in
-    let stats = Option.get (Tgds.Chase.stats r) in
+    let er = Option.get (Tgds.Chase.engine_result r) in
+    let triggers = er.Engine.Saturate.triggers_fired in
+    (* per-level breakdown: fact growth from the s-levels, durations from
+       the saturation span's [level] children *)
+    let fpl = Tgds.Chase.facts_per_level r in
+    let level_s =
+      List.map Obs.Span.elapsed (Obs.Span.children er.Engine.Saturate.span)
+    in
     rows :=
-      (workload, Instance.size db, chased, stats.Engine.Saturate.triggers_fired,
-       t_naive, t_idx)
+      (workload, Instance.size db, chased, triggers, t_naive, t_idx, fpl, level_s)
       :: !rows;
     row "  %-18s %8d %10d %10d %12.4f %12.4f %9.1fx@." workload
-      (Instance.size db) chased stats.Engine.Saturate.triggers_fired t_naive
-      t_idx (t_naive /. t_idx)
+      (Instance.size db) chased triggers t_naive t_idx (t_naive /. t_idx)
   in
   row "  %-18s %8s %10s %10s %12s %12s %9s@." "workload" "||D||" "chased"
     "triggers" "naive(s)" "indexed(s)" "speedup";
@@ -538,20 +543,30 @@ let e15 ~full () =
       bench_case ~workload:(Printf.sprintf "full-chain-%d" n) ~sigma:gf ~db
         ~max_level:max_int)
     (if full then [ 200; 800; 2000; 4000 ] else [ 200; 800; 2000 ]);
-  (* emit machine-readable results for the ablation record *)
+  (* emit machine-readable results for the ablation record, now with the
+     per-level (phase) breakdown of the indexed run *)
+  let json =
+    Obs.Json.List
+      (List.rev_map
+         (fun (w, d, c, tr, tn, ti, fpl, level_s) ->
+           Obs.Json.Obj
+             [
+               ("workload", Obs.Json.String w);
+               ("db_facts", Obs.Json.Int d);
+               ("chase_facts", Obs.Json.Int c);
+               ("triggers", Obs.Json.Int tr);
+               ("naive_s", Obs.Json.Float tn);
+               ("indexed_s", Obs.Json.Float ti);
+               ("speedup", Obs.Json.Float (tn /. ti));
+               ( "facts_per_level",
+                 Obs.Json.List (List.map (fun n -> Obs.Json.Int n) fpl) );
+               ( "level_s",
+                 Obs.Json.List (List.map (fun s -> Obs.Json.Float s) level_s) );
+             ])
+         !rows)
+  in
   let oc = open_out "BENCH_engine.json" in
-  let pr fmt = Printf.fprintf oc fmt in
-  pr "[\n";
-  List.iteri
-    (fun i (w, d, c, tr, tn, ti) ->
-      pr
-        "  {\"workload\": %S, \"db_facts\": %d, \"chase_facts\": %d, \
-         \"triggers\": %d, \"naive_s\": %.6f, \"indexed_s\": %.6f, \
-         \"speedup\": %.2f}%s\n"
-        w d c tr tn ti (tn /. ti)
-        (if i = List.length !rows - 1 then "" else ","))
-    (List.rev !rows);
-  pr "]\n";
+  Obs.Json.to_channel oc json;
   close_out oc;
   row "@.  wrote BENCH_engine.json@."
 
@@ -638,6 +653,54 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* smoke — tiny budgeted run whose stats JSON must round-trip (CI)      *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  Fmt.pr "@.=== smoke: budgeted chase report round-trip ===@.";
+  (* non-terminating guarded program, cut by the fact budget *)
+  let sigma =
+    [
+      Tgds.Tgd.make
+        ~body:[ atom "S" [ v "x"; v "y" ] ]
+        ~head:[ atom "S" [ v "y"; v "z" ] ];
+    ]
+  in
+  let db = Instance.of_facts [ fact "S" [ "a"; "b" ] ] in
+  let budget = Obs.Budget.create ~max_facts:20 () in
+  let r = Tgds.Chase.run ~budget sigma db in
+  Obs.Report.write "BENCH_smoke.json" (Tgds.Chase.report ~name:"smoke" r);
+  let ic = open_in "BENCH_smoke.json" in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let fail msg =
+    Fmt.epr "smoke: %s@." msg;
+    exit 1
+  in
+  (match Obs.Json.parse s with
+  | Error e -> fail ("stats JSON does not parse: " ^ e)
+  | Ok j ->
+      (match Obs.Json.member "name" j with
+      | Some (Obs.Json.String "smoke") -> ()
+      | _ -> fail "missing or ill-typed \"name\"");
+      (match Obs.Json.member "outcome" j with
+      | Some (Obs.Json.Obj _ as o) -> (
+          match Obs.Json.member "status" o with
+          | Some (Obs.Json.String "partial") -> ()
+          | _ -> fail "expected outcome.status = \"partial\"")
+      | _ -> fail "missing \"outcome\" object");
+      (match Obs.Json.member "facts_per_level" j with
+      | Some (Obs.Json.List (_ :: _)) -> ()
+      | _ -> fail "missing or empty \"facts_per_level\"");
+      (match Obs.Json.member "counters" j with
+      | Some (Obs.Json.Obj _) -> ()
+      | _ -> fail "missing \"counters\" object");
+      (match Obs.Json.member "span" j with
+      | Some (Obs.Json.Obj _) -> ()
+      | _ -> fail "missing \"span\" object"));
+  Fmt.pr "  BENCH_smoke.json ok (%d bytes)@." (String.length s)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -651,10 +714,13 @@ let all_experiments =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let wanted = List.filter (fun a -> a <> "--full" && a <> "micro") args in
+  let wanted =
+    List.filter (fun a -> a <> "--full" && a <> "micro" && a <> "smoke") args
+  in
   let run_micro = List.mem "micro" args in
+  let run_smoke = List.mem "smoke" args in
   let chosen =
-    if wanted = [] then all_experiments
+    if wanted = [] then if run_micro || run_smoke then [] else all_experiments
     else List.filter (fun (name, _) -> List.mem name wanted) all_experiments
   in
   Fmt.pr "guarded: experiment harness (sizes: %s)@."
@@ -662,4 +728,5 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter (fun (_, f) -> f ~full ()) chosen;
   if run_micro then micro ();
+  if run_smoke then smoke ();
   Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

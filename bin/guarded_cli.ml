@@ -41,6 +41,35 @@ let level_arg =
 
 let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Treewidth bound k.")
 
+(* observability args, shared by the run-style commands *)
+let stats_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:"Write the run report (outcome, per-level fact counts, counters, span tree) as JSON to $(docv).")
+
+let budget_facts_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "budget-facts" ] ~docv:"N"
+        ~doc:"Stop the chase gracefully once more than $(docv) facts are materialised.")
+
+let budget_ms_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:"Wall-clock budget for the chase, in milliseconds.")
+
+let make_budget facts ms =
+  match (facts, ms) with
+  | None, None -> None
+  | _ -> Some (Obs.Budget.create ?max_facts:facts ?max_ms:ms ())
+
+let report_outcome out =
+  match out with
+  | Obs.Budget.Complete -> ()
+  | Obs.Budget.Partial v -> Fmt.pr "%% partial: %a@." Obs.Budget.pp_violation v
+
 (* ------------------------------------------------------------------ *)
 (* chase                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -55,24 +84,32 @@ let engine_arg =
         ~doc:"Saturation engine: $(b,indexed) (semi-naive, default) or $(b,naive).")
 
 let chase_cmd =
-  let run file max_level engine =
+  let run file max_level engine stats budget_facts budget_ms =
     with_program file (fun p ->
+        let budget = make_budget budget_facts budget_ms in
         let r =
-          Tgds.Chase.run ~engine ~max_level p.Syntax.Parser.tgds
+          Tgds.Chase.run ~engine ~max_level ?budget p.Syntax.Parser.tgds
             (Syntax.Parser.database p)
         in
         Fmt.pr "%% chase %s (max level %d)@." (if Tgds.Chase.saturated r then "saturated" else "truncated") max_level;
-        (match Tgds.Chase.stats r with
-        | Some s ->
+        report_outcome (Tgds.Chase.outcome r);
+        (match Tgds.Chase.engine_result r with
+        | Some er ->
             Fmt.pr "%% %d triggers fired, %d index probes@."
-              s.Engine.Saturate.triggers_fired s.Engine.Saturate.index_probes
+              er.Engine.Saturate.triggers_fired
+              (Engine.Index.probes (Tgds.Chase.index r))
         | None -> ());
         Instance.iter (fun f -> Fmt.pr "%a.@." Fact.pp f) (Tgds.Chase.instance r);
+        (match stats with
+        | Some path -> Obs.Report.write path (Tgds.Chase.report r)
+        | None -> ());
         0)
   in
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the level-bounded oblivious chase and print the result.")
-    Term.(const run $ file_arg $ level_arg $ engine_arg)
+    Term.(
+      const run $ file_arg $ level_arg $ engine_arg $ stats_arg
+      $ budget_facts_arg $ budget_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                             *)
@@ -103,7 +140,7 @@ let classify_cmd =
 let pp_tuple ppf t = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") Relational.Term.pp_const) t
 
 let eval_cmd =
-  let run file qname max_level fpt =
+  let run file qname max_level fpt stats budget_facts budget_ms =
     with_program file (fun p ->
         match get_query p qname with
         | Error e ->
@@ -112,31 +149,47 @@ let eval_cmd =
         | Ok q ->
             let omq = Omq.full_data_schema ~ontology:p.Syntax.Parser.tgds ~query:q in
             let db = Syntax.Parser.database p in
-            if Ucq.arity q = 0 then begin
-              let v =
-                if fpt then Omq_eval.certain_fpt ~max_level omq db []
-                else Omq_eval.certain ~max_level omq db []
-              in
-              Fmt.pr "%s%s@."
-                (if v.Omq_eval.holds then "true" else "false")
-                (if v.Omq_eval.exact then "" else " (bounded — not exact)");
-              0
-            end
-            else begin
-              let answers, exact = Omq_eval.answers ~max_level omq db in
-              List.iter (fun t -> Fmt.pr "%a@." pp_tuple t) answers;
-              if not exact then Fmt.pr "%% bounded chase — possibly incomplete@.";
-              0
-            end)
+            let budget = make_budget budget_facts budget_ms in
+            let span = Obs.Span.root "eval" in
+            let exact =
+              if Ucq.arity q = 0 then begin
+                let v =
+                  if fpt then
+                    Omq_eval.certain_fpt ~max_level ?budget ~obs:span omq db []
+                  else Omq_eval.certain ~max_level ?budget ~obs:span omq db []
+                in
+                Fmt.pr "%s%s@."
+                  (if v.Omq_eval.holds then "true" else "false")
+                  (if v.Omq_eval.exact then "" else " (bounded — not exact)");
+                v.Omq_eval.exact
+              end
+              else begin
+                let answers, exact =
+                  Omq_eval.answers ~max_level ?budget ~obs:span omq db
+                in
+                List.iter (fun t -> Fmt.pr "%a@." pp_tuple t) answers;
+                if not exact then Fmt.pr "%% bounded chase — possibly incomplete@.";
+                exact
+              end
+            in
+            Obs.Span.exit span;
+            (match stats with
+            | Some path ->
+                let rep = Obs.Report.create ~span "eval" in
+                Obs.Report.add_field rep "exact" (Obs.Json.Bool exact);
+                Obs.Report.write path rep
+            | None -> ());
+            0)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Open-world certain answers (ontology-mediated querying).")
     Term.(
       const run $ file_arg $ query_arg $ level_arg
-      $ Arg.(value & flag & info [ "fpt" ] ~doc:"Use the linearization-based FPT engine (guarded only)."))
+      $ Arg.(value & flag & info [ "fpt" ] ~doc:"Use the linearization-based FPT engine (guarded only).")
+      $ stats_arg $ budget_facts_arg $ budget_ms_arg)
 
 let cqs_eval_cmd =
-  let run file qname optimize =
+  let run file qname optimize stats =
     with_program file (fun p ->
         match get_query p qname with
         | Error e ->
@@ -147,10 +200,16 @@ let cqs_eval_cmd =
             let db = Syntax.Parser.database p in
             if not (Cqs.admissible s db) then
               Fmt.pr "%% warning: database violates the constraints (promise broken)@.";
-            let s = if optimize then Cqs_eval.optimize s else s in
+            let span = Obs.Span.root "cqs-eval" in
+            let s = if optimize then Cqs_eval.optimize ~obs:span s else s in
             if optimize then
               Fmt.pr "%% optimized query: %a@." Ucq.pp (Cqs.query s);
-            List.iter (fun t -> Fmt.pr "%a@." pp_tuple t) (Cqs_eval.answers s db);
+            List.iter (fun t -> Fmt.pr "%a@." pp_tuple t)
+              (Cqs_eval.answers ~obs:span s db);
+            Obs.Span.exit span;
+            (match stats with
+            | Some path -> Obs.Report.write path (Obs.Report.create ~span "cqs-eval")
+            | None -> ());
             0)
   in
   Cmd.v
@@ -158,7 +217,8 @@ let cqs_eval_cmd =
        ~doc:"Closed-world evaluation under integrity constraints.")
     Term.(
       const run $ file_arg $ query_arg
-      $ Arg.(value & flag & info [ "optimize" ] ~doc:"Σ-minimize the query first."))
+      $ Arg.(value & flag & info [ "optimize" ] ~doc:"Σ-minimize the query first.")
+      $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth / core                                                     *)

@@ -18,4 +18,8 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== bench smoke (stats JSON round-trip)"
+dune exec bench/main.exe -- smoke
+rm -f BENCH_smoke.json
+
 echo "== OK"

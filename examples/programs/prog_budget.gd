@@ -1,0 +1,2 @@
+s(a,b).
+s(X,Y) -> s(Y,Z).

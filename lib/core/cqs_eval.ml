@@ -10,30 +10,44 @@
     query is polynomial.
 
     Direct evaluation indexes the database once ([Engine.Index]) and
-    matches query atoms through the joiner's posting lists. *)
+    matches query atoms through the joiner's posting lists. [?obs]
+    collects the pipeline phases as child spans: [rewrite] (Σ-equivalent
+    minimization), [index] (building the fact store), [match]. *)
 
 (** [eval s db c̄] — is [c̄ ∈ q(db)]? ([db] should satisfy the constraints;
     use {!Cqs.admissible} to check the promise.) *)
-let eval (s : Cqs.t) db tuple =
-  Engine.Joiner.entails_ucq (Engine.Index.of_instance db) (Cqs.query s) tuple
+let eval ?obs (s : Cqs.t) db tuple =
+  let idx =
+    Obs.Span.timed obs "index" @@ fun () -> Engine.Index.of_instance db
+  in
+  Obs.Span.timed obs "match" @@ fun () ->
+  Engine.Joiner.entails_ucq idx (Cqs.query s) tuple
 
 (** [eval_tw s db c̄] — same, through the bounded-treewidth evaluator of
     Proposition 2.1 (polynomial for [q ∈ UCQ_k]). *)
-let eval_tw (s : Cqs.t) db tuple = Tw_eval.entails_ucq db (Cqs.query s) tuple
+let eval_tw ?obs (s : Cqs.t) db tuple =
+  Obs.Span.timed obs "match" @@ fun () ->
+  Tw_eval.entails_ucq db (Cqs.query s) tuple
 
 (** [optimize s] — replace the query by a Σ-equivalent minimized UCQ
     (sound: every certified simplification preserves the answers on all
     admissible databases). *)
-let optimize (s : Cqs.t) =
+let optimize ?obs (s : Cqs.t) =
+  Obs.Span.timed obs "rewrite" @@ fun () ->
   let q' = Sigma_containment.minimize_ucq (Cqs.constraints s) (Cqs.query s) in
   Cqs.make ~constraints:(Cqs.constraints s) ~query:q'
 
 (** [eval_optimized s db c̄] — minimize under Σ, then evaluate with the
     treewidth-aware engine. *)
-let eval_optimized (s : Cqs.t) db tuple = eval_tw (optimize s) db tuple
+let eval_optimized ?obs (s : Cqs.t) db tuple =
+  eval_tw ?obs (optimize ?obs s) db tuple
 
 (** [answers s db] — all answers of the (possibly optimized) query, with
     the database indexed once for every disjunct. *)
-let answers ?(optimize_first = false) (s : Cqs.t) db =
-  let s = if optimize_first then optimize s else s in
-  Engine.Joiner.answers_ucq (Engine.Index.of_instance db) (Cqs.query s)
+let answers ?(optimize_first = false) ?obs (s : Cqs.t) db =
+  let s = if optimize_first then optimize ?obs s else s in
+  let idx =
+    Obs.Span.timed obs "index" @@ fun () -> Engine.Index.of_instance db
+  in
+  Obs.Span.timed obs "match" @@ fun () ->
+  Engine.Joiner.answers_ucq idx (Cqs.query s)

@@ -1,21 +1,28 @@
 (** Closed-world CQS evaluation (§3.2) with constraint-aware semantic
     optimization — the executable content of the tractable direction of
-    Theorems 5.7/5.12. *)
+    Theorems 5.7/5.12. [?obs] collects phase spans: [rewrite], [index],
+    [match]. *)
 
 open Relational
 
 (** [eval s db c̄] — direct evaluation (the input is promised to satisfy
     the constraints; see {!Cqs.admissible}). *)
-val eval : Cqs.t -> Instance.t -> Term.const list -> bool
+val eval : ?obs:Obs.Span.t -> Cqs.t -> Instance.t -> Term.const list -> bool
 
 (** Same, through the Proposition 2.1 evaluator. *)
-val eval_tw : Cqs.t -> Instance.t -> Term.const list -> bool
+val eval_tw : ?obs:Obs.Span.t -> Cqs.t -> Instance.t -> Term.const list -> bool
 
 (** Replace the query by a Σ-equivalent minimized UCQ. *)
-val optimize : Cqs.t -> Cqs.t
+val optimize : ?obs:Obs.Span.t -> Cqs.t -> Cqs.t
 
 (** Minimize under Σ, then evaluate with the treewidth-aware engine. *)
-val eval_optimized : Cqs.t -> Instance.t -> Term.const list -> bool
+val eval_optimized :
+  ?obs:Obs.Span.t -> Cqs.t -> Instance.t -> Term.const list -> bool
 
 (** All answers (of the optionally optimized query). *)
-val answers : ?optimize_first:bool -> Cqs.t -> Instance.t -> Term.const list list
+val answers :
+  ?optimize_first:bool ->
+  ?obs:Obs.Span.t ->
+  Cqs.t ->
+  Instance.t ->
+  Term.const list list

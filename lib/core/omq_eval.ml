@@ -14,7 +14,12 @@
 
     UCQ checks over chased instances run through the indexed joiner
     ([Engine.Joiner]): the chase already hands back its fact store, so no
-    relation is rescanned per query atom. *)
+    relation is rescanned per query atom.
+
+    Observability: every engine takes [?budget] (forwarded to the chase,
+    which then stops gracefully instead of looping) and [?obs] — the
+    pipeline phases land as child spans ([rewrite] for the linearization,
+    [chase] from the chase itself, [match] for query evaluation). *)
 
 open Relational
 module Chase = Tgds.Chase
@@ -27,27 +32,35 @@ type verdict = {
 (** Baseline engine: chase then evaluate (Proposition 3.1). [exact] is true
     iff the chase saturated, in which case the verdict is definitive in both
     directions; a [holds = true] verdict is always sound. *)
-let certain ?(max_level = 8) ?max_facts (q : Omq.t) db tuple =
+let certain ?(max_level = 8) ?max_facts ?budget ?obs (q : Omq.t) db tuple =
   if not (Omq.accepts_database q db) then
     invalid_arg "Omq_eval.certain: not a database over the data schema";
-  let r = Chase.run ~max_level ?max_facts (Omq.ontology q) db in
-  { holds = Engine.Joiner.entails_ucq (Chase.index r) (Omq.query q) tuple;
-    exact = Chase.saturated r }
+  let r = Chase.run ~max_level ?max_facts ?budget ?obs (Omq.ontology q) db in
+  let holds =
+    Obs.Span.timed obs "match" @@ fun () ->
+    Engine.Joiner.entails_ucq (Chase.index r) (Omq.query q) tuple
+  in
+  { holds; exact = Chase.saturated r }
 
 (** The FPT pipeline of Proposition 3.3(3): requires [Σ ∈ G]. The data-side
     work is polynomial (building [D*] via the ground closure and chasing
     the linear [Σ*] to a level depending only on [Q]); the query-side work
     is the type exploration, independent of the data. *)
-let certain_fpt ?(max_level = 10) ?max_facts ?max_types (q : Omq.t) db tuple =
+let certain_fpt ?(max_level = 10) ?max_facts ?max_types ?budget ?obs
+    (q : Omq.t) db tuple =
   if not (Omq.in_guarded q) then
     invalid_arg "Omq_eval.certain_fpt: ontology must be guarded";
   if not (Omq.accepts_database q db) then
     invalid_arg "Omq_eval.certain_fpt: not a database over the data schema";
-  let lin = Tgds.Linearize.make ?max_types (Omq.ontology q) db in
-  let r = Chase.run ~max_level ?max_facts lin.Tgds.Linearize.sigma_star
-      lin.Tgds.Linearize.db_star in
+  let lin =
+    Obs.Span.timed obs "rewrite" @@ fun () ->
+    Tgds.Linearize.make ?max_types (Omq.ontology q) db
+  in
+  let r = Chase.run ~max_level ?max_facts ?budget ?obs
+      lin.Tgds.Linearize.sigma_star lin.Tgds.Linearize.db_star in
   let ucq = Omq.query q in
   let holds =
+    Obs.Span.timed obs "match" @@ fun () ->
     if Ucq.in_ucqk 2 ucq then Tw_eval.entails_ucq (Chase.instance r) ucq tuple
     else Engine.Joiner.entails_ucq (Chase.index r) ucq tuple
   in
@@ -60,8 +73,8 @@ let certain_atomic (ontology : Tgds.Tgd.t list) db (fact : Fact.t) =
 
 (** [answers ?max_level q db] — the certain answers over tuples of the
     active domain (sound; exact when the chase saturates). *)
-let answers ?(max_level = 8) ?max_facts (q : Omq.t) db =
-  let r = Chase.run ~max_level ?max_facts (Omq.ontology q) db in
+let answers ?(max_level = 8) ?max_facts ?budget ?obs (q : Omq.t) db =
+  let r = Chase.run ~max_level ?max_facts ?budget ?obs (Omq.ontology q) db in
   let idx = Chase.index r in
   let dom = Term.ConstSet.elements (Instance.dom db) in
   let rec tuples n =
@@ -70,5 +83,9 @@ let answers ?(max_level = 8) ?max_facts (q : Omq.t) db =
       List.concat_map (fun t -> List.map (fun c -> c :: t) dom) (tuples (n - 1))
   in
   let candidates = tuples (Omq.arity q) in
-  ( List.filter (fun c -> Engine.Joiner.entails_ucq idx (Omq.query q) c) candidates,
-    Chase.saturated r )
+  let sel =
+    Obs.Span.timed obs "match" @@ fun () ->
+    List.filter (fun c -> Engine.Joiner.entails_ucq idx (Omq.query q) c)
+      candidates
+  in
+  (sel, Chase.saturated r)

@@ -1,6 +1,10 @@
 (** Open-world OMQ evaluation (§3.1): the baseline chase engine
     (Proposition 3.1), the FPT pipeline of Proposition 3.3(3), and exact
-    atomic answering via the ground closure. *)
+    atomic answering via the ground closure.
+
+    [?budget] bounds the underlying chase (graceful cutoff; the verdict is
+    then inexact). [?obs] collects phase spans: [rewrite] (linearization),
+    [chase] (with its per-level children), [match]. *)
 
 open Relational
 
@@ -13,7 +17,14 @@ type verdict = {
     sound; the verdict is definitive when [exact]. Raises
     [Invalid_argument] when [db] is not over the data schema. *)
 val certain :
-  ?max_level:int -> ?max_facts:int -> Omq.t -> Instance.t -> Term.const list -> verdict
+  ?max_level:int ->
+  ?max_facts:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  Omq.t ->
+  Instance.t ->
+  Term.const list ->
+  verdict
 
 (** The FPT pipeline (guarded ontologies): linearize, chase the linear
     set level-bounded, evaluate tree-like UCQs with {!Tw_eval}. *)
@@ -21,6 +32,8 @@ val certain_fpt :
   ?max_level:int ->
   ?max_facts:int ->
   ?max_types:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
   Omq.t ->
   Instance.t ->
   Term.const list ->
@@ -35,6 +48,8 @@ val certain_atomic : Tgds.Tgd.t list -> Instance.t -> Fact.t -> bool
 val answers :
   ?max_level:int ->
   ?max_facts:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
   Omq.t ->
   Instance.t ->
   Term.const list list * bool

@@ -14,20 +14,30 @@ type t = {
   facts : (Fact.t, unit) Hashtbl.t;  (** membership *)
   by_pred : (string, bucket) Hashtbl.t;
   by_pos : (key, bucket) Hashtbl.t;
-  probes : int ref;
+  metrics : Obs.Metrics.t;
+  (* counter handles, resolved once so the hot paths never do a name
+     lookup *)
+  c_probes : Obs.Metrics.counter;
+  c_inserts : Obs.Metrics.counter;
+  c_duplicates : Obs.Metrics.counter;
 }
 
 let create () =
+  let metrics = Obs.Metrics.create () in
   {
     facts = Hashtbl.create 256;
     by_pred = Hashtbl.create 16;
     by_pos = Hashtbl.create 1024;
-    probes = ref 0;
+    metrics;
+    c_probes = Obs.Metrics.counter metrics "index.probes";
+    c_inserts = Obs.Metrics.counter metrics "index.inserts";
+    c_duplicates = Obs.Metrics.counter metrics "index.duplicates";
   }
 
 let mem f idx = Hashtbl.mem idx.facts f
 let size idx = Hashtbl.length idx.facts
-let probes idx = !(idx.probes)
+let probes idx = Obs.Metrics.value idx.c_probes
+let metrics idx = idx.metrics
 
 let bucket tbl key =
   match Hashtbl.find_opt tbl key with
@@ -43,8 +53,12 @@ let push b tuple =
 
 (** [insert f idx] — add [f]; [false] when it was already present. *)
 let insert f idx =
-  if Hashtbl.mem idx.facts f then false
+  if Hashtbl.mem idx.facts f then begin
+    Obs.Metrics.incr idx.c_duplicates;
+    false
+  end
   else begin
+    Obs.Metrics.incr idx.c_inserts;
     Hashtbl.replace idx.facts f ();
     let p = Fact.pred f and args = Fact.args f in
     push (bucket idx.by_pred p) args;
@@ -65,11 +79,11 @@ let to_instance idx =
   Hashtbl.fold (fun f () acc -> Instance.add_fact f acc) idx.facts Instance.empty
 
 let tuples_of idx p =
-  incr idx.probes;
+  Obs.Metrics.incr idx.c_probes;
   match Hashtbl.find_opt idx.by_pred p with Some b -> b.tuples | None -> []
 
 let tuples_at idx p i c =
-  incr idx.probes;
+  Obs.Metrics.incr idx.c_probes;
   match Hashtbl.find_opt idx.by_pos (p, i, c) with Some b -> b.tuples | None -> []
 
 let count_at idx p i c =

@@ -68,3 +68,8 @@ val candidate_count : t -> Atom.t -> Homomorphism.binding -> int
 
 (** Number of posting-list probes performed so far (statistics). *)
 val probes : t -> int
+
+(** The store's metrics registry: [index.probes], [index.inserts],
+    [index.duplicates], plus the [joiner.*] counters the {!Joiner} files
+    against the store it searches. *)
+val metrics : t -> Obs.Metrics.t

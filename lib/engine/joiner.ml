@@ -9,6 +9,9 @@ open Relational.Term
 type binding = Homomorphism.binding
 
 let fold ?(injective = false) ?(init = VarMap.empty) ?delta atoms idx f acc =
+  let m = Index.metrics idx in
+  let c_candidates = Obs.Metrics.counter m "joiner.candidates" in
+  let c_backtracks = Obs.Metrics.counter m "joiner.backtracks" in
   (* match the remaining atoms, cheapest first *)
   let rec search b pending acc =
     match pending with
@@ -25,9 +28,12 @@ let fold ?(injective = false) ?(init = VarMap.empty) ?delta atoms idx f acc =
         let rest = List.filteri (fun i _ -> i <> best_i) pending in
         List.fold_left
           (fun acc tuple ->
+            Obs.Metrics.incr c_candidates;
             match Homomorphism.match_atom ~injective b best_a tuple with
             | Some b' -> search b' rest acc
-            | None -> acc)
+            | None ->
+                Obs.Metrics.incr c_backtracks;
+                acc)
           acc
           (Index.candidates idx best_a b)
   in
@@ -38,10 +44,14 @@ let fold ?(injective = false) ?(init = VarMap.empty) ?delta atoms idx f acc =
       List.fold_left
         (fun acc df ->
           if Fact.pred df <> p then acc
-          else
+          else begin
+            Obs.Metrics.incr c_candidates;
             match Homomorphism.match_atom ~injective init pivot (Fact.args df) with
             | Some b -> search b rest acc
-            | None -> acc)
+            | None ->
+                Obs.Metrics.incr c_backtracks;
+                acc
+          end)
         acc dfacts
 
 exception Found of binding

@@ -12,7 +12,11 @@
     predicate agrees), while the remaining atoms run against the full
     index. {!Saturate} pivots each body atom through the delta in turn to
     enumerate exactly the triggers that involve a fact of the last
-    level. *)
+    level.
+
+    Every search files [joiner.candidates] (candidate tuples examined)
+    and [joiner.backtracks] (failed positional matches) into the metrics
+    registry of the index it runs against ({!Index.metrics}). *)
 
 open Relational
 open Relational.Term

@@ -1,7 +1,7 @@
 (** Semi-naive saturation; see the interface for the level-equivalence
     argument. The driver keeps the naive chase's observable behaviour —
     trigger keys, per-level trigger sets, level assignment, policy and
-    overflow handling — while enumerating each trigger exactly once, at
+    budget cutoffs — while enumerating each trigger exactly once, at
     the level where the last fact of its body appears. *)
 
 open Relational
@@ -10,19 +10,16 @@ open Relational.Term
 type policy = Oblivious | Restricted
 type rule = { body : Atom.t list; head : Atom.t list }
 
-type stats = {
-  triggers_fired : int;
-  triggers_dismissed : int;
-  index_probes : int;
-  facts_per_level : int list;
-}
-
 type result = {
   index : Index.t;
   level_of : (Fact.t, int) Hashtbl.t;
   saturated : bool;
   max_level : int;
-  stats : stats;
+  outcome : Obs.Budget.outcome;
+  triggers_fired : int;
+  triggers_dismissed : int;
+  facts_per_level : int list;
+  span : Obs.Span.t;
 }
 
 (* Key identifying a trigger: rule index + body-variable image (same shape
@@ -56,8 +53,12 @@ let ground (b : Homomorphism.binding) a =
        (function Const c -> c | Var x -> VarMap.find x b)
        (Atom.args a))
 
-let run ?(policy = Oblivious) ?(max_level = max_int) ?(max_facts = max_int)
-    rules db =
+let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs rules db =
+  let span =
+    match obs with
+    | Some parent -> Obs.Span.enter parent "saturate"
+    | None -> Obs.Span.root "saturate"
+  in
   let rules = Array.of_list rules in
   let info =
     Array.map
@@ -84,102 +85,135 @@ let run ?(policy = Oblivious) ?(max_level = max_int) ?(max_facts = max_int)
   let first_pass = ref true in
   let saturated = ref false in
   let level = ref 0 in
-  let overflow = ref false in
-  while (not !saturated) && (not !overflow) && !level < max_level do
-    let delta_by_pred = group_by_pred !delta in
-    let pending = Hashtbl.create 64 in
-    let new_triggers = ref [] in
-    let consider i b =
-      let body_vars, _, frontier, _ = info.(i) in
-      let key = trigger_key i b body_vars in
-      if not (Hashtbl.mem fired key || Hashtbl.mem pending key) then begin
-        let active =
-          match policy with
-          | Oblivious -> true
-          | Restricted ->
-              let init = VarMap.filter (fun x _ -> VarSet.mem x frontier) b in
-              not (Joiner.exists ~init rules.(i).head idx)
+  let violation = ref None in
+  let overflow () = !violation <> None in
+  while (not !saturated) && not (overflow ()) do
+    match
+      Obs.Budget.check budget ~facts:(Hashtbl.length level_of)
+        ~level:(!level + 1)
+    with
+    | Some v -> violation := Some v
+    | None ->
+        let lspan = Obs.Span.enter span "level" in
+        let pass_no = !level + 1 in
+        let level_fired = ref 0 and level_dismissed = ref 0 in
+        let delta_by_pred = group_by_pred !delta in
+        let pending = Hashtbl.create 64 in
+        let new_triggers = ref [] in
+        let consider i b =
+          let body_vars, _, frontier, _ = info.(i) in
+          let key = trigger_key i b body_vars in
+          if not (Hashtbl.mem fired key || Hashtbl.mem pending key) then begin
+            let active =
+              match policy with
+              | Oblivious -> true
+              | Restricted ->
+                  let init = VarMap.filter (fun x _ -> VarSet.mem x frontier) b in
+                  not (Joiner.exists ~init rules.(i).head idx)
+            in
+            if active then begin
+              Hashtbl.replace pending key ();
+              new_triggers := (i, b, key) :: !new_triggers
+            end
+            else begin
+              incr triggers_dismissed;
+              incr level_dismissed;
+              Hashtbl.replace fired key ()
+            end
+          end
         in
-        if active then begin
-          Hashtbl.replace pending key ();
-          new_triggers := (i, b, key) :: !new_triggers
-        end
+        Array.iteri
+          (fun i r ->
+            if r.body = [] then begin
+              (* bodiless rules have a single (empty) trigger; it exists from
+                 the start, so only the first pass needs to consider it *)
+              if !first_pass then consider i VarMap.empty
+            end
+            else
+              let _, _, _, pvs = info.(i) in
+              List.iter
+                (fun (pivot, reordered) ->
+                  match Hashtbl.find_opt delta_by_pred (Atom.pred pivot) with
+                  | None -> ()
+                  | Some dfacts ->
+                      Joiner.fold ~delta:dfacts reordered idx
+                        (fun b () -> consider i b)
+                        ())
+                pvs)
+          rules;
+        first_pass := false;
+        if !new_triggers = [] then saturated := true
         else begin
-          incr triggers_dismissed;
-          Hashtbl.replace fired key ()
-        end
-      end
-    in
-    Array.iteri
-      (fun i r ->
-        if r.body = [] then begin
-          (* bodiless rules have a single (empty) trigger; it exists from
-             the start, so only the first pass needs to consider it *)
-          if !first_pass then consider i VarMap.empty
-        end
-        else
-          let _, _, _, pvs = info.(i) in
+          incr level;
+          let new_delta = ref [] in
+          let new_count = ref 0 in
           List.iter
-            (fun (pivot, reordered) ->
-              match Hashtbl.find_opt delta_by_pred (Atom.pred pivot) with
-              | None -> ()
-              | Some dfacts ->
-                  Joiner.fold ~delta:dfacts reordered idx
-                    (fun b () -> consider i b)
-                    ())
-            pvs)
-      rules;
-    first_pass := false;
-    if !new_triggers = [] then saturated := true
-    else begin
-      incr level;
-      let new_delta = ref [] in
-      let new_count = ref 0 in
-      List.iter
-        (fun (i, b, key) ->
-          if not !overflow then begin
-            Hashtbl.replace fired key ();
-            incr triggers_fired;
-            let r = rules.(i) in
-            let _, existentials, _, _ = info.(i) in
-            let body_level =
-              List.fold_left
-                (fun acc a ->
-                  let f = ground b a in
-                  max acc (try Hashtbl.find level_of f with Not_found -> 0))
-                0 r.body
-            in
-            let full_binding =
-              List.fold_left
-                (fun acc z -> VarMap.add z (fresh_null ()) acc)
-                b existentials
-            in
-            List.iter
-              (fun h ->
-                let f = ground full_binding h in
-                if Index.insert f idx then begin
-                  Hashtbl.replace level_of f (body_level + 1);
-                  incr new_count;
-                  new_delta := f :: !new_delta;
-                  if Hashtbl.length level_of > max_facts then overflow := true
-                end)
-              r.head
-          end)
-        (List.rev !new_triggers);
-      facts_per_level := !new_count :: !facts_per_level;
-      delta := !new_delta
-    end
+            (fun (i, b, key) ->
+              if not (overflow ()) then begin
+                Hashtbl.replace fired key ();
+                incr triggers_fired;
+                incr level_fired;
+                let r = rules.(i) in
+                let _, existentials, _, _ = info.(i) in
+                let body_level =
+                  List.fold_left
+                    (fun acc a ->
+                      let f = ground b a in
+                      max acc (try Hashtbl.find level_of f with Not_found -> 0))
+                    0 r.body
+                in
+                let full_binding =
+                  List.fold_left
+                    (fun acc z -> VarMap.add z (fresh_null ()) acc)
+                    b existentials
+                in
+                List.iter
+                  (fun h ->
+                    let f = ground full_binding h in
+                    if Index.insert f idx then begin
+                      Hashtbl.replace level_of f (body_level + 1);
+                      incr new_count;
+                      new_delta := f :: !new_delta
+                    end)
+                  r.head;
+                (* the budget is re-checked trigger-atomically: the
+                   overflowing trigger's whole head lands (matching the
+                   naive loop), remaining triggers are skipped *)
+                match
+                  Obs.Budget.check budget ~facts:(Hashtbl.length level_of)
+                    ~level:!level
+                with
+                | Some v -> violation := Some v
+                | None -> ()
+              end)
+            (List.rev !new_triggers);
+          facts_per_level := !new_count :: !facts_per_level;
+          delta := !new_delta
+        end;
+        Obs.Span.set lspan "level" (Obs.Json.Int pass_no);
+        Obs.Span.set lspan "triggers_fired" (Obs.Json.Int !level_fired);
+        Obs.Span.set lspan "triggers_dismissed" (Obs.Json.Int !level_dismissed);
+        Obs.Span.set lspan "new_facts"
+          (Obs.Json.Int
+             (match !facts_per_level with
+             | n :: _ when not !saturated -> n
+             | _ -> 0));
+        Obs.Span.exit lspan
   done;
+  let outcome =
+    match !violation with
+    | Some v -> Obs.Budget.Partial v
+    | None -> Obs.Budget.Complete
+  in
+  Obs.Span.exit span;
   {
     index = idx;
     level_of;
     saturated = !saturated;
     max_level = !level;
-    stats =
-      {
-        triggers_fired = !triggers_fired;
-        triggers_dismissed = !triggers_dismissed;
-        index_probes = Index.probes idx;
-        facts_per_level = List.rev !facts_per_level;
-      };
+    outcome;
+    triggers_fired = !triggers_fired;
+    triggers_dismissed = !triggers_dismissed;
+    facts_per_level = List.rev !facts_per_level;
+    span;
   }

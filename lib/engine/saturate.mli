@@ -12,8 +12,15 @@
 
     Policies mirror the chase: [Oblivious] (the paper's §2 semantics)
     fires every trigger once; [Restricted] dismisses triggers whose head
-    is already witnessed at collection time. Statistics (triggers fired,
-    index probes, facts per level) are recorded per run. *)
+    is already witnessed at collection time.
+
+    Observability: the run is bounded by an {!Obs.Budget.t} (facts,
+    levels, wall clock) and cut {e gracefully} — the partial result is
+    returned with [outcome = Partial _] instead of looping forever on a
+    non-terminating program. Each pass is recorded as a [level] span
+    (triggers fired/dismissed, new facts) under [?obs] when given;
+    low-level counters ([index.*], [joiner.*]) accumulate in the index's
+    metrics registry ({!Index.metrics}). *)
 
 open Relational
 
@@ -23,29 +30,25 @@ type policy = Oblivious | Restricted
     body are existential and receive fresh labelled nulls at firing. *)
 type rule = { body : Atom.t list; head : Atom.t list }
 
-type stats = {
-  triggers_fired : int;
-  triggers_dismissed : int;  (** [Restricted] head-already-satisfied *)
-  index_probes : int;
-  facts_per_level : int list;  (** new facts at levels 1, 2, … *)
-}
-
 type result = {
   index : Index.t;  (** the saturated store *)
   level_of : (Fact.t, int) Hashtbl.t;  (** s-level of every fact *)
   saturated : bool;  (** no unfired trigger remained *)
   max_level : int;
-  stats : stats;
+  outcome : Obs.Budget.outcome;  (** [Complete] iff no budget cut the run *)
+  triggers_fired : int;
+  triggers_dismissed : int;  (** [Restricted] head-already-satisfied *)
+  facts_per_level : int list;  (** new facts at levels 1, 2, … *)
+  span : Obs.Span.t;  (** the run's span (one [level] child per pass) *)
 }
 
-(** [run ?policy ?max_level ?max_facts rules db] — saturate [db] under
-    [rules] until no new trigger exists, the level bound is reached, or
-    more than [max_facts] facts have been produced (the overflowing level
-    may be cut short, as in the naive chase). *)
+(** [run ?policy ?budget ?obs rules db] — saturate [db] under [rules]
+    until no new trigger exists or the budget cuts the run (the
+    overflowing level may be cut short, as in the naive chase). *)
 val run :
   ?policy:policy ->
-  ?max_level:int ->
-  ?max_facts:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
   rule list ->
   Instance.t ->
   result

@@ -1,0 +1,74 @@
+(** Resource budgets; see the interface for the cutoff semantics. *)
+
+type violation = Facts of int | Levels of int | Deadline of float
+type outcome = Complete | Partial of violation
+
+type t = {
+  max_facts : int;
+  max_levels : int;
+  max_ms : float;  (* as configured; infinity = none *)
+  deadline : float;  (* absolute clock time; infinity = none *)
+  clock : unit -> float;
+}
+
+let unlimited =
+  {
+    max_facts = max_int;
+    max_levels = max_int;
+    max_ms = infinity;
+    deadline = infinity;
+    clock = (fun () -> 0.);
+  }
+
+let create ?(clock = Unix.gettimeofday) ?(max_facts = max_int)
+    ?(max_levels = max_int) ?max_ms () =
+  let max_ms, deadline =
+    match max_ms with
+    | None -> (infinity, infinity)
+    | Some ms -> (ms, clock () +. (ms /. 1000.))
+  in
+  { max_facts; max_levels; max_ms; deadline; clock }
+
+let meet a b =
+  {
+    max_facts = min a.max_facts b.max_facts;
+    max_levels = min a.max_levels b.max_levels;
+    max_ms = min a.max_ms b.max_ms;
+    deadline = min a.deadline b.deadline;
+    clock = (if a.deadline <= b.deadline then a.clock else b.clock);
+  }
+
+let check b ~facts ~level =
+  if facts > b.max_facts then Some (Facts b.max_facts)
+  else if level > b.max_levels then Some (Levels b.max_levels)
+  else if b.deadline < infinity && b.clock () > b.deadline then
+    Some (Deadline b.max_ms)
+  else None
+
+let max_facts b = b.max_facts
+let max_levels b = b.max_levels
+
+let pp_violation ppf = function
+  | Facts n -> Format.fprintf ppf "fact budget (%d) exhausted" n
+  | Levels n -> Format.fprintf ppf "level budget (%d) exhausted" n
+  | Deadline ms -> Format.fprintf ppf "deadline (%.0f ms) exceeded" ms
+
+let pp_outcome ppf = function
+  | Complete -> Format.pp_print_string ppf "complete"
+  | Partial v -> Format.fprintf ppf "partial: %a" pp_violation v
+
+let outcome_to_json = function
+  | Complete -> Json.Obj [ ("status", Json.String "complete") ]
+  | Partial v ->
+      let reason, limit =
+        match v with
+        | Facts n -> ("max_facts", Json.Int n)
+        | Levels n -> ("max_levels", Json.Int n)
+        | Deadline ms -> ("max_ms", Json.Float ms)
+      in
+      Json.Obj
+        [
+          ("status", Json.String "partial");
+          ("reason", Json.String reason);
+          ("limit", limit);
+        ]

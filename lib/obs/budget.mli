@@ -1,0 +1,58 @@
+(** Resource budgets for potentially non-terminating runs.
+
+    A budget bounds a saturation-style computation along three axes: total
+    facts materialised, levels (passes) executed, and wall-clock time. The
+    engine polls {!check} at its natural cut points and stops {e
+    gracefully} on the first violation — the partial result is kept and
+    the run's outcome records which limit fired, instead of the engine
+    looping forever on a non-terminating chase.
+
+    Semantics (matching the naive chase's historical cutoffs):
+    - [Facts]: violated when the fact count {e exceeds} [max_facts] (the
+      overflowing trigger still completes, so multi-atom heads stay
+      atomic);
+    - [Levels]: violated when a level {e beyond} [max_levels] would start;
+    - [Deadline]: violated once wall time since {!create} exceeds
+      [max_ms]. *)
+
+type t
+
+type violation =
+  | Facts of int  (** the configured fact limit *)
+  | Levels of int  (** the configured level limit *)
+  | Deadline of float  (** the configured wall-clock limit, ms *)
+
+(** A run either completed (fixpoint reached) or was cut by a budget. *)
+type outcome = Complete | Partial of violation
+
+(** No limits; {!check} never fires. *)
+val unlimited : t
+
+(** [create ?clock ?max_facts ?max_levels ?max_ms ()] — the deadline
+    clock starts now. [clock] is wall-clock seconds (tests inject fake
+    time); defaults to [Unix.gettimeofday]. *)
+val create :
+  ?clock:(unit -> float) ->
+  ?max_facts:int ->
+  ?max_levels:int ->
+  ?max_ms:float ->
+  unit ->
+  t
+
+(** Pointwise strictest combination (min limits, earliest deadline). *)
+val meet : t -> t -> t
+
+(** [check b ~facts ~level] — first violated limit, if any. [facts] is the
+    current total; [level] the level about to run (checks are cheap: the
+    clock is read only when a deadline is set). *)
+val check : t -> facts:int -> level:int -> violation option
+
+val max_facts : t -> int
+val max_levels : t -> int
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [{"status": "complete"}] or
+    [{"status": "partial"; "reason"; "limit"}]. *)
+val outcome_to_json : outcome -> Json.t

@@ -1,0 +1,36 @@
+(** Minimal JSON values with deterministic serialisation.
+
+    The observability layer reports runs as JSON; serialisation is fully
+    deterministic (object fields keep their given order, floats print with
+    a fixed format), so reports are golden-testable once volatile timing
+    values are normalised with {!map_floats}. The parser is the inverse on
+    the serialiser's output and accepts ordinary interchange JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Serialise; one line, no trailing newline. *)
+val to_string : t -> string
+
+(** [to_channel oc j] — serialise followed by a newline. *)
+val to_channel : out_channel -> t -> unit
+
+(** [parse s] — parse a complete JSON document (trailing whitespace
+    allowed). Numbers without [.]/[e] become [Int], others [Float]. *)
+val parse : string -> (t, string) result
+
+(** [member key j] — field lookup in an object ([None] otherwise). *)
+val member : string -> t -> t option
+
+(** [map_floats f j] — rewrite every [Float] leaf (used by golden tests
+    to normalise timings). *)
+val map_floats : (float -> float) -> t -> t
+
+(** Recursively sort object fields by key (order-insensitive compare). *)
+val sort_keys : t -> t

@@ -1,0 +1,127 @@
+(** Counters and duration histograms; see the interface. *)
+
+type counter = { mutable n : int }
+
+(* log-spaced upper bounds in seconds; a final overflow bucket catches the
+   rest *)
+let bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+type histo = {
+  mutable hcount : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  hits : int array;  (* length = Array.length bounds + 1 *)
+}
+
+type t = {
+  cs : (string, counter) Hashtbl.t;
+  hs : (string, histo) Hashtbl.t;
+}
+
+let create () = { cs = Hashtbl.create 16; hs = Hashtbl.create 8 }
+
+let counter m name =
+  match Hashtbl.find_opt m.cs name with
+  | Some c -> c
+  | None ->
+      let c = { n = 0 } in
+      Hashtbl.replace m.cs name c;
+      c
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let value c = c.n
+
+let count m name =
+  match Hashtbl.find_opt m.cs name with Some c -> c.n | None -> 0
+
+let observe m name v =
+  let h =
+    match Hashtbl.find_opt m.hs name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            hcount = 0;
+            sum = 0.;
+            vmin = infinity;
+            vmax = neg_infinity;
+            hits = Array.make (Array.length bounds + 1) 0;
+          }
+        in
+        Hashtbl.replace m.hs name h;
+        h
+  in
+  h.hcount <- h.hcount + 1;
+  h.sum <- h.sum +. v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v;
+  let rec slot i =
+    if i >= Array.length bounds then i else if v <= bounds.(i) then i else slot (i + 1)
+  in
+  let s = slot 0 in
+  h.hits.(s) <- h.hits.(s) + 1
+
+let counters m =
+  Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) m.cs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let summarize h =
+  let buckets = ref [] in
+  for i = Array.length h.hits - 1 downto 0 do
+    if h.hits.(i) > 0 then
+      let bound = if i < Array.length bounds then bounds.(i) else infinity in
+      buckets := (bound, h.hits.(i)) :: !buckets
+  done;
+  {
+    count = h.hcount;
+    sum = h.sum;
+    min = (if h.hcount = 0 then 0. else h.vmin);
+    max = (if h.hcount = 0 then 0. else h.vmax);
+    buckets = !buckets;
+  }
+
+let histograms m =
+  Hashtbl.fold (fun name h acc -> (name, summarize h) :: acc) m.hs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json m =
+  let counters_json =
+    Json.Obj (List.map (fun (name, n) -> (name, Json.Int n)) (counters m))
+  in
+  let histo_json (name, s) =
+    ( name,
+      Json.Obj
+        [
+          ("count", Json.Int s.count);
+          ("sum_s", Json.Float s.sum);
+          ("min_s", Json.Float s.min);
+          ("max_s", Json.Float s.max);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (bound, hits) ->
+                   Json.Obj
+                     [
+                       ( "le_s",
+                         if bound = infinity then Json.String "inf"
+                         else Json.Float bound );
+                       ("hits", Json.Int hits);
+                     ])
+                 s.buckets) );
+        ] )
+  in
+  Json.Obj
+    [
+      ("counters", counters_json);
+      ("histograms", Json.Obj (List.map histo_json (histograms m)));
+    ]

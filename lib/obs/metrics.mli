@@ -1,0 +1,45 @@
+(** Monotonic counters and duration histograms.
+
+    A registry holds named counters (monotonically increasing integers)
+    and named histograms of durations in seconds (fixed log-spaced
+    buckets from 1µs to 10s plus an overflow bucket). Hot paths obtain a
+    {!counter} handle once and bump it without further lookups.
+
+    Serialisation is deterministic: {!to_json} sorts entries by name. *)
+
+type t
+
+(** A registered counter: an increment is one memory write. *)
+type counter
+
+val create : unit -> t
+
+(** [counter m name] — find or register the counter [name]. *)
+val counter : t -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** [count m name] — current value of [name] (0 when unregistered). *)
+val count : t -> string -> int
+
+(** [observe m name seconds] — record a duration in histogram [name]. *)
+val observe : t -> string -> float -> unit
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;  (** 0 when empty *)
+  max : float;
+  buckets : (float * int) list;  (** non-empty buckets: upper bound, hits *)
+}
+
+(** All histograms, sorted by name. *)
+val histograms : t -> (string * summary) list
+
+(** [{"counters": {...}, "histograms": {...}}], names sorted. *)
+val to_json : t -> Json.t

@@ -1,0 +1,46 @@
+(** Run reports; see the interface for the serialised layout. *)
+
+type t = {
+  name : string;
+  metrics : Metrics.t;
+  span : Span.t;
+  mutable outcome : Budget.outcome;
+  mutable fields : (string * Json.t) list;  (* insertion order *)
+}
+
+let create ?metrics ?span name =
+  {
+    name;
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    span = (match span with Some s -> s | None -> Span.root name);
+    outcome = Budget.Complete;
+    fields = [];
+  }
+
+let metrics r = r.metrics
+let span r = r.span
+let set_outcome r o = r.outcome <- o
+let outcome r = r.outcome
+
+let add_field r key v =
+  if List.mem_assoc key r.fields then
+    r.fields <- List.map (fun (k, v') -> if k = key then (k, v) else (k, v')) r.fields
+  else r.fields <- r.fields @ [ (key, v) ]
+
+let to_json r =
+  let metrics_fields =
+    match Metrics.to_json r.metrics with Json.Obj fs -> fs | _ -> []
+  in
+  Json.Obj
+    ([
+       ("name", Json.String r.name);
+       ("outcome", Budget.outcome_to_json r.outcome);
+     ]
+    @ r.fields @ metrics_fields
+    @ [ ("span", Span.to_json r.span) ])
+
+let write path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (to_json r))

@@ -1,0 +1,26 @@
+(** Run reports: outcome + headline fields + metrics + span tree, with a
+    deterministic JSON rendering.
+
+    Field order is fixed ([name], [outcome], then fields in insertion
+    order, then [counters]/[histograms] sorted by name, then [span]), so
+    reports are stable across runs modulo timing floats — normalise those
+    with {!Json.map_floats} before golden comparison. *)
+
+type t
+
+(** [create ?metrics ?span name] — a report owning fresh metrics/span
+    unless given existing ones. *)
+val create : ?metrics:Metrics.t -> ?span:Span.t -> string -> t
+
+val metrics : t -> Metrics.t
+val span : t -> Span.t
+val set_outcome : t -> Budget.outcome -> unit
+val outcome : t -> Budget.outcome
+
+(** [add_field r key v] — append (or overwrite) a headline field. *)
+val add_field : t -> string -> Json.t -> unit
+
+val to_json : t -> Json.t
+
+(** Serialise to a file (trailing newline). *)
+val write : string -> t -> unit

@@ -1,18 +1,9 @@
-(** The oblivious chase (§2), level-wise.
+(** The oblivious chase (§2), level-wise; see the interface.
 
-    A trigger is a TGD together with a homomorphism of its body into the
-    current instance; the oblivious chase fires every trigger exactly once,
-    regardless of whether the head is already satisfied, inventing fresh
-    labelled nulls for the existential variables. Because the chase is
-    oblivious, the result is unique up to isomorphism, so the level-bounded
-    instances [chase^ℓ_s(D,Σ)] of Lemma A.1 are canonical.
-
-    Two engines produce the same levels (and the same instance up to null
-    renaming): the default [`Indexed] engine runs the semi-naive
-    saturation of {!Engine.Saturate} — per-level delta-driven trigger
-    enumeration over an indexed fact store — while [`Naive] re-enumerates
-    every body homomorphism against the whole instance at every level
-    (kept for the ablation benchmarks, E15). *)
+    Both engines honour the same budget cut points — a check before each
+    pass (with the level about to run) and a trigger-atomic re-check
+    after each firing — so budgeted runs agree level by level with each
+    other and with unbudgeted runs truncated at the cut. *)
 
 open Relational
 open Relational.Term
@@ -23,7 +14,9 @@ type result = {
   saturated : bool;
   max_level : int;
   index : Engine.Index.t option;  (** the engine's store, when indexed *)
-  stats : Engine.Saturate.stats option;
+  engine_result : Engine.Saturate.result option;
+  outcome : Obs.Budget.outcome;
+  span : Obs.Span.t;
 }
 
 (* Key identifying a trigger: TGD index + frontier/body binding. *)
@@ -37,8 +30,10 @@ type engine = [ `Naive | `Indexed ]
 
 (* The original level-wise loop: every level re-enumerates all body
    homomorphisms of every TGD against the entire instance, deduplicating
-   by trigger key. *)
-let run_naive ~policy ~max_level ~max_facts sigma db =
+   by trigger key. Budget checks sit at the same points as in
+   {!Engine.Saturate.run}: top of pass with the level about to run, then
+   trigger-atomically after each whole head lands. *)
+let run_naive ~policy ~budget ~span sigma db =
   let sigma = Array.of_list sigma in
   let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
   let fired = Hashtbl.create 256 in
@@ -46,80 +41,110 @@ let run_naive ~policy ~max_level ~max_facts sigma db =
   Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
   let saturated = ref false in
   let level = ref 0 in
-  let overflow = ref false in
-  while (not !saturated) && (not !overflow) && !level < max_level do
-    (* collect unfired triggers whose body lies in the current instance *)
-    let new_triggers = ref [] in
-    Array.iteri
-      (fun i t ->
-        Homomorphism.fold_homs (Tgd.body t) !inst
-          (fun b () ->
-            let key = trigger_key i b t in
-            if not (Hashtbl.mem fired key) then
-              let active =
-                match policy with
-                | Oblivious -> true
-                | Restricted ->
-                    (* skip when the head is already witnessed *)
-                    let init =
-                      VarMap.filter
-                        (fun x _ -> VarSet.mem x (Tgd.frontier t))
-                        b
+  let violation = ref None in
+  while (not !saturated) && !violation = None do
+    match
+      Obs.Budget.check budget ~facts:(Hashtbl.length level_of)
+        ~level:(!level + 1)
+    with
+    | Some v -> violation := Some v
+    | None ->
+        let lspan = Obs.Span.enter span "level" in
+        let pass_no = !level + 1 in
+        let level_fired = ref 0 in
+        (* collect unfired triggers whose body lies in the current instance *)
+        let new_triggers = ref [] in
+        Array.iteri
+          (fun i t ->
+            Homomorphism.fold_homs (Tgd.body t) !inst
+              (fun b () ->
+                let key = trigger_key i b t in
+                if not (Hashtbl.mem fired key) then
+                  let active =
+                    match policy with
+                    | Oblivious -> true
+                    | Restricted ->
+                        (* skip when the head is already witnessed *)
+                        let init =
+                          VarMap.filter
+                            (fun x _ -> VarSet.mem x (Tgd.frontier t))
+                            b
+                        in
+                        not (Homomorphism.exists ~init (Tgd.head t) !inst)
+                  in
+                  if active then new_triggers := (i, b, key) :: !new_triggers
+                  else Hashtbl.replace fired key ())
+              ())
+          sigma;
+        let new_count = ref 0 in
+        if !new_triggers = [] then saturated := true
+        else begin
+          incr level;
+          List.iter
+            (fun (i, b, key) ->
+              if !violation = None then begin
+                Hashtbl.replace fired key ();
+                incr level_fired;
+                let t = sigma.(i) in
+                (* body image level *)
+                let body_level =
+                  List.fold_left
+                    (fun acc a ->
+                      let f = Fact.of_atom (Homomorphism.apply_binding b a) in
+                      max acc (try Hashtbl.find level_of f with Not_found -> 0))
+                    0 (Tgd.body t)
+                in
+                let fresh =
+                  VarSet.fold
+                    (fun z acc -> VarMap.add z (fresh_null ()) acc)
+                    (Tgd.existential_vars t)
+                    VarMap.empty
+                in
+                let full_binding =
+                  VarMap.union (fun _ a _ -> Some a) b fresh
+                in
+                List.iter
+                  (fun h ->
+                    let f =
+                      Fact.of_atom (Homomorphism.apply_binding full_binding h)
                     in
-                    not (Homomorphism.exists ~init (Tgd.head t) !inst)
-              in
-              if active then new_triggers := (i, b, key) :: !new_triggers
-              else Hashtbl.replace fired key ())
-          ())
-      sigma;
-    if !new_triggers = [] then saturated := true
-    else begin
-      incr level;
-      List.iter
-        (fun (i, b, key) ->
-          if not !overflow then begin
-            Hashtbl.replace fired key ();
-            let t = sigma.(i) in
-            (* body image level *)
-            let body_level =
-              List.fold_left
-                (fun acc a ->
-                  let f = Fact.of_atom (Homomorphism.apply_binding b a) in
-                  max acc (try Hashtbl.find level_of f with Not_found -> 0))
-                0 (Tgd.body t)
-            in
-            let fresh =
-              VarSet.fold
-                (fun z acc -> VarMap.add z (fresh_null ()) acc)
-                (Tgd.existential_vars t)
-                VarMap.empty
-            in
-            let full_binding =
-              VarMap.union (fun _ a _ -> Some a) b fresh
-            in
-            List.iter
-              (fun h ->
-                let f = Fact.of_atom (Homomorphism.apply_binding full_binding h) in
-                if not (Instance.mem f !inst) then begin
-                  inst := Instance.add_fact f !inst;
-                  Hashtbl.replace level_of f (body_level + 1);
-                  if Hashtbl.length level_of > max_facts then overflow := true
-                end)
-              (Tgd.head t)
-          end)
-        (List.rev !new_triggers)
-    end
+                    if not (Instance.mem f !inst) then begin
+                      inst := Instance.add_fact f !inst;
+                      Hashtbl.replace level_of f (body_level + 1);
+                      incr new_count
+                    end)
+                  (Tgd.head t);
+                match
+                  Obs.Budget.check budget ~facts:(Hashtbl.length level_of)
+                    ~level:!level
+                with
+                | Some v -> violation := Some v
+                | None -> ()
+              end)
+            (List.rev !new_triggers)
+        end;
+        Obs.Span.set lspan "level" (Obs.Json.Int pass_no);
+        Obs.Span.set lspan "triggers_fired" (Obs.Json.Int !level_fired);
+        Obs.Span.set lspan "new_facts" (Obs.Json.Int !new_count);
+        Obs.Span.exit lspan
   done;
+  let outcome =
+    match !violation with
+    | Some v -> Obs.Budget.Partial v
+    | None -> Obs.Budget.Complete
+  in
   {
     instance = Lazy.from_val !inst;
     level_of;
     saturated = !saturated;
     max_level = !level;
     index = None;
-    stats = None;
+    engine_result = None;
+    outcome;
+    span;
   }
 
-let run_indexed ~policy ~max_level ~max_facts sigma db =
+let run_indexed ~policy ~budget ~span sigma db =
   let rules =
     List.map
       (fun t -> Engine.Saturate.{ body = Tgd.body t; head = Tgd.head t })
@@ -130,45 +155,51 @@ let run_indexed ~policy ~max_level ~max_facts sigma db =
     | Oblivious -> Engine.Saturate.Oblivious
     | Restricted -> Engine.Saturate.Restricted
   in
-  let r = Engine.Saturate.run ~policy ~max_level ~max_facts rules db in
+  let r = Engine.Saturate.run ~policy ~budget ~obs:span rules db in
   {
     instance = lazy (Engine.Index.to_instance r.Engine.Saturate.index);
     level_of = r.Engine.Saturate.level_of;
     saturated = r.Engine.Saturate.saturated;
     max_level = r.Engine.Saturate.max_level;
     index = Some r.Engine.Saturate.index;
-    stats = Some r.Engine.Saturate.stats;
+    engine_result = Some r;
+    outcome = r.Engine.Saturate.outcome;
+    span;
   }
 
-(** [run ?engine ?policy ?max_level ?max_facts sigma db] — the level-wise
-    chase of [db] under [sigma].
-
-    [engine] selects the trigger-enumeration machinery: [`Indexed]
-    (default), the semi-naive engine of [lib/engine]; [`Naive], the
-    re-enumerating loop (ablations). Both produce the same levels.
-
-    [policy] defaults to [Oblivious], the paper's semantics (§2): a
-    trigger fires whenever its body is satisfied, regardless of the head,
-    making the result unique up to isomorphism. [Restricted] skips
-    triggers whose head is already satisfied — it produces (often much)
-    smaller instances with the same certain answers, at the price of
-    order-dependence; it is offered for the ablation benchmarks.
-
-    Stops when saturated, or when the next level would exceed [max_level],
-    or when more than [max_facts] facts have been produced. The result
-    records each fact's s-level (facts of the input database have level 0;
-    a derived fact's level is 1 + the maximum level of the trigger's body
-    image, per Appendix A). *)
-let run ?(engine = `Indexed) ?(policy = Oblivious) ?(max_level = max_int)
-    ?(max_facts = max_int) sigma db =
-  match engine with
-  | `Naive -> run_naive ~policy ~max_level ~max_facts sigma db
-  | `Indexed -> run_indexed ~policy ~max_level ~max_facts sigma db
+let run ?(engine = `Indexed) ?(policy = Oblivious) ?max_level ?max_facts
+    ?budget ?obs sigma db =
+  let budget =
+    let legacy =
+      match (max_level, max_facts) with
+      | None, None -> Obs.Budget.unlimited
+      | _ ->
+          Obs.Budget.create ?max_facts ?max_levels:max_level ()
+    in
+    match budget with
+    | None -> legacy
+    | Some b -> Obs.Budget.meet legacy b
+  in
+  let span =
+    match obs with
+    | Some parent -> Obs.Span.enter parent "chase"
+    | None -> Obs.Span.root "chase"
+  in
+  let r =
+    match engine with
+    | `Naive -> run_naive ~policy ~budget ~span sigma db
+    | `Indexed -> run_indexed ~policy ~budget ~span sigma db
+  in
+  Obs.Span.exit span;
+  r
 
 (** [instance r] — the chased instance. *)
 let instance (r : result) = Lazy.force r.instance
 
 let saturated (r : result) = r.saturated
+let outcome (r : result) = r.outcome
+let engine_result (r : result) = r.engine_result
+let max_level (r : result) = r.max_level
 
 (** [index r] — the chased instance as an {!Engine.Index.t}, reusing the
     engine's store when the run was indexed. *)
@@ -177,8 +208,17 @@ let index (r : result) =
   | Some idx -> idx
   | None -> Engine.Index.of_instance (Lazy.force r.instance)
 
-(** Per-run saturation statistics ([None] for naive runs). *)
-let stats (r : result) = r.stats
+(* s-level census; derived from [level_of], so it agrees between engines
+   (a fact derived at pass ℓ has s-level ℓ under both). *)
+let facts_per_level (r : result) =
+  if r.max_level = 0 then []
+  else begin
+    let counts = Array.make (r.max_level + 1) 0 in
+    Hashtbl.iter
+      (fun _ l -> if l >= 1 && l <= r.max_level then counts.(l) <- counts.(l) + 1)
+      r.level_of;
+    List.init r.max_level (fun i -> counts.(i + 1))
+  end
 
 (** [up_to_level r l] — the sub-instance of facts with s-level ≤ [l]
     (i.e. [chase^l_s(D,Σ)] when the run reached at least level [l]). *)
@@ -195,14 +235,35 @@ let level (r : result) f = Hashtbl.find_opt r.level_of f
 let ground_part (r : result) =
   Instance.filter (fun f -> not (Fact.is_ground_of_nulls f)) (Lazy.force r.instance)
 
+let report ?(name = "chase") (r : result) =
+  let idx = index r in
+  let rep =
+    Obs.Report.create ~metrics:(Engine.Index.metrics idx) ~span:r.span name
+  in
+  Obs.Report.set_outcome rep r.outcome;
+  Obs.Report.add_field rep "saturated" (Obs.Json.Bool r.saturated);
+  Obs.Report.add_field rep "max_level" (Obs.Json.Int r.max_level);
+  Obs.Report.add_field rep "facts" (Obs.Json.Int (Hashtbl.length r.level_of));
+  Obs.Report.add_field rep "facts_per_level"
+    (Obs.Json.List (List.map (fun n -> Obs.Json.Int n) (facts_per_level r)));
+  (match r.engine_result with
+  | Some er ->
+      Obs.Report.add_field rep "triggers_fired"
+        (Obs.Json.Int er.Engine.Saturate.triggers_fired);
+      Obs.Report.add_field rep "triggers_dismissed"
+        (Obs.Json.Int er.Engine.Saturate.triggers_dismissed)
+  | None -> ());
+  rep
+
 (** Convenience: chase and return the instance. *)
-let chase ?engine ?max_level ?max_facts sigma db =
-  instance (run ?engine ?max_level ?max_facts sigma db)
+let chase ?engine ?max_level ?max_facts ?budget sigma db =
+  instance (run ?engine ?max_level ?max_facts ?budget sigma db)
 
 (** [certain ?max_level sigma db q tuple] — sound check that
     [tuple ∈ q(chase(db,sigma))] using a level-bounded chase; complete when
     the run saturates (Proposition 3.1). Returns the verdict together with
     whether it is known complete. *)
-let certain ?engine ?(max_level = 6) ?max_facts sigma db (q : Ucq.t) tuple =
-  let r = run ?engine ~max_level ?max_facts sigma db in
+let certain ?engine ?(max_level = 6) ?max_facts ?budget ?obs sigma db
+    (q : Ucq.t) tuple =
+  let r = run ?engine ~max_level ?max_facts ?budget ?obs sigma db in
   (Engine.Joiner.entails_ucq (index r) q tuple, r.saturated)

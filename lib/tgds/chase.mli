@@ -9,7 +9,15 @@
     Two engines: [`Indexed] (default) runs the semi-naive saturation of
     [lib/engine]; [`Naive] is the original re-enumerating loop, kept for
     the ablation benchmarks. Both produce the same s-levels (and the same
-    instance up to null renaming). *)
+    instance up to null renaming), and both honour the same budget cut
+    points, so budgeted runs agree level by level too.
+
+    Observability: a run is bounded by an {!Obs.Budget.t} (facts, levels,
+    wall-clock deadline) — on violation the partial instance is returned
+    with {!outcome}[ = Partial _] instead of the chase looping forever on
+    a non-terminating program. Spans nest under [?obs]; {!report}
+    assembles the deterministic JSON run report the CLI writes for
+    [--stats]. *)
 
 open Relational
 
@@ -21,13 +29,16 @@ type policy =
 
 type engine = [ `Naive | `Indexed ]
 
-(** [run ?engine ?policy ?max_level ?max_facts sigma db] — chase until
-    saturation, the level bound, or the fact budget. *)
+(** [run ?engine ?policy ?max_level ?max_facts ?budget ?obs sigma db] —
+    chase until saturation or until the strictest of
+    [{max_level, max_facts}] and [budget] cuts the run. *)
 val run :
   ?engine:engine ->
   ?policy:policy ->
   ?max_level:int ->
   ?max_facts:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
   Tgd.t list ->
   Instance.t ->
   result
@@ -38,12 +49,24 @@ val instance : result -> Instance.t
 (** No unfired trigger remained — the chase terminated. *)
 val saturated : result -> bool
 
+(** Why the run stopped: [Complete] (saturated, or an explicit
+    [max_level]/[max_facts] bound was never hit… i.e. no budget fired) or
+    [Partial violation]. *)
+val outcome : result -> Obs.Budget.outcome
+
 (** The chased instance as an indexed store (the engine's own store when
     the run was indexed; built on demand after a naive run). *)
 val index : result -> Engine.Index.t
 
-(** Saturation statistics ([None] after a naive run). *)
-val stats : result -> Engine.Saturate.stats option
+(** The saturation-engine result ([None] after a naive run). *)
+val engine_result : result -> Engine.Saturate.result option
+
+(** New facts at levels 1, 2, … (computed from the s-levels; works for
+    both engines). *)
+val facts_per_level : result -> int list
+
+(** Highest level reached. *)
+val max_level : result -> int
 
 (** [up_to_level r l] — the sub-instance of facts with s-level ≤ [l]
     ([chase^l_s(D,Σ)] when the run reached level [l]). *)
@@ -55,11 +78,17 @@ val level : result -> Fact.t -> int option
 (** The ground part [chase↓]: facts without invented nulls. *)
 val ground_part : result -> Instance.t
 
+(** [report ?name r] — the run report: outcome, saturation flag, fact
+    counts per level, trigger totals, the index/joiner counters and the
+    span tree. Deterministic modulo timing floats. *)
+val report : ?name:string -> result -> Obs.Report.t
+
 (** Chase and return the instance. *)
 val chase :
   ?engine:engine ->
   ?max_level:int ->
   ?max_facts:int ->
+  ?budget:Obs.Budget.t ->
   Tgd.t list ->
   Instance.t ->
   Instance.t
@@ -71,6 +100,8 @@ val certain :
   ?engine:engine ->
   ?max_level:int ->
   ?max_facts:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
   Tgd.t list ->
   Instance.t ->
   Ucq.t ->

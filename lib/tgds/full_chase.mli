@@ -2,11 +2,27 @@
 
 open Relational
 
-(** [saturate ?engine sigma db] — the finite chase; raises
+(** [run ?engine ?budget ?obs sigma db] — the finite chase together with
+    the run's outcome ([Partial _] when the budget cut it); raises
     [Invalid_argument] on non-full TGDs. [`Indexed] (default) runs the
-    semi-naive engine; [`Naive] the original re-enumerating loop. *)
+    semi-naive engine; [`Naive] the original re-enumerating loop (its
+    rounds count as budget levels). *)
+val run :
+  ?engine:[ `Naive | `Indexed ] ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  Tgd.t list ->
+  Instance.t ->
+  Instance.t * Obs.Budget.outcome
+
+(** {!run} without the outcome. *)
 val saturate :
-  ?engine:[ `Naive | `Indexed ] -> Tgd.t list -> Instance.t -> Instance.t
+  ?engine:[ `Naive | `Indexed ] ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  Tgd.t list ->
+  Instance.t ->
+  Instance.t
 
 (** Exact UCQ certain answering over a full TGD set. *)
 val entails : Tgd.t list -> Instance.t -> Ucq.t -> Term.const list -> bool

@@ -69,13 +69,35 @@ type state = {
   memo : (string, Instance.t) Hashtbl.t;  (** canonical bag -> saturation *)
   in_progress : (string, unit) Hashtbl.t;
   dirty : bool ref;  (** some memo entry changed during the pass *)
+  budget : Obs.Budget.t;
+  passes : int ref;  (** saturation rounds run, at any nesting depth *)
 }
+
+(* Graceful cutoff: unwinds every nested bag saturation at once; the
+   closure computed so far is kept. *)
+exception Budget_stop of Obs.Budget.violation
+
+let fresh_state ?(budget = Obs.Budget.unlimited) sigma =
+  {
+    sigma;
+    memo = Hashtbl.create 64;
+    in_progress = Hashtbl.create 16;
+    dirty = ref false;
+    budget;
+    passes = ref 0;
+  }
 
 (* One saturation round over [cur]: fire every trigger; ground heads are
    added directly, existential heads go through a recursively saturated
    child bag whose facts over [dom cur] flow back. Body matching runs on
    the indexed joiner (lib/engine) over a per-round index of [cur]. *)
 let rec round st cur =
+  incr st.passes;
+  (match
+     Obs.Budget.check st.budget ~facts:(Instance.size !cur) ~level:!(st.passes)
+   with
+  | Some v -> raise (Budget_stop v)
+  | None -> ());
   let additions = ref [] in
   let dom_cur = Instance.dom !cur in
   let idx = Engine.Index.of_instance !cur in
@@ -153,29 +175,39 @@ and saturate_bag st local =
     Instance.rename (fun c -> List.assoc_opt c inverse) !cur
   end
 
-(** [compute sigma db] — the ground closure [chase↓(db,sigma)]. Requires
-    every TGD of [sigma] to be guarded (raises [Invalid_argument]
-    otherwise; the locality argument fails for mere frontier-guardedness,
-    cf. the footnote to Lemma D.11). *)
-let compute sigma db =
+(** [compute_report ?budget ?obs sigma db] — the ground closure
+    [chase↓(db,sigma)] together with the run's outcome: [Partial _] when
+    the budget cut the fixpoint (the closure computed so far is
+    returned). Requires every TGD of [sigma] to be guarded (raises
+    [Invalid_argument] otherwise; the locality argument fails for mere
+    frontier-guardedness, cf. the footnote to Lemma D.11). *)
+let compute_report ?budget ?obs sigma db =
   if not (Tgd.all_guarded sigma) then
     invalid_arg "Ground_closure.compute: Σ must be guarded";
-  let st =
-    { sigma; memo = Hashtbl.create 64; in_progress = Hashtbl.create 16; dirty = ref false }
-  in
+  Obs.Span.timed obs "ground_closure" @@ fun () ->
+  let st = fresh_state ?budget sigma in
   let closure = ref db in
-  let continue_ = ref true in
-  while !continue_ do
-    st.dirty := false;
-    let grew = round st closure in
-    continue_ := grew || !(st.dirty)
-  done;
-  !closure
+  let outcome =
+    try
+      let continue_ = ref true in
+      while !continue_ do
+        st.dirty := false;
+        let grew = round st closure in
+        continue_ := grew || !(st.dirty)
+      done;
+      Obs.Budget.Complete
+    with Budget_stop v -> Obs.Budget.Partial v
+  in
+  (!closure, outcome)
+
+(** [compute sigma db] — {!compute_report} without the outcome. *)
+let compute ?budget ?obs sigma db =
+  fst (compute_report ?budget ?obs sigma db)
 
 (** [d_plus sigma db] — the database [D⁺] of §6.2:
     [D ∪ { R(ā) ∈ chase(D,Σ) | ā ⊆ dom(D) }] (equals the ground
     closure). *)
-let d_plus = compute
+let d_plus sigma db = compute sigma db
 
 (** [type_of sigma db consts] — the type of a guarded set: all atoms of
     [chase(db,sigma)] over the constants [consts] ⊆ dom(db)
@@ -192,9 +224,7 @@ let entails_atom sigma db fact = Instance.mem fact (compute sigma db)
 let saturate_small sigma local =
   if not (Tgd.all_guarded sigma) then
     invalid_arg "Ground_closure.saturate_small: Σ must be guarded";
-  let st =
-    { sigma; memo = Hashtbl.create 64; in_progress = Hashtbl.create 16; dirty = ref false }
-  in
+  let st = fresh_state sigma in
   (* iterate to a global fixpoint, as in [compute] *)
   let result = ref (saturate_bag st local) in
   let continue_ = ref !(st.dirty) in

@@ -13,9 +13,25 @@ val canonicalize :
   Instance.t ->
   string * (Term.const * Term.const) list * (Term.const * Term.const) list
 
-(** [compute sigma db] — the ground closure; raises [Invalid_argument]
-    when [sigma] is not guarded. *)
-val compute : Tgd.t list -> Instance.t -> Instance.t
+(** [compute_report ?budget ?obs sigma db] — the ground closure with the
+    run's outcome ([Partial _] when the budget cut the bag fixpoint; the
+    closure computed so far is returned); raises [Invalid_argument] when
+    [sigma] is not guarded. Budget levels count saturation rounds at any
+    bag-nesting depth. *)
+val compute_report :
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  Tgd.t list ->
+  Instance.t ->
+  Instance.t * Obs.Budget.outcome
+
+(** {!compute_report} without the outcome. *)
+val compute :
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  Tgd.t list ->
+  Instance.t ->
+  Instance.t
 
 (** [d_plus sigma db] — the database [D⁺] of §6.2 (equals the ground
     closure). *)

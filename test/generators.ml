@@ -1,0 +1,168 @@
+(* Shared qcheck generators for the property-test suites: random guarded
+   TGD programs over the schema {A/1, B/1, S/2, T/2}, random small
+   instances, and random (U)CQs. Extracted from test_engine/test_tgds so
+   every suite draws from the same distributions. *)
+
+open Relational
+open Relational.Term
+module Tgd = Tgds.Tgd
+
+let v = Term.var
+let atom p args = Atom.make p args
+let fact p args = Fact.make p (List.map (fun s -> Named s) args)
+let tgd body head = Tgd.make ~body ~head
+let bool_q atoms = Ucq.of_cq (Cq.make atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded TGD pools                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tgd_pool =
+  [|
+    (* linear, existential *)
+    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+    (* linear, frontier only *)
+    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ];
+    (* guarded join *)
+    tgd [ atom "S" [ v "x"; v "y" ]; atom "A" [ v "x" ] ] [ atom "B" [ v "x" ] ];
+    (* existential chain *)
+    tgd [ atom "B" [ v "x" ] ] [ atom "T" [ v "x"; v "z" ] ];
+    (* reflexive guard *)
+    tgd [ atom "S" [ v "x"; v "x" ] ] [ atom "B" [ v "x" ] ];
+    (* two-atom guarded body across predicates *)
+    tgd [ atom "T" [ v "x"; v "y" ]; atom "B" [ v "x" ] ] [ atom "S" [ v "y"; v "x" ] ];
+    (* multi-atom head *)
+    tgd [ atom "T" [ v "x"; v "y" ] ] [ atom "A" [ v "x" ]; atom "B" [ v "y" ] ];
+  |]
+
+(* The existential-free members of [tgd_pool]: their oblivious chase
+   always terminates, and re-saturating its result is a strict no-op. *)
+let full_pool = Array.of_list (List.filter Tgd.is_full (Array.to_list tgd_pool))
+
+let gen_from_pool pool =
+  QCheck.Gen.(
+    map
+      (List.map (Array.get pool))
+      (list_size (int_range 1 4) (int_range 0 (Array.length pool - 1))))
+
+let gen_sigma = gen_from_pool tgd_pool
+let gen_full_sigma = gen_from_pool full_pool
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_db =
+  QCheck.Gen.(
+    let gc = map (List.nth [ "a"; "b"; "c" ]) (int_range 0 2) in
+    let gen_fact =
+      let* p = int_range 0 3 in
+      match p with
+      | 0 ->
+          let* a = gc in
+          return (fact "A" [ a ])
+      | 1 ->
+          let* a = gc in
+          return (fact "B" [ a ])
+      | 2 ->
+          let* a = gc and* b = gc in
+          return (fact "S" [ a; b ])
+      | _ ->
+          let* a = gc and* b = gc in
+          return (fact "T" [ a; b ])
+    in
+    map Instance.of_facts (list_size (int_range 1 5) gen_fact))
+
+let print_sigma_db (s, db) =
+  Fmt.str "Σ=%a D=%a" (Fmt.list Tgd.pp) s Instance.pp db
+
+let arb_sigma_db =
+  QCheck.make ~print:print_sigma_db QCheck.Gen.(pair gen_sigma gen_db)
+
+let arb_full_sigma_db =
+  QCheck.make ~print:print_sigma_db QCheck.Gen.(pair gen_full_sigma gen_db)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed Boolean probes over the pool's schema. *)
+let queries =
+  [
+    bool_q [ atom "A" [ v "u" ] ];
+    bool_q [ atom "B" [ v "u" ] ];
+    bool_q [ atom "S" [ v "u"; v "w" ] ];
+    bool_q [ atom "T" [ v "u"; v "w" ] ];
+    bool_q [ atom "S" [ v "u"; v "w" ]; atom "B" [ v "u" ] ];
+    bool_q [ atom "S" [ v "u"; v "w" ]; atom "T" [ v "w"; v "z" ] ];
+  ]
+
+let gen_query_atom =
+  QCheck.Gen.(
+    let vars = [ "u"; "w"; "t" ] in
+    let gv = map (List.nth vars) (int_range 0 2) in
+    let* p = int_range 0 3 in
+    match p with
+    | 0 ->
+        let* a = gv in
+        return (atom "A" [ v a ])
+    | 1 ->
+        let* a = gv in
+        return (atom "B" [ v a ])
+    | 2 ->
+        let* a = gv and* b = gv in
+        return (atom "S" [ v a; v b ])
+    | _ ->
+        let* a = gv and* b = gv in
+        return (atom "T" [ v a; v b ]))
+
+(* Random CQ with 0–2 answer variables drawn from the atoms' variables. *)
+let gen_cq =
+  QCheck.Gen.(
+    let* atoms = list_size (int_range 1 3) gen_query_atom in
+    let* n_ans = int_range 0 2 in
+    let present =
+      List.filter
+        (fun x -> List.exists (fun a -> VarSet.mem x (Atom.vars a)) atoms)
+        [ "u"; "w"; "t" ]
+    in
+    let answer = List.filteri (fun i _ -> i < n_ans) present in
+    return (Cq.make ~answer atoms))
+
+(* ------------------------------------------------------------------ *)
+(* Linear fragments (used by the rewriting/ground-closure suites)       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_linear_sigma =
+  QCheck.Gen.(
+    let gen_tgd =
+      let* b = int_range 0 2 in
+      match b with
+      | 0 -> return (tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ])
+      | 1 -> return (tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "T" [ v "y"; v "z" ] ])
+      | _ -> return (tgd [ atom "T" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ])
+    in
+    list_size (int_range 1 3) gen_tgd)
+
+let gen_small_db =
+  QCheck.Gen.(
+    let consts = [ "a"; "b" ] in
+    let gc = map (List.nth consts) (int_range 0 1) in
+    let gen_fact =
+      let* p = int_range 0 2 in
+      match p with
+      | 0 ->
+          let* a = gc in
+          return (fact "A" [ a ])
+      | 1 ->
+          let* a = gc and* b = gc in
+          return (fact "S" [ a; b ])
+      | _ ->
+          let* a = gc and* b = gc in
+          return (fact "T" [ a; b ])
+    in
+    map Instance.of_facts (list_size (int_range 1 4) gen_fact))
+
+let gen_small_q =
+  QCheck.Gen.(
+    map (fun atoms -> bool_q atoms) (list_size (int_range 1 3) gen_query_atom))

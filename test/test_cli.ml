@@ -108,6 +108,99 @@ let test_reduce () =
   check "exit 0" true (status = 0);
   check "satisfies sigma" true (contains out "satisfies Σ: true")
 
+(* The --stats report must be schema-stable: after normalising the (only
+   volatile) float durations, the JSON for a fixed program is pinned
+   byte-for-byte — keys, key order, counter values, span shape. *)
+let golden_stats =
+  String.concat ""
+    [
+      {|{"name":"chase","outcome":{"status":"complete"},"saturated":true,|};
+      {|"max_level":2,"facts":3,"facts_per_level":[1,1],"triggers_fired":2,|};
+      {|"triggers_dismissed":0,"counters":{"index.duplicates":0,|};
+      {|"index.inserts":3,"index.probes":0,"joiner.backtracks":0,|};
+      {|"joiner.candidates":2},"histograms":{},"span":{"name":"chase",|};
+      {|"s":0.000000,"children":[{"name":"saturate","s":0.000000,"children":[|};
+      {|{"name":"level","s":0.000000,"level":1,"triggers_fired":1,|};
+      {|"triggers_dismissed":0,"new_facts":1},|};
+      {|{"name":"level","s":0.000000,"level":2,"triggers_fired":1,|};
+      {|"triggers_dismissed":0,"new_facts":1},|};
+      {|{"name":"level","s":0.000000,"level":3,"triggers_fired":0,|};
+      {|"triggers_dismissed":0,"new_facts":0}]}]}}|};
+    ]
+
+let test_chase_stats_golden () =
+  let stats = Filename.temp_file "guarded_stats" ".json" in
+  let status, _, err =
+    run_cli [ "chase"; prog "prog_chase.gd"; "--stats"; stats ]
+  in
+  check (Fmt.str "exit 0 (err=%S)" err) true (status = 0);
+  let ic = open_in stats in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove stats;
+  match Obs.Json.parse raw with
+  | Error e -> Alcotest.failf "stats file is not JSON: %s" e
+  | Ok j ->
+      (* key/type pins that must survive any refactor *)
+      check "name is a string" true
+        (match Obs.Json.member "name" j with
+        | Some (Obs.Json.String _) -> true
+        | _ -> false);
+      check "outcome.status present" true
+        (match Obs.Json.member "outcome" j with
+        | Some o -> (
+            match Obs.Json.member "status" o with
+            | Some (Obs.Json.String _) -> true
+            | _ -> false)
+        | None -> false);
+      check "facts_per_level is an int list" true
+        (match Obs.Json.member "facts_per_level" j with
+        | Some (Obs.Json.List l) ->
+            List.for_all (function Obs.Json.Int _ -> true | _ -> false) l
+        | _ -> false);
+      check "counters is an object" true
+        (match Obs.Json.member "counters" j with
+        | Some (Obs.Json.Obj _) -> true
+        | _ -> false);
+      (* byte-level golden, volatile timings zeroed *)
+      let normalized =
+        Obs.Json.to_string (Obs.Json.map_floats (fun _ -> 0.) j)
+      in
+      Alcotest.(check string) "normalized report matches golden" golden_stats
+        normalized
+
+let test_chase_budget_flags () =
+  let stats = Filename.temp_file "guarded_stats" ".json" in
+  let status, out, err =
+    run_cli
+      [
+        "chase"; prog "prog_budget.gd"; "--max-level"; "1000";
+        "--budget-facts"; "25"; "--stats"; stats;
+      ]
+  in
+  check (Fmt.str "graceful exit (err=%S)" err) true (status = 0);
+  check "reports the partial cut" true (contains out "partial: fact budget (25)");
+  (* trigger-atomic cutoff: the overflowing head lands, nothing more *)
+  let fact_lines =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = 's')
+  in
+  check "bounded materialisation" true (List.length fact_lines = 26);
+  let ic = open_in stats in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove stats;
+  match Obs.Json.parse raw with
+  | Error e -> Alcotest.failf "stats file is not JSON: %s" e
+  | Ok j -> (
+      match Obs.Json.member "outcome" j with
+      | Some o ->
+          check "partial status" true
+            (Obs.Json.member "status" o = Some (Obs.Json.String "partial"));
+          check "max_facts reason" true
+            (Obs.Json.member "reason" o = Some (Obs.Json.String "max_facts"))
+      | None -> Alcotest.fail "outcome missing")
+
 let test_errors_reported () =
   let file = prog "prog_bad.gd" in
   let status, _, err = run_cli [ "eval"; file ] in
@@ -132,6 +225,8 @@ let () =
           Alcotest.test_case "terminates" `Quick test_terminates;
           Alcotest.test_case "witness" `Quick test_witness;
           Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "chase --stats golden" `Quick test_chase_stats_golden;
+          Alcotest.test_case "chase budget flags" `Quick test_chase_budget_flags;
           Alcotest.test_case "errors" `Quick test_errors_reported;
         ] );
     ]

@@ -1,75 +1,21 @@
 (* Randomized cross-validation of the indexed semi-naive saturation engine
    (lib/engine) against the naive re-enumerating chase: identical s-levels
    (Lemma A.1 canonicity is preserved by the delta-driven evaluation),
-   identical certain answers, and joiner/index unit properties. *)
+   identical certain answers, budget-cut prefixes, saturation idempotence,
+   and joiner/index unit properties. Generators live in Generators. *)
 
 open Relational
 open Relational.Term
-module Tgd = Tgds.Tgd
 module Chase = Tgds.Chase
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
-let v = Term.var
-let atom p args = Atom.make p args
-let fact p args = Fact.make p (List.map (fun s -> Named s) args)
-let tgd body head = Tgd.make ~body ~head
-let bool_q atoms = Ucq.of_cq (Cq.make atoms)
-
-(* ------------------------------------------------------------------ *)
-(* Generators: random guarded TGD sets over {A/1, B/1, S/2, T/2} with   *)
-(* joins and existentials, and small random databases                   *)
-(* ------------------------------------------------------------------ *)
-
-let tgd_pool =
-  [|
-    (* linear, existential *)
-    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
-    (* linear, frontier only *)
-    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ];
-    (* guarded join *)
-    tgd [ atom "S" [ v "x"; v "y" ]; atom "A" [ v "x" ] ] [ atom "B" [ v "x" ] ];
-    (* existential chain *)
-    tgd [ atom "B" [ v "x" ] ] [ atom "T" [ v "x"; v "z" ] ];
-    (* reflexive guard *)
-    tgd [ atom "S" [ v "x"; v "x" ] ] [ atom "B" [ v "x" ] ];
-    (* two-atom guarded body across predicates *)
-    tgd [ atom "T" [ v "x"; v "y" ]; atom "B" [ v "x" ] ] [ atom "S" [ v "y"; v "x" ] ];
-    (* multi-atom head *)
-    tgd [ atom "T" [ v "x"; v "y" ] ] [ atom "A" [ v "x" ]; atom "B" [ v "y" ] ];
-  |]
-
-let gen_sigma =
-  QCheck.Gen.(
-    map
-      (List.map (Array.get tgd_pool))
-      (list_size (int_range 1 4) (int_range 0 (Array.length tgd_pool - 1))))
-
-let gen_db =
-  QCheck.Gen.(
-    let gc = map (List.nth [ "a"; "b"; "c" ]) (int_range 0 2) in
-    let gen_fact =
-      let* p = int_range 0 3 in
-      match p with
-      | 0 ->
-          let* a = gc in
-          return (fact "A" [ a ])
-      | 1 ->
-          let* a = gc in
-          return (fact "B" [ a ])
-      | 2 ->
-          let* a = gc and* b = gc in
-          return (fact "S" [ a; b ])
-      | _ ->
-          let* a = gc and* b = gc in
-          return (fact "T" [ a; b ])
-    in
-    map Instance.of_facts (list_size (int_range 1 5) gen_fact))
-
-let arb_sigma_db =
-  QCheck.make
-    ~print:(fun (s, db) -> Fmt.str "Σ=%a D=%a" (Fmt.list Tgd.pp) s Instance.pp db)
-    QCheck.Gen.(pair gen_sigma gen_db)
+let v = Generators.v
+let atom = Generators.atom
+let fact = Generators.fact
+let tgd = Generators.tgd
+let arb_sigma_db = Generators.arb_sigma_db
+let queries = Generators.queries
 
 (* ------------------------------------------------------------------ *)
 (* Level-wise equivalence: chase^ℓ_s agrees level by level              *)
@@ -103,16 +49,6 @@ let prop_levels_restricted =
 (* Certain answers agree under both engines                             *)
 (* ------------------------------------------------------------------ *)
 
-let queries =
-  [
-    bool_q [ atom "A" [ v "u" ] ];
-    bool_q [ atom "B" [ v "u" ] ];
-    bool_q [ atom "S" [ v "u"; v "w" ] ];
-    bool_q [ atom "T" [ v "u"; v "w" ] ];
-    bool_q [ atom "S" [ v "u"; v "w" ]; atom "B" [ v "u" ] ];
-    bool_q [ atom "S" [ v "u"; v "w" ]; atom "T" [ v "w"; v "z" ] ];
-  ]
-
 let prop_certain_agrees =
   QCheck.Test.make ~name:"certain answers agree across engines" ~count:120
     arb_sigma_db (fun (sigma, db) ->
@@ -122,6 +58,76 @@ let prop_certain_agrees =
           let vi, ei = Chase.certain ~engine:`Indexed ~max_level:8 sigma db q [] in
           en = ei && ((not en) || vn = vi))
         queries)
+
+(* ------------------------------------------------------------------ *)
+(* Idempotence: saturating an already-saturated instance is a no-op     *)
+(* ------------------------------------------------------------------ *)
+
+(* Restricted re-saturation dismisses every trigger of a saturated
+   instance (its head is witnessed), whatever policy produced it. *)
+let prop_resaturate_restricted_noop =
+  QCheck.Test.make ~name:"restricted re-saturation of a saturated chase is a no-op"
+    ~count:150 arb_sigma_db (fun (sigma, db) ->
+      let r = Chase.run ~max_level:6 ~max_facts:2000 sigma db in
+      (not (Chase.saturated r))
+      ||
+      let r2 = Chase.run ~policy:Chase.Restricted sigma (Chase.instance r) in
+      Chase.saturated r2
+      && Chase.max_level r2 = 0
+      && Instance.size (Chase.instance r2) = Instance.size (Chase.instance r))
+
+(* Oblivious re-saturation is only a no-op without existentials (a fresh
+   run re-fires existential triggers with fresh nulls); on the full pool
+   every re-fired head is already present, so the instance is unchanged. *)
+let prop_resaturate_oblivious_full_noop =
+  QCheck.Test.make
+    ~name:"oblivious re-saturation is a no-op on full programs" ~count:150
+    Generators.arb_full_sigma_db (fun (sigma, db) ->
+      let r = Chase.run sigma db in
+      Chase.saturated r
+      &&
+      let r2 = Chase.run ~policy:Chase.Oblivious sigma (Chase.instance r) in
+      Chase.saturated r2
+      && Instance.equal (Chase.instance r2) (Chase.instance r))
+
+(* ------------------------------------------------------------------ *)
+(* Budgets: a level-budgeted run is the unbudgeted run truncated        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_budget_level_prefix =
+  QCheck.Test.make
+    ~name:"level-budgeted chase = unbudgeted chase sliced at the budget"
+    ~count:120 arb_sigma_db (fun (sigma, db) ->
+      let free = Chase.run ~max_level:6 ~max_facts:5000 sigma db in
+      let fpl_free = Chase.facts_per_level free in
+      (* cumulative per-level sizes are monotone *)
+      let cumulative =
+        List.map
+          (fun l -> Instance.size (Chase.up_to_level free l))
+          (List.init 7 Fun.id)
+      in
+      let monotone =
+        List.for_all2 (fun a b -> a <= b)
+          (List.filteri (fun i _ -> i < 6) cumulative)
+          (List.tl cumulative)
+      in
+      monotone
+      && List.for_all
+           (fun k ->
+             let b =
+               Chase.run
+                 ~budget:(Obs.Budget.create ~max_levels:k ())
+                 ~max_facts:5000 sigma db
+             in
+             let fpl_b = Chase.facts_per_level b in
+             let expect =
+               List.filteri (fun i _ -> i < k) fpl_free
+             in
+             Chase.max_level b <= k
+             && fpl_b = expect
+             && Instance.size (Chase.instance b)
+                = Instance.size (Chase.up_to_level free (Chase.max_level b)))
+           [ 1; 2; 3 ])
 
 (* ------------------------------------------------------------------ *)
 (* Joiner ≡ Homomorphism.fold_homs on random instances                  *)
@@ -142,13 +148,34 @@ let prop_joiner_matches_fold_homs =
           = sorted_homs (fun f acc -> Engine.Joiner.fold body idx f acc))
         queries)
 
+(* Differential: answer *sets* (not just counts) of CQ enumeration via the
+   joiner agree with the naive fold_homs evaluation. *)
+let prop_answer_sets_agree =
+  QCheck.Test.make ~name:"Joiner.answers_cq = fold_homs answer set" ~count:200
+    (QCheck.make
+       ~print:(fun ((s, db), cq) ->
+         Fmt.str "%s q=%a" (Generators.print_sigma_db (s, db)) Cq.pp cq)
+       QCheck.Gen.(pair (pair Generators.gen_sigma Generators.gen_db) Generators.gen_cq))
+    (fun ((sigma, db), cq) ->
+      let inst = Chase.instance (Chase.run ~max_level:3 ~max_facts:500 sigma db) in
+      let idx = Engine.Index.of_instance inst in
+      let via_joiner = Engine.Joiner.answers_cq idx cq in
+      let naive =
+        Homomorphism.fold_homs (Cq.atoms cq) inst
+          (fun b acc ->
+            List.map (fun x -> VarMap.find x b) (Cq.answer cq) :: acc)
+          []
+        |> List.sort_uniq Stdlib.compare
+      in
+      via_joiner = naive)
+
 (* ------------------------------------------------------------------ *)
 (* Index unit properties                                                *)
 (* ------------------------------------------------------------------ *)
 
 let prop_index_roundtrip =
   QCheck.Test.make ~name:"Index.of_instance/to_instance roundtrip" ~count:200
-    (QCheck.make ~print:(Fmt.str "%a" Instance.pp) gen_db) (fun db ->
+    (QCheck.make ~print:(Fmt.str "%a" Instance.pp) Generators.gen_db) (fun db ->
       Instance.equal db (Engine.Index.to_instance (Engine.Index.of_instance db)))
 
 let test_index_postings () =
@@ -192,12 +219,18 @@ let test_stats_reported () =
   in
   let db = Instance.of_facts [ fact "A" [ "a" ]; fact "S" [ "a"; "b" ] ] in
   let r = Chase.run ~engine:`Indexed sigma db in
-  match Chase.stats r with
-  | None -> Alcotest.fail "indexed run must report stats"
+  match Chase.engine_result r with
+  | None -> Alcotest.fail "indexed run must report an engine result"
   | Some s ->
       check_int "one trigger" 1 s.Engine.Saturate.triggers_fired;
-      check "probes counted" true (s.Engine.Saturate.index_probes > 0);
-      check_int "one fact at level 1" 1 (List.hd s.Engine.Saturate.facts_per_level)
+      check "probes counted" true (Engine.Index.probes (Chase.index r) > 0);
+      check_int "one fact at level 1" 1 (List.hd s.Engine.Saturate.facts_per_level);
+      check "complete outcome" true (Chase.outcome r = Obs.Budget.Complete);
+      check "joiner candidates filed" true
+        (Obs.Metrics.count
+           (Engine.Index.metrics (Chase.index r))
+           "joiner.candidates"
+        > 0)
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
@@ -205,7 +238,11 @@ let qcheck_tests =
       prop_levels_oblivious;
       prop_levels_restricted;
       prop_certain_agrees;
+      prop_resaturate_restricted_noop;
+      prop_resaturate_oblivious_full_noop;
+      prop_budget_level_prefix;
       prop_joiner_matches_fold_homs;
+      prop_answer_sets_agree;
       prop_index_roundtrip;
     ]
 

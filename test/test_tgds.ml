@@ -395,55 +395,11 @@ let test_rewrite_existential_cannot_touch_answer () =
   let q', _ = Linear_rewrite.rewrite sigma q in
   check_int "no rewriting" 1 (List.length (Ucq.disjuncts q'))
 
-(* Property: rewriting agrees with the chase on random linear ontologies. *)
-let gen_linear_sigma =
-  QCheck.Gen.(
-    let gen_tgd =
-      let* b = int_range 0 2 in
-      match b with
-      | 0 -> return (tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ])
-      | 1 -> return (tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "T" [ v "y"; v "z" ] ])
-      | _ -> return (tgd [ atom "T" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ])
-    in
-    list_size (int_range 1 3) gen_tgd)
-
-let gen_small_db =
-  QCheck.Gen.(
-    let consts = [ "a"; "b" ] in
-    let gc = map (List.nth consts) (int_range 0 1) in
-    let gen_fact =
-      let* p = int_range 0 2 in
-      match p with
-      | 0 ->
-          let* a = gc in
-          return (fact "A" [ a ])
-      | 1 ->
-          let* a = gc and* b = gc in
-          return (fact "S" [ a; b ])
-      | _ ->
-          let* a = gc and* b = gc in
-          return (fact "T" [ a; b ])
-    in
-    map Instance.of_facts (list_size (int_range 1 4) gen_fact))
-
-let gen_small_q =
-  QCheck.Gen.(
-    let vars = [ "u"; "w"; "t" ] in
-    let gv = map (List.nth vars) (int_range 0 2) in
-    let gen_atom =
-      let* p = int_range 0 2 in
-      match p with
-      | 0 ->
-          let* a = gv in
-          return (atom "A" [ v a ])
-      | 1 ->
-          let* a = gv and* b = gv in
-          return (atom "S" [ v a; v b ])
-      | _ ->
-          let* a = gv and* b = gv in
-          return (atom "T" [ v a; v b ])
-    in
-    map (fun atoms -> bool_q atoms) (list_size (int_range 1 3) gen_atom))
+(* Property: rewriting agrees with the chase on random linear ontologies.
+   The generators are shared with the other suites (see Generators). *)
+let gen_linear_sigma = Generators.gen_linear_sigma
+let gen_small_db = Generators.gen_small_db
+let gen_small_q = Generators.gen_small_q
 
 let prop_rewrite_agrees_with_chase =
   QCheck.Test.make ~name:"rewriting = chase on random linear instances"
