@@ -14,12 +14,28 @@ let read_program path =
       Error (Fmt.str "%s:%d:%d: %s" path l c msg)
   | Sys_error e -> Error e
 
+(* Exit codes: 0 success, 1 runtime fault, 2 usage/input error. A violated
+   library precondition ([Invalid_argument]) means the input asked for
+   something the library rejects — an input error, reported in one line
+   instead of a backtrace. *)
+let guard f =
+  try f () with
+  | Invalid_argument msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Sys_error msg ->
+      Fmt.epr "error: %s@." msg;
+      1
+  | e ->
+      Fmt.epr "error: %s@." (Printexc.to_string e);
+      1
+
 let with_program path f =
   match read_program path with
   | Error e ->
       Fmt.epr "error: %s@." e;
-      1
-  | Ok p -> f p
+      2
+  | Ok p -> guard (fun () -> f p)
 
 let get_query p name =
   match Syntax.Parser.query p name with
@@ -83,33 +99,147 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:"Saturation engine: $(b,indexed) (semi-naive, default) or $(b,naive).")
 
+let checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Persist a chase checkpoint to $(docv) at every clean pass \
+              boundary selected by $(b,--checkpoint-every).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"K"
+        ~doc:"Checkpoint every $(docv)th level (default 1; the final \
+              boundary always checkpoints).")
+
+let resume_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:"Resume the chase from the checkpoint in $(docv) instead of \
+              starting from the program's database.")
+
+let retries_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "retries" ] ~docv:"R"
+        ~doc:"Supervise the run: retry up to $(docv) times per engine from \
+              the last checkpoint, then degrade indexed → naive.")
+
+let fault_plan_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"SPEC"
+        ~doc:"Deterministic fault injection: $(b,none), $(b,hit:N), \
+              $(b,point:NAME:N), $(b,ms:X) (comma-separated, one per \
+              attempt), or $(b,seed:S)[:$(b,K)].")
+
+(* Shared tail of every successful chase: summary comments, the instance,
+   the stats report. *)
+let print_chase_result ~max_level ~stats ?(notes = []) r =
+  Fmt.pr "%% chase %s (max level %d)@."
+    (if Tgds.Chase.saturated r then "saturated" else "truncated")
+    max_level;
+  report_outcome (Tgds.Chase.outcome r);
+  List.iter (fun n -> Fmt.pr "%% %s@." n) notes;
+  (match Tgds.Chase.engine_result r with
+  | Some er ->
+      Fmt.pr "%% %d triggers fired, %d index probes@."
+        er.Engine.Saturate.triggers_fired
+        (Engine.Index.probes (Tgds.Chase.index r))
+  | None -> ());
+  Instance.iter (fun f -> Fmt.pr "%a.@." Fact.pp f) (Tgds.Chase.instance r);
+  (match stats with
+  | Some path -> Obs.Report.write path (Tgds.Chase.report r)
+  | None -> ());
+  0
+
+(* The supervised path: any of --checkpoint/--resume/--retries/--fault-plan
+   routes here; a bare `chase` keeps the direct, supervisor-free path. *)
+let resilient_chase ~engine ~max_level ~stats ~budget ~checkpoint ~ck_every
+    ~resume ~retries ~fault_plan sigma db =
+  let plan =
+    match fault_plan with
+    | None -> Ok Resil.Fault.none
+    | Some spec -> Resil.Fault.parse spec
+  in
+  match plan with
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Ok fault_plan -> (
+      let resume_from =
+        match resume with
+        | None -> Ok None
+        | Some path -> Result.map Option.some (Resil.Checkpoint.load path)
+      in
+      match resume_from with
+      | Error msg ->
+          Fmt.epr "error: %s@." msg;
+          2
+      | Ok resume_from -> (
+          (* the supervisor takes a single budget: fold the CLI's level
+             bound in, as [Chase.run ~max_level] would *)
+          let budget =
+            let levels = Obs.Budget.create ~max_levels:max_level () in
+            match budget with
+            | None -> levels
+            | Some b -> Obs.Budget.meet levels b
+          in
+          match
+            Resil.Supervisor.run ~engine ~budget ~checkpoint_every:ck_every
+              ?checkpoint_path:checkpoint ?resume_from ?retries ~fault_plan
+              sigma db
+          with
+          | Resil.Supervisor.Completed r ->
+              print_chase_result ~max_level ~stats r
+          | Resil.Supervisor.Recovered (r, log) ->
+              print_chase_result ~max_level ~stats
+                ~notes:
+                  [
+                    Fmt.str "recovered after %d failed attempt(s)"
+                      (List.length log);
+                  ]
+                r
+          | Resil.Supervisor.Degraded (r, log) ->
+              print_chase_result ~max_level ~stats
+                ~notes:
+                  [
+                    Fmt.str "degraded to naive engine after %d failed \
+                             attempt(s)"
+                      (List.length log);
+                  ]
+                r
+          | Resil.Supervisor.Failed d ->
+              Fmt.epr "error: chase failed after %d attempt(s): %s@."
+                (List.length d.attempts) d.Resil.Supervisor.message;
+              1))
+
 let chase_cmd =
-  let run file max_level engine stats budget_facts budget_ms =
+  let run file max_level engine stats budget_facts budget_ms checkpoint
+      ck_every resume retries fault_plan =
     with_program file (fun p ->
         let budget = make_budget budget_facts budget_ms in
-        let r =
-          Tgds.Chase.run ~engine ~max_level ?budget p.Syntax.Parser.tgds
-            (Syntax.Parser.database p)
+        let sigma = p.Syntax.Parser.tgds in
+        let db = Syntax.Parser.database p in
+        let resilient =
+          checkpoint <> None || resume <> None || retries <> None
+          || fault_plan <> None
         in
-        Fmt.pr "%% chase %s (max level %d)@." (if Tgds.Chase.saturated r then "saturated" else "truncated") max_level;
-        report_outcome (Tgds.Chase.outcome r);
-        (match Tgds.Chase.engine_result r with
-        | Some er ->
-            Fmt.pr "%% %d triggers fired, %d index probes@."
-              er.Engine.Saturate.triggers_fired
-              (Engine.Index.probes (Tgds.Chase.index r))
-        | None -> ());
-        Instance.iter (fun f -> Fmt.pr "%a.@." Fact.pp f) (Tgds.Chase.instance r);
-        (match stats with
-        | Some path -> Obs.Report.write path (Tgds.Chase.report r)
-        | None -> ());
-        0)
+        if resilient then
+          resilient_chase ~engine ~max_level ~stats ~budget ~checkpoint
+            ~ck_every ~resume ~retries ~fault_plan sigma db
+        else
+          let r = Tgds.Chase.run ~engine ~max_level ?budget sigma db in
+          print_chase_result ~max_level ~stats r)
   in
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the level-bounded oblivious chase and print the result.")
     Term.(
       const run $ file_arg $ level_arg $ engine_arg $ stats_arg
-      $ budget_facts_arg $ budget_ms_arg)
+      $ budget_facts_arg $ budget_ms_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ retries_arg $ fault_plan_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                             *)
@@ -145,7 +275,7 @@ let eval_cmd =
         match get_query p qname with
         | Error e ->
             Fmt.epr "error: %s@." e;
-            1
+            2
         | Ok q ->
             let omq = Omq.full_data_schema ~ontology:p.Syntax.Parser.tgds ~query:q in
             let db = Syntax.Parser.database p in
@@ -194,7 +324,7 @@ let cqs_eval_cmd =
         match get_query p qname with
         | Error e ->
             Fmt.epr "error: %s@." e;
-            1
+            2
         | Ok q ->
             let s = Cqs.make ~constraints:p.Syntax.Parser.tgds ~query:q in
             let db = Syntax.Parser.database p in
@@ -230,7 +360,7 @@ let treewidth_cmd =
         match get_query p qname with
         | Error e ->
             Fmt.epr "error: %s@." e;
-            1
+            2
         | Ok q ->
             List.iteri
               (fun i cq ->
@@ -255,7 +385,7 @@ let rewrite_cmd =
         match get_query p qname with
         | Error e ->
             Fmt.epr "error: %s@." e;
-            1
+            2
         | Ok q ->
             if not (Tgds.Tgd.all_linear p.Syntax.Parser.tgds) then begin
               Fmt.epr "error: UCQ rewriting requires linear TGDs@.";
@@ -281,7 +411,7 @@ let equiv_cmd =
         match get_query p qname with
         | Error e ->
             Fmt.epr "error: %s@." e;
-            1
+            2
         | Ok q ->
             let s = Cqs.make ~constraints:p.Syntax.Parser.tgds ~query:q in
             let verdict, witness = Equivalence.cqs_uniformly_ucqk_equivalent k s in
@@ -349,7 +479,7 @@ let reduce_cmd =
         match get_query p qname with
         | Error e ->
             Fmt.epr "error: %s@." e;
-            1
+            2
         | Ok q ->
             let sigma = p.Syntax.Parser.tgds in
             if not (Tgds.Tgd.all_guarded sigma) then begin

@@ -22,4 +22,32 @@ echo "== bench smoke (stats JSON round-trip)"
 dune exec bench/main.exe -- smoke
 rm -f BENCH_smoke.json
 
+echo "== kill-and-resume (checkpointed chase survives an injected crash)"
+CLI=_build/default/bin/guarded_cli.exe
+PROG=examples/programs/prog_budget.gd
+BUDGET="--max-level 1000 --budget-facts 40"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+# shellcheck disable=SC2086  # BUDGET is a flag list
+"$CLI" chase "$PROG" $BUDGET --stats "$TMP/base.json" > /dev/null
+# kill attempt 1 mid-saturation, then attempt 2 (degraded to the naive
+# engine) at its first pass — before it can overwrite the checkpoint
+set +e
+# shellcheck disable=SC2086
+"$CLI" chase "$PROG" $BUDGET --retries 0 \
+  --fault-plan hit:60,point:chase.pass:1 --checkpoint "$TMP/ck.json" \
+  > /dev/null 2>&1
+killed=$?
+set -e
+[ "$killed" -eq 1 ] || { echo "expected exit 1 from the killed run, got $killed"; exit 1; }
+[ -s "$TMP/ck.json" ] || { echo "no checkpoint emitted by the killed run"; exit 1; }
+# shellcheck disable=SC2086
+"$CLI" chase "$PROG" $BUDGET --resume "$TMP/ck.json" --stats "$TMP/resumed.json" > /dev/null
+# the resumed report must agree with the uninterrupted one on everything
+# before the histograms/span tail (those only cover the post-resume part)
+sed -E 's/,"histograms":.*$//' "$TMP/base.json" > "$TMP/base.cut"
+sed -E 's/,"histograms":.*$//' "$TMP/resumed.json" > "$TMP/resumed.cut"
+diff "$TMP/base.cut" "$TMP/resumed.cut" \
+  || { echo "resumed stats diverge from the uninterrupted run"; exit 1; }
+
 echo "== OK"

@@ -1,0 +1,4 @@
+s(X,Y), s(Y,Z) -> t(X,Z).
+s(a,b).
+s(b,c).
+q() :- t(X,Z).

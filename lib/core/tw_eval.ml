@@ -14,6 +14,11 @@ module ISet = Qgraph.Graph.ISet
 module IMap = Qgraph.Graph.IMap
 module Tree_decomposition = Qgraph.Tree_decomposition
 
+(* Decompositions fall back to the heuristic witness when the Gaifman
+   graph is too large for exact search; the registry records how often. *)
+let metrics = Obs.Metrics.create ()
+let c_exact_fallbacks = Obs.Metrics.counter metrics "tw_eval.exact_fallbacks"
+
 (* Assign every atom to a bag containing all its variables (exists because
    an atom's variables form a clique of the Gaifman graph, and every clique
    is contained in some bag). *)
@@ -116,7 +121,16 @@ let entails db (q : Cq.t) tuple =
           in
           pairs ids)
         open_atoms;
-      let _, td = Qgraph.Treewidth.exact_decomposition !g in
+      let td =
+        match Qgraph.Treewidth.exact_decomposition_opt !g with
+        | Some (_, td) -> td
+        | None ->
+            (* > 62 existential variables: exact search is infeasible — use
+               the heuristic witness (sound; only the width bound degrades)
+               rather than propagating Too_large to query evaluation. *)
+            Obs.Metrics.incr c_exact_fallbacks;
+            snd (Qgraph.Treewidth.upper_bound !g)
+      in
       let assignment = assign_atoms td var_index open_atoms in
       let bag_vars node =
         ISet.fold

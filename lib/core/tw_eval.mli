@@ -5,6 +5,12 @@
 
 open Relational
 
+(** Module-level registry; counter ["tw_eval.exact_fallbacks"] records
+    each evaluation that fell back from exact decomposition to the
+    heuristic witness because the Gaifman graph exceeded the exact
+    search's vertex limit. *)
+val metrics : Obs.Metrics.t
+
 (** [entails db q c̄] — [c̄ ∈ q(D)]. *)
 val entails : Instance.t -> Cq.t -> Term.const list -> bool
 

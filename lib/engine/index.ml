@@ -53,6 +53,7 @@ let push b tuple =
 
 (** [insert f idx] — add [f]; [false] when it was already present. *)
 let insert f idx =
+  Obs.Probe.hit "engine.insert";
   if Hashtbl.mem idx.facts f then begin
     Obs.Metrics.incr idx.c_duplicates;
     false

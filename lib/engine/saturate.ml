@@ -2,13 +2,31 @@
     argument. The driver keeps the naive chase's observable behaviour —
     trigger keys, per-level trigger sets, level assignment, policy and
     budget cutoffs — while enumerating each trigger exactly once, at
-    the level where the last fact of its body appears. *)
+    the level where the last fact of its body appears.
+
+    Crash safety: the state at a clean pass boundary is fully described by
+    the facts with their s-levels plus a handful of scalars — the delta of
+    the next pass is exactly the facts of the last level, and a trigger is
+    (re-)enumerable iff its body touches that delta. {!resume} rebuilds
+    the index and delta from such a {!snapshot} and continues the loop;
+    the continuation fires the same per-pass trigger sets as the
+    uninterrupted run (facts agree up to null renaming, s-levels and
+    outcome exactly). *)
 
 open Relational
 open Relational.Term
 
 type policy = Oblivious | Restricted
 type rule = { body : Atom.t list; head : Atom.t list }
+
+type snapshot = {
+  snap_facts : (Fact.t * int) list;  (** every fact with its s-level *)
+  snap_level : int;
+  snap_saturated : bool;
+  snap_triggers_fired : int;
+  snap_triggers_dismissed : int;
+  snap_counters : (string * int) list;
+}
 
 type result = {
   index : Index.t;
@@ -53,12 +71,21 @@ let ground (b : Homomorphism.binding) a =
        (function Const c -> c | Var x -> VarMap.find x b)
        (Atom.args a))
 
-let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs rules db =
-  let span =
-    match obs with
-    | Some parent -> Obs.Span.enter parent "saturate"
-    | None -> Obs.Span.root "saturate"
-  in
+(* The resumable state threaded into the driver: either a fresh run over a
+   database or the reconstruction of a checkpointed boundary. *)
+type init = {
+  i_idx : Index.t;
+  i_level_of : (Fact.t, int) Hashtbl.t;
+  i_delta : Fact.t list;
+  i_level : int;
+  i_saturated : bool;
+  i_first_pass : bool;
+  i_fired : int;
+  i_dismissed : int;
+  i_fpl : int list;  (* reversed: newest level first *)
+}
+
+let exec ~policy ~budget ~span ~on_pass init rules =
   let rules = Array.of_list rules in
   let info =
     Array.map
@@ -75,19 +102,30 @@ let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs rules db =
           pivots r.body ))
       rules
   in
-  let idx = Index.of_instance db in
-  let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
-  Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
+  let idx = init.i_idx in
+  let level_of = init.i_level_of in
   let fired = Hashtbl.create 256 in
-  let triggers_fired = ref 0 and triggers_dismissed = ref 0 in
-  let facts_per_level = ref [] in
-  let delta = ref (Instance.facts db) in
-  let first_pass = ref true in
-  let saturated = ref false in
-  let level = ref 0 in
+  let triggers_fired = ref init.i_fired
+  and triggers_dismissed = ref init.i_dismissed in
+  let facts_per_level = ref init.i_fpl in
+  let delta = ref init.i_delta in
+  let first_pass = ref init.i_first_pass in
+  let saturated = ref init.i_saturated in
+  let level = ref init.i_level in
   let violation = ref None in
   let overflow () = !violation <> None in
+  let take_snapshot () =
+    {
+      snap_facts = Hashtbl.fold (fun f l acc -> (f, l) :: acc) level_of [];
+      snap_level = !level;
+      snap_saturated = !saturated;
+      snap_triggers_fired = !triggers_fired;
+      snap_triggers_dismissed = !triggers_dismissed;
+      snap_counters = Obs.Metrics.counters (Index.metrics idx);
+    }
+  in
   while (not !saturated) && not (overflow ()) do
+    Obs.Probe.hit "engine.pass";
     match
       Obs.Budget.check budget ~facts:(Hashtbl.length level_of)
         ~level:(!level + 1)
@@ -198,14 +236,19 @@ let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs rules db =
              (match !facts_per_level with
              | n :: _ when not !saturated -> n
              | _ -> 0));
-        Obs.Span.exit lspan
+        Obs.Span.exit lspan;
+        (* Clean pass boundary (no mid-pass cutoff): the state is fully
+           reconstructible — offer a checkpoint. *)
+        (match on_pass with
+        | Some cb when !violation = None ->
+            cb ~level:!level ~saturated:!saturated take_snapshot
+        | _ -> ())
   done;
   let outcome =
     match !violation with
     | Some v -> Obs.Budget.Partial v
     | None -> Obs.Budget.Complete
   in
-  Obs.Span.exit span;
   {
     index = idx;
     level_of;
@@ -217,3 +260,90 @@ let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs rules db =
     facts_per_level = List.rev !facts_per_level;
     span;
   }
+
+let make_span obs =
+  match obs with
+  | Some parent -> Obs.Span.enter parent "saturate"
+  | None -> Obs.Span.root "saturate"
+
+let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs ?on_pass
+    rules db =
+  let span = make_span obs in
+  let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
+  Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
+  let init =
+    {
+      i_idx = Index.of_instance db;
+      i_level_of = level_of;
+      i_delta = Instance.facts db;
+      i_level = 0;
+      i_saturated = false;
+      i_first_pass = true;
+      i_fired = 0;
+      i_dismissed = 0;
+      i_fpl = [];
+    }
+  in
+  let r = exec ~policy ~budget ~span ~on_pass init rules in
+  Obs.Span.exit span;
+  r
+
+let resume ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs
+    ?on_pass rules (s : snapshot) =
+  let span = make_span obs in
+  let idx = Index.create () in
+  List.iter (fun (f, _) -> ignore (Index.insert f idx)) s.snap_facts;
+  (* Re-seed the counters to the checkpointed totals, cancelling the
+     increments of the rebuild itself, so a resumed run reports the same
+     counter values as an uninterrupted one. *)
+  let m = Index.metrics idx in
+  let names =
+    List.sort_uniq String.compare
+      (List.map fst s.snap_counters @ List.map fst (Obs.Metrics.counters m))
+  in
+  List.iter
+    (fun name ->
+      let saved =
+        match List.assoc_opt name s.snap_counters with Some v -> v | None -> 0
+      in
+      let c = Obs.Metrics.counter m name in
+      Obs.Metrics.add c (saved - Obs.Metrics.value c))
+    names;
+  let level_of : (Fact.t, int) Hashtbl.t =
+    Hashtbl.create (List.length s.snap_facts)
+  in
+  List.iter (fun (f, l) -> Hashtbl.replace level_of f l) s.snap_facts;
+  (* The semi-naive delta at a clean boundary is exactly the last level. *)
+  let delta =
+    List.filter_map
+      (fun (f, l) -> if l = s.snap_level then Some f else None)
+      s.snap_facts
+  in
+  let fpl =
+    if s.snap_level = 0 then []
+    else begin
+      let counts = Array.make (s.snap_level + 1) 0 in
+      List.iter
+        (fun (_, l) ->
+          if l >= 1 && l <= s.snap_level then counts.(l) <- counts.(l) + 1)
+        s.snap_facts;
+      (* internal representation is reversed (newest level first) *)
+      List.init s.snap_level (fun i -> counts.(s.snap_level - i))
+    end
+  in
+  let init =
+    {
+      i_idx = idx;
+      i_level_of = level_of;
+      i_delta = delta;
+      i_level = s.snap_level;
+      i_saturated = s.snap_saturated;
+      i_first_pass = s.snap_level = 0;
+      i_fired = s.snap_triggers_fired;
+      i_dismissed = s.snap_triggers_dismissed;
+      i_fpl = fpl;
+    }
+  in
+  let r = exec ~policy ~budget ~span ~on_pass init rules in
+  Obs.Span.exit span;
+  r

@@ -30,6 +30,22 @@ type policy = Oblivious | Restricted
     body are existential and receive fresh labelled nulls at firing. *)
 type rule = { body : Atom.t list; head : Atom.t list }
 
+(** The engine state at a {e clean pass boundary} — a pass that completed
+    without a budget violation. The facts with their s-levels determine
+    everything else a continuation needs: the next pass's semi-naive delta
+    is exactly the facts of [snap_level], and no trigger fired earlier can
+    be re-enumerated from that delta (its body lies in levels
+    ≤ [snap_level] − 1). The scalar fields carry the accumulated totals so
+    a resumed run reports the same statistics as an uninterrupted one. *)
+type snapshot = {
+  snap_facts : (Fact.t * int) list;  (** every fact with its s-level *)
+  snap_level : int;  (** last completed pass = highest s-level *)
+  snap_saturated : bool;
+  snap_triggers_fired : int;
+  snap_triggers_dismissed : int;
+  snap_counters : (string * int) list;  (** index metrics, sorted by name *)
+}
+
 type result = {
   index : Index.t;  (** the saturated store *)
   level_of : (Fact.t, int) Hashtbl.t;  (** s-level of every fact *)
@@ -42,13 +58,37 @@ type result = {
   span : Obs.Span.t;  (** the run's span (one [level] child per pass) *)
 }
 
-(** [run ?policy ?budget ?obs rules db] — saturate [db] under [rules]
-    until no new trigger exists or the budget cuts the run (the
-    overflowing level may be cut short, as in the naive chase). *)
+(** [run ?policy ?budget ?obs ?on_pass rules db] — saturate [db] under
+    [rules] until no new trigger exists or the budget cuts the run (the
+    overflowing level may be cut short, as in the naive chase).
+
+    [on_pass ~level ~saturated take] is called after every clean pass
+    boundary (including the final, saturation-discovering pass); calling
+    [take ()] materialises a {!snapshot} of the state at that boundary.
+    Snapshot capture is pay-per-use — skipping the thunk costs nothing. *)
 val run :
   ?policy:policy ->
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
+  ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
   rule list ->
   Instance.t ->
+  result
+
+(** [resume ?policy ?budget ?obs ?on_pass rules snapshot] — continue a
+    saturation from a checkpointed boundary. The index is rebuilt from the
+    snapshot's facts (metric counters re-seeded to the checkpointed
+    totals), the delta is the facts of the last level, and the loop
+    proceeds as if never interrupted: the continuation fires the same
+    per-pass trigger sets, so the final result agrees with the
+    uninterrupted run on facts (up to renaming of nulls invented after
+    the boundary), s-levels, trigger totals, and outcome. [policy],
+    [budget] and [rules] must match the original run. *)
+val resume :
+  ?policy:policy ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
+  rule list ->
+  snapshot ->
   result

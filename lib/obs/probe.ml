@@ -1,0 +1,10 @@
+(** Fault-injection probe points; see the interface. *)
+
+let hook : (string -> unit) option ref = ref None
+
+let install f = hook := Some f
+let clear () = hook := None
+let armed () = !hook <> None
+
+let hit point =
+  match !hook with None -> () | Some f -> f point

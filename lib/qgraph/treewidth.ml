@@ -246,6 +246,13 @@ let exact_decomposition g =
       | None -> (k, td)
   end
 
+(** Total variants: [None] instead of {!Too_large}, so callers can fall
+    back to {!upper_bound} without an exception handler at every site. *)
+let exact_opt g = try Some (exact g) with Too_large -> None
+
+let exact_decomposition_opt g =
+  try Some (exact_decomposition g) with Too_large -> None
+
 (** Treewidth of [g] with the paper's convention handled by callers; this is
     the mathematical treewidth (0 for edgeless graphs). Uses exact search
     when feasible, otherwise brackets with heuristics (returns the upper

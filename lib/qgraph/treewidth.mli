@@ -26,6 +26,13 @@ val exact : Graph.t -> int
 (** Exact treewidth with a witnessing decomposition of that width. *)
 val exact_decomposition : Graph.t -> int * Tree_decomposition.t
 
+(** Total variant of {!exact}: [None] beyond 62 vertices instead of
+    raising {!Too_large}. *)
+val exact_opt : Graph.t -> int option
+
+(** Total variant of {!exact_decomposition}. *)
+val exact_decomposition_opt : Graph.t -> (int * Tree_decomposition.t) option
+
 (** Treewidth: exact when feasible, else the heuristic upper bound (a
     warning is logged when the bounds do not meet). Edgeless nonempty
     graphs have treewidth 0 here; the paper's convention for CQs

@@ -43,6 +43,15 @@ let fresh_null () =
 (** Reset the null supply (test isolation only). *)
 let reset_nulls () = null_counter := 0
 
+(** Nulls invented so far (the checkpoint layer persists this). *)
+let null_count () = !null_counter
+
+(** Restore the null supply to a checkpointed position. The caller must
+    guarantee that no live instance holds nulls above [n] — true when
+    resuming a chase from a checkpoint, whose facts only mention nulls
+    invented before the snapshot was taken. *)
+let set_null_count n = null_counter := n
+
 let is_null = function Null _ -> true | Named _ -> false
 let named s = Named s
 let const s = Const (Named s)

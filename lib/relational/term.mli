@@ -25,6 +25,14 @@ val fresh_null : unit -> const
 (** Reset the null supply (test isolation only). *)
 val reset_nulls : unit -> unit
 
+(** Nulls invented so far (persisted by chase checkpoints). *)
+val null_count : unit -> int
+
+(** Restore the null supply to a checkpointed position; only sound when no
+    live instance holds nulls above the target (e.g. when resuming a chase
+    from a checkpoint that predates them). *)
+val set_null_count : int -> unit
+
 val is_null : const -> bool
 val named : string -> const
 val const : string -> t

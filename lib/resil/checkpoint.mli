@@ -1,0 +1,36 @@
+(** Chase checkpoints: durable serialisation of {!Tgds.Chase.snapshot}.
+
+    The on-disk form is deterministic {!Obs.Json} with a pinned key order
+    and a versioned schema header, so checkpoints are golden-testable and
+    [save → load → save] is byte-identical:
+
+    {v
+    {"schema": "guarded-chase-checkpoint", "version": 1,
+     "engine": "indexed" | "naive",
+     "policy": "oblivious" | "restricted",
+     "level": int, "saturated": bool, "null_count": int,
+     "triggers_fired": int, "triggers_dismissed": int,
+     "counters": {name: int, …},          (* sorted by name *)
+     "facts": [{"p": pred, "l": s-level, "a": [const, …]}, …]}
+    v}
+
+    Facts are sorted by (s-level, fact); a constant is a JSON string for
+    a named constant and [{"n": id}] for a labelled null. *)
+
+type t = Tgds.Chase.snapshot
+
+val schema : string
+val version : int
+
+val to_json : t -> Obs.Json.t
+
+(** [of_json j] — inverse of {!to_json}; [Error] on an unknown schema or
+    version, or any malformed field. *)
+val of_json : Obs.Json.t -> (t, string) result
+
+(** [save path t] — write the checkpoint (single line + newline),
+    atomically via a temporary file next to [path]. *)
+val save : string -> t -> unit
+
+(** [load path] — read and decode; [Error] on IO or decode failure. *)
+val load : string -> (t, string) result

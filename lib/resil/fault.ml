@@ -1,0 +1,111 @@
+(** Deterministic fault injection over the global probe hook; see the
+    interface. *)
+
+exception Injected of string * int
+
+type trigger =
+  | At_hit of int
+  | At_point of string * int
+  | After_ms of float
+
+type plan = trigger list
+
+let none : plan = []
+
+let trigger_for plan ~attempt =
+  if attempt < 1 then None else List.nth_opt plan (attempt - 1)
+
+let arm ?(clock = Unix.gettimeofday) trig =
+  match trig with
+  | At_hit n ->
+      let hits = ref 0 in
+      Obs.Probe.install (fun point ->
+          incr hits;
+          if !hits >= n then raise (Injected (point, !hits)))
+  | At_point (name, n) ->
+      let total = ref 0 and named = ref 0 in
+      Obs.Probe.install (fun point ->
+          incr total;
+          if String.equal point name then begin
+            incr named;
+            if !named >= n then raise (Injected (point, !total))
+          end)
+  | After_ms ms ->
+      let t0 = clock () in
+      let hits = ref 0 in
+      Obs.Probe.install (fun point ->
+          incr hits;
+          if (clock () -. t0) *. 1000. >= ms then raise (Injected (point, !hits)))
+
+let disarm () = Obs.Probe.clear ()
+
+let with_trigger ?clock trig f =
+  (match trig with None -> disarm () | Some t -> arm ?clock t);
+  Fun.protect ~finally:disarm f
+
+(* Fixed 31-bit LCG so plans are reproducible across platforms. *)
+let random ~seed ?(attempts = 3) ?(max_hits = 500) () =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  let max_hits = max 1 max_hits in
+  List.init attempts (fun _ -> At_hit (1 + (next () mod max_hits)))
+
+let to_string = function
+  | [] -> "none"
+  | plan ->
+      String.concat ","
+        (List.map
+           (function
+             | At_hit n -> Printf.sprintf "hit:%d" n
+             | At_point (name, n) -> Printf.sprintf "point:%s:%d" name n
+             | After_ms ms -> Printf.sprintf "ms:%g" ms)
+           plan)
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else if String.length s >= 5 && String.sub s 0 5 = "seed:" then
+    match String.split_on_char ':' s with
+    | [ _; seed ] -> (
+        match int_of_string_opt seed with
+        | Some seed -> Ok (random ~seed ())
+        | None -> Error (Printf.sprintf "fault plan: bad seed %S" seed))
+    | [ _; seed; attempts ] -> (
+        match (int_of_string_opt seed, int_of_string_opt attempts) with
+        | Some seed, Some attempts when attempts >= 0 ->
+            Ok (random ~seed ~attempts ())
+        | _ -> Error (Printf.sprintf "fault plan: bad seed spec %S" s))
+    | _ -> Error (Printf.sprintf "fault plan: bad seed spec %S" s)
+  else
+    let parse_trigger tok =
+      match String.split_on_char ':' tok with
+      | [ "hit"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> Ok (At_hit n)
+          | _ -> Error (Printf.sprintf "fault plan: bad hit count %S" n))
+      | [ "point"; name; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 && name <> "" -> Ok (At_point (name, n))
+          | _ -> Error (Printf.sprintf "fault plan: bad point trigger %S" tok))
+      | [ "ms"; x ] -> (
+          match float_of_string_opt x with
+          | Some ms when ms >= 0. -> Ok (After_ms ms)
+          | _ -> Error (Printf.sprintf "fault plan: bad deadline %S" x))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "fault plan: unknown trigger %S (want hit:N, point:NAME:N or \
+                ms:X)"
+               tok)
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+          match parse_trigger (String.trim tok) with
+          | Ok t -> go (t :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)

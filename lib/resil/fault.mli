@@ -1,0 +1,64 @@
+(** Deterministic fault injection.
+
+    The chase runtime is instrumented with {!Obs.Probe} points at its
+    natural step boundaries ([engine.pass], [engine.insert],
+    [engine.join], [chase.pass], [full_chase.round],
+    [ground_closure.round]). A {e trigger} arms the global probe hook to
+    raise {!Injected} at a chosen point: the Nth probe hit overall, the
+    Nth hit of one named point, or once an (injectable) clock passes a
+    wall-clock mark. Arming is deterministic — re-running the same
+    computation with the same trigger fails at the same step — which is
+    what makes the supervisor's kill-and-resume behaviour testable.
+
+    A {e plan} is one trigger per supervised attempt: attempt [k] runs
+    under trigger [k] (1-based); attempts beyond the plan's length run
+    fault-free, so a plan of length [n] describes a run that fails [n]
+    times and then succeeds. *)
+
+(** Raised from inside an armed probe point. The payload is the point
+    name and the overall hit count at the moment of failure. *)
+exception Injected of string * int
+
+type trigger =
+  | At_hit of int  (** fail at the Nth probe hit, any point (1-based) *)
+  | At_point of string * int  (** fail at the Nth hit of the named point *)
+  | After_ms of float  (** fail at the first hit ≥ this many ms after arming *)
+
+(** One trigger per attempt; [[]] is the fault-free plan. *)
+type plan = trigger list
+
+val none : plan
+
+(** [trigger_for plan ~attempt] — the trigger arming attempt [attempt]
+    (1-based); [None] past the end of the plan. *)
+val trigger_for : plan -> attempt:int -> trigger option
+
+(** [arm ?clock trigger] — install the probe hook. [clock] is wall-clock
+    seconds for [After_ms] (tests inject fake time); defaults to
+    [Unix.gettimeofday]. Replaces any previously armed trigger. *)
+val arm : ?clock:(unit -> float) -> trigger -> unit
+
+(** Remove the armed trigger (idempotent). *)
+val disarm : unit -> unit
+
+(** [with_trigger ?clock trig f] — run [f ()] with [trig] armed ([None]
+    arms nothing), disarming afterwards even if [f] raises. *)
+val with_trigger : ?clock:(unit -> float) -> trigger option -> (unit -> 'a) -> 'a
+
+(** [random ~seed ?attempts ?max_hits ()] — a reproducible plan of
+    [attempts] (default 3) [At_hit] triggers drawn from
+    [1..max_hits] (default 500) by a fixed LCG; same seed, same plan. *)
+val random : seed:int -> ?attempts:int -> ?max_hits:int -> unit -> plan
+
+(** Parse a plan spec. Grammar:
+    {v
+    spec    ::= "none" | "seed:" INT [ ":" INT ]   (* seed [, attempts] *)
+              | trigger ("," trigger)*
+    trigger ::= "hit:" INT | "point:" NAME ":" INT | "ms:" FLOAT
+    v}
+    [NAME] is a probe point name (contains no [':'] or [',']). *)
+val parse : string -> (plan, string) result
+
+(** Inverse of {!parse} (canonical form; [random] plans print as their
+    expansion). *)
+val to_string : plan -> string

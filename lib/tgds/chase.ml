@@ -28,21 +28,89 @@ let trigger_key i (b : Homomorphism.binding) (sigma_i : Tgd.t) =
 type policy = Oblivious | Restricted
 type engine = [ `Naive | `Indexed ]
 
+(** Chase state at a clean pass boundary. Engine-agnostic — the facts with
+    their s-levels determine everything a continuation needs under either
+    engine — so a checkpoint taken by [`Indexed] can be resumed by
+    [`Naive] (how the supervisor degrades). [snap_null_count] pins the
+    fresh-null supply so a cross-process resume never re-issues a null id
+    that already appears in the snapshot. *)
+type snapshot = {
+  snap_engine : engine;
+  snap_policy : policy;
+  snap_level : int;
+  snap_saturated : bool;
+  snap_null_count : int;
+  snap_triggers_fired : int;
+  snap_triggers_dismissed : int;
+  snap_facts : (Fact.t * int) list;
+  snap_counters : (string * int) list;  (** index metrics; [[]] after naive *)
+}
+
+let to_engine_snapshot (s : snapshot) : Engine.Saturate.snapshot =
+  {
+    Engine.Saturate.snap_facts = s.snap_facts;
+    Engine.Saturate.snap_level = s.snap_level;
+    Engine.Saturate.snap_saturated = s.snap_saturated;
+    Engine.Saturate.snap_triggers_fired = s.snap_triggers_fired;
+    Engine.Saturate.snap_triggers_dismissed = s.snap_triggers_dismissed;
+    Engine.Saturate.snap_counters = s.snap_counters;
+  }
+
+let of_engine_snapshot ~policy (es : Engine.Saturate.snapshot) : snapshot =
+  {
+    snap_engine = `Indexed;
+    snap_policy = policy;
+    snap_level = es.Engine.Saturate.snap_level;
+    snap_saturated = es.Engine.Saturate.snap_saturated;
+    snap_null_count = Term.null_count ();
+    snap_triggers_fired = es.Engine.Saturate.snap_triggers_fired;
+    snap_triggers_dismissed = es.Engine.Saturate.snap_triggers_dismissed;
+    snap_facts = es.Engine.Saturate.snap_facts;
+    snap_counters = es.Engine.Saturate.snap_counters;
+  }
+
+(* Resumable state of the naive loop: either a fresh run over a database
+   or a checkpointed boundary with the fired-trigger set reconstructed. *)
+type naive_init = {
+  n_inst : Instance.t;
+  n_level_of : (Fact.t, int) Hashtbl.t;
+  n_fired : (int * const option list, unit) Hashtbl.t;
+  n_level : int;
+  n_saturated : bool;
+  n_fired_total : int;
+  n_dismissed_total : int;
+}
+
 (* The original level-wise loop: every level re-enumerates all body
    homomorphisms of every TGD against the entire instance, deduplicating
    by trigger key. Budget checks sit at the same points as in
    {!Engine.Saturate.run}: top of pass with the level about to run, then
    trigger-atomically after each whole head lands. *)
-let run_naive ~policy ~budget ~span sigma db =
+let exec_naive ~policy ~budget ~span ~on_pass (init : naive_init) sigma =
   let sigma = Array.of_list sigma in
-  let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
-  let fired = Hashtbl.create 256 in
-  let inst = ref db in
-  Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
-  let saturated = ref false in
-  let level = ref 0 in
+  let level_of = init.n_level_of in
+  let fired = init.n_fired in
+  let inst = ref init.n_inst in
+  let saturated = ref init.n_saturated in
+  let level = ref init.n_level in
+  let fired_total = ref init.n_fired_total in
+  let dismissed_total = ref init.n_dismissed_total in
   let violation = ref None in
+  let take_snapshot () : snapshot =
+    {
+      snap_engine = `Naive;
+      snap_policy = policy;
+      snap_level = !level;
+      snap_saturated = !saturated;
+      snap_null_count = Term.null_count ();
+      snap_triggers_fired = !fired_total;
+      snap_triggers_dismissed = !dismissed_total;
+      snap_facts = Hashtbl.fold (fun f l acc -> (f, l) :: acc) level_of [];
+      snap_counters = [];
+    }
+  in
   while (not !saturated) && !violation = None do
+    Obs.Probe.hit "chase.pass";
     match
       Obs.Budget.check budget ~facts:(Hashtbl.length level_of)
         ~level:(!level + 1)
@@ -73,7 +141,10 @@ let run_naive ~policy ~budget ~span sigma db =
                         not (Homomorphism.exists ~init (Tgd.head t) !inst)
                   in
                   if active then new_triggers := (i, b, key) :: !new_triggers
-                  else Hashtbl.replace fired key ())
+                  else begin
+                    incr dismissed_total;
+                    Hashtbl.replace fired key ()
+                  end)
               ())
           sigma;
         let new_count = ref 0 in
@@ -85,6 +156,7 @@ let run_naive ~policy ~budget ~span sigma db =
               if !violation = None then begin
                 Hashtbl.replace fired key ();
                 incr level_fired;
+                incr fired_total;
                 let t = sigma.(i) in
                 (* body image level *)
                 let body_level =
@@ -126,7 +198,12 @@ let run_naive ~policy ~budget ~span sigma db =
         Obs.Span.set lspan "level" (Obs.Json.Int pass_no);
         Obs.Span.set lspan "triggers_fired" (Obs.Json.Int !level_fired);
         Obs.Span.set lspan "new_facts" (Obs.Json.Int !new_count);
-        Obs.Span.exit lspan
+        Obs.Span.exit lspan;
+        (* Clean pass boundary — the state is fully reconstructible. *)
+        (match on_pass with
+        | Some cb when !violation = None ->
+            cb ~level:!level ~saturated:!saturated take_snapshot
+        | _ -> ())
   done;
   let outcome =
     match !violation with
@@ -144,18 +221,80 @@ let run_naive ~policy ~budget ~span sigma db =
     span;
   }
 
-let run_indexed ~policy ~budget ~span sigma db =
-  let rules =
-    List.map
-      (fun t -> Engine.Saturate.{ body = Tgd.body t; head = Tgd.head t })
-      sigma
+let run_naive ~policy ~budget ~span ~on_pass sigma db =
+  let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
+  Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
+  exec_naive ~policy ~budget ~span ~on_pass
+    {
+      n_inst = db;
+      n_level_of = level_of;
+      n_fired = Hashtbl.create 256;
+      n_level = 0;
+      n_saturated = false;
+      n_fired_total = 0;
+      n_dismissed_total = 0;
+    }
+    sigma
+
+let resume_naive ~budget ~span ~on_pass sigma (s : snapshot) =
+  let level_of : (Fact.t, int) Hashtbl.t =
+    Hashtbl.create (List.length s.snap_facts)
   in
-  let policy =
-    match policy with
-    | Oblivious -> Engine.Saturate.Oblivious
-    | Restricted -> Engine.Saturate.Restricted
+  List.iter (fun (f, l) -> Hashtbl.replace level_of f l) s.snap_facts;
+  let inst =
+    List.fold_left
+      (fun acc (f, _) -> Instance.add_fact f acc)
+      Instance.empty s.snap_facts
   in
-  let r = Engine.Saturate.run ~policy ~budget ~obs:span rules db in
+  (* Reconstruct the fired-trigger set. At a clean boundary after pass L
+     every considered trigger — fired or dismissed — is marked, and the
+     considered triggers are exactly those whose body maps into the
+     instance as of pass L−1, i.e. into the facts of s-level ≤ L−1. *)
+  let fired : (int * const option list, unit) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let prior =
+    Instance.filter
+      (fun f ->
+        match Hashtbl.find_opt level_of f with
+        | Some l -> l <= s.snap_level - 1
+        | None -> true)
+      inst
+  in
+  List.iteri
+    (fun i t ->
+      Homomorphism.fold_homs (Tgd.body t) prior
+        (fun b () -> Hashtbl.replace fired (trigger_key i b t) ())
+        ())
+    sigma;
+  exec_naive ~policy:s.snap_policy ~budget ~span ~on_pass
+    {
+      n_inst = inst;
+      n_level_of = level_of;
+      n_fired = fired;
+      n_level = s.snap_level;
+      n_saturated = s.snap_saturated;
+      n_fired_total = s.snap_triggers_fired;
+      n_dismissed_total = s.snap_triggers_dismissed;
+    }
+    sigma
+
+let engine_rules sigma =
+  List.map
+    (fun t -> Engine.Saturate.{ body = Tgd.body t; head = Tgd.head t })
+    sigma
+
+let engine_policy = function
+  | Oblivious -> Engine.Saturate.Oblivious
+  | Restricted -> Engine.Saturate.Restricted
+
+let engine_on_pass ~policy on_pass =
+  Option.map
+    (fun cb ~level ~saturated take ->
+      cb ~level ~saturated (fun () -> of_engine_snapshot ~policy (take ())))
+    on_pass
+
+let of_engine_result ~span (r : Engine.Saturate.result) =
   {
     instance = lazy (Engine.Index.to_instance r.Engine.Saturate.index);
     level_of = r.Engine.Saturate.level_of;
@@ -167,28 +306,62 @@ let run_indexed ~policy ~budget ~span sigma db =
     span;
   }
 
+let run_indexed ~policy ~budget ~span ~on_pass sigma db =
+  let r =
+    Engine.Saturate.run ~policy:(engine_policy policy) ~budget ~obs:span
+      ?on_pass:(engine_on_pass ~policy on_pass)
+      (engine_rules sigma) db
+  in
+  of_engine_result ~span r
+
+let make_budget ~max_level ~max_facts ~budget =
+  let legacy =
+    match (max_level, max_facts) with
+    | None, None -> Obs.Budget.unlimited
+    | _ -> Obs.Budget.create ?max_facts ?max_levels:max_level ()
+  in
+  match budget with
+  | None -> legacy
+  | Some b -> Obs.Budget.meet legacy b
+
+let make_span obs =
+  match obs with
+  | Some parent -> Obs.Span.enter parent "chase"
+  | None -> Obs.Span.root "chase"
+
 let run ?(engine = `Indexed) ?(policy = Oblivious) ?max_level ?max_facts
-    ?budget ?obs sigma db =
-  let budget =
-    let legacy =
-      match (max_level, max_facts) with
-      | None, None -> Obs.Budget.unlimited
-      | _ ->
-          Obs.Budget.create ?max_facts ?max_levels:max_level ()
-    in
-    match budget with
-    | None -> legacy
-    | Some b -> Obs.Budget.meet legacy b
-  in
-  let span =
-    match obs with
-    | Some parent -> Obs.Span.enter parent "chase"
-    | None -> Obs.Span.root "chase"
-  in
+    ?budget ?obs ?on_pass sigma db =
+  let budget = make_budget ~max_level ~max_facts ~budget in
+  let span = make_span obs in
   let r =
     match engine with
-    | `Naive -> run_naive ~policy ~budget ~span sigma db
-    | `Indexed -> run_indexed ~policy ~budget ~span sigma db
+    | `Naive -> run_naive ~policy ~budget ~span ~on_pass sigma db
+    | `Indexed -> run_indexed ~policy ~budget ~span ~on_pass sigma db
+  in
+  Obs.Span.exit span;
+  r
+
+let resume ?engine ?max_level ?max_facts ?budget ?obs ?on_pass sigma
+    (s : snapshot) =
+  let engine = match engine with Some e -> e | None -> s.snap_engine in
+  let budget = make_budget ~max_level ~max_facts ~budget in
+  let span = make_span obs in
+  (* Pin the null supply to the boundary. The snapshot's facts only hold
+     nulls ≤ [snap_null_count]; anything invented after the boundary (by
+     the interrupted attempt, possibly in another process) was discarded
+     with that attempt, so the ids may — and for cross-process alignment
+     with the uninterrupted run, must — be re-issued. *)
+  Term.set_null_count s.snap_null_count;
+  let r =
+    match engine with
+    | `Naive -> resume_naive ~budget ~span ~on_pass sigma s
+    | `Indexed ->
+        of_engine_result ~span
+          (Engine.Saturate.resume
+             ~policy:(engine_policy s.snap_policy)
+             ~budget ~obs:span
+             ?on_pass:(engine_on_pass ~policy:s.snap_policy on_pass)
+             (engine_rules sigma) (to_engine_snapshot s))
   in
   Obs.Span.exit span;
   r

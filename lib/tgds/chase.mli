@@ -29,9 +29,36 @@ type policy =
 
 type engine = [ `Naive | `Indexed ]
 
-(** [run ?engine ?policy ?max_level ?max_facts ?budget ?obs sigma db] —
-    chase until saturation or until the strictest of
-    [{max_level, max_facts}] and [budget] cuts the run. *)
+(** The chase state at a {e clean pass boundary} — a pass that completed
+    without a budget violation (including the final, saturation-
+    discovering pass). Engine-agnostic: the facts with their s-levels
+    determine the continuation under either engine (the semi-naive delta
+    is the last level; the naive fired-trigger set is reconstructible
+    from levels ≤ [snap_level] − 1), so a checkpoint written by
+    [`Indexed] can be resumed by [`Naive] — this is how the supervisor
+    degrades engines without losing progress. The scalar totals let a
+    resumed run report the same statistics as an uninterrupted one;
+    [snap_null_count] pins the fresh-null supply so resuming in another
+    process never re-issues a null id used by the snapshot. *)
+type snapshot = {
+  snap_engine : engine;
+  snap_policy : policy;
+  snap_level : int;  (** last completed pass = highest s-level *)
+  snap_saturated : bool;
+  snap_null_count : int;  (** {!Term.null_count} at the boundary *)
+  snap_triggers_fired : int;
+  snap_triggers_dismissed : int;
+  snap_facts : (Fact.t * int) list;  (** every fact with its s-level *)
+  snap_counters : (string * int) list;  (** index metrics; [[]] after naive *)
+}
+
+(** [run ?engine ?policy ?max_level ?max_facts ?budget ?obs ?on_pass
+    sigma db] — chase until saturation or until the strictest of
+    [{max_level, max_facts}] and [budget] cuts the run.
+
+    [on_pass ~level ~saturated take] is called after every clean pass
+    boundary; [take ()] materialises a {!snapshot} of the state at that
+    boundary (pay-per-use — not calling the thunk costs nothing). *)
 val run :
   ?engine:engine ->
   ?policy:policy ->
@@ -39,8 +66,29 @@ val run :
   ?max_facts:int ->
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
+  ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
   Tgd.t list ->
   Instance.t ->
+  result
+
+(** [resume ?engine … sigma snapshot] — continue a chase from a
+    checkpointed boundary as if never interrupted: the continuation fires
+    the same per-pass trigger sets as the uninterrupted run, so the final
+    result agrees on facts (up to renaming of nulls invented after the
+    boundary), s-levels, trigger totals, and outcome. [sigma] and the
+    effective budget must match the original run; the policy is the
+    snapshot's. [engine] defaults to the snapshot's engine and may be
+    overridden (checkpoints are engine-agnostic). Side effect: the
+    global null supply is reset to [snap_null_count]. *)
+val resume :
+  ?engine:engine ->
+  ?max_level:int ->
+  ?max_facts:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
+  Tgd.t list ->
+  snapshot ->
   result
 
 (** The chased instance. *)

@@ -26,6 +26,7 @@ let saturate_naive ~budget ~obs sigma db =
   let round_no = ref 0 in
   let violation = ref None in
   while !changed && !violation = None do
+    Obs.Probe.hit "full_chase.round";
     match
       Obs.Budget.check budget ~facts:(Instance.size !inst)
         ~level:(!round_no + 1)

@@ -92,6 +92,7 @@ let fresh_state ?(budget = Obs.Budget.unlimited) sigma =
    child bag whose facts over [dom cur] flow back. Body matching runs on
    the indexed joiner (lib/engine) over a per-round index of [cur]. *)
 let rec round st cur =
+  Obs.Probe.hit "ground_closure.round";
   incr st.passes;
   (match
      Obs.Budget.check st.budget ~facts:(Instance.size !cur) ~level:!(st.passes)

@@ -83,6 +83,68 @@ let arb_full_sigma_db =
   QCheck.make ~print:print_sigma_db QCheck.Gen.(pair gen_full_sigma gen_db)
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: checkpoints and fault plans                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_engine =
+  QCheck.Gen.map (fun b -> if b then `Indexed else `Naive) QCheck.Gen.bool
+
+let gen_policy =
+  QCheck.Gen.map
+    (fun b -> if b then Tgds.Chase.Oblivious else Tgds.Chase.Restricted)
+    QCheck.Gen.bool
+
+(* Budgets small enough that even the non-terminating pool programs stop
+   quickly, but large enough for several clean pass boundaries. *)
+let resil_budget () = Obs.Budget.create ~max_facts:60 ~max_levels:6 ()
+
+(* Every clean-boundary snapshot of one chase run (nulls reset first, so
+   reruns of the same inputs are reproducible). *)
+let chase_snapshots ~engine ~policy sigma db =
+  Term.reset_nulls ();
+  let snaps = ref [] in
+  let _ =
+    Tgds.Chase.run ~engine ~policy ~budget:(resil_budget ())
+      ~on_pass:(fun ~level:_ ~saturated:_ take -> snaps := take () :: !snaps)
+      sigma db
+  in
+  List.rev !snaps
+
+(* A checkpoint drawn from a random boundary of a random chase. The first
+   pass of these budgets is always a clean boundary, so [snaps] is never
+   empty. *)
+let gen_checkpoint =
+  QCheck.Gen.(
+    let* sigma = gen_sigma
+    and* db = gen_db
+    and* engine = gen_engine
+    and* policy = gen_policy
+    and* pick = int_range 0 1000 in
+    let snaps = chase_snapshots ~engine ~policy sigma db in
+    return (List.nth snaps (pick mod List.length snaps)))
+
+let print_checkpoint s = Obs.Json.to_string (Resil.Checkpoint.to_json s)
+let arb_checkpoint = QCheck.make ~print:print_checkpoint gen_checkpoint
+
+(* Fault plans mixing all three trigger axes; [After_ms] is meant to run
+   under an injected clock that advances ≥ 1s per probe hit, so every
+   generated deadline fires on its first or second hit. *)
+let gen_fault_trigger =
+  QCheck.Gen.(
+    let* k = int_range 0 2 in
+    match k with
+    | 0 -> map (fun n -> Resil.Fault.At_hit (1 + n)) (int_range 0 400)
+    | 1 ->
+        let* p =
+          oneofl [ "engine.pass"; "engine.insert"; "engine.join"; "chase.pass" ]
+        and* n = int_range 1 40 in
+        return (Resil.Fault.At_point (p, n))
+    | _ ->
+        map (fun n -> Resil.Fault.After_ms (float_of_int (500 * n))) (int_range 0 4))
+
+let gen_fault_plan = QCheck.Gen.(list_size (int_range 0 3) gen_fault_trigger)
+
+(* ------------------------------------------------------------------ *)
 (* Queries                                                              *)
 (* ------------------------------------------------------------------ *)
 

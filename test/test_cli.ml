@@ -204,10 +204,135 @@ let test_chase_budget_flags () =
 let test_errors_reported () =
   let file = prog "prog_bad.gd" in
   let status, _, err = run_cli [ "eval"; file ] in
-  check "non-zero exit" true (status <> 0);
+  check "usage-error exit 2" true (status = 2);
   check "position in message" true (contains err "prog_bad.gd:1:");
   let status2, _, err2 = run_cli [ "eval"; prog "prog_eval.gd"; "-q"; "nope" ] in
-  check "missing query reported" true (status2 <> 0 && contains err2 "no query named")
+  check "missing query reported" true (status2 = 2 && contains err2 "no query named")
+
+(* Exit-code contract: 2 = usage/input error (bad program, precondition
+   violation, malformed flag value), 1 = runtime fault; always a one-line
+   diagnostic on stderr, never a backtrace. *)
+let test_exit_codes () =
+  let status, _, err =
+    run_cli [ "eval"; prog "prog_unguarded.gd"; "-q"; "q"; "--fpt" ]
+  in
+  check "unguarded --fpt exits 2" true (status = 2);
+  check "one-line diagnostic" true
+    (contains err "guarded"
+    && List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' err)) = 1);
+  check "no backtrace" false (contains err "Raised at");
+  let status2, _, err2 =
+    run_cli [ "chase"; prog "prog_chase.gd"; "--fault-plan"; "bogus" ]
+  in
+  check "bad fault plan exits 2" true (status2 = 2);
+  check "plan error names the trigger" true (contains err2 "bogus")
+
+(* The checkpoint written for a fixed program is pinned byte-for-byte
+   (schema, key order, fact encoding). Null ids are the only per-process
+   volatile part; they are normalised to 0 before comparing. *)
+let golden_checkpoint =
+  String.concat ""
+    [
+      {|{"schema":"guarded-chase-checkpoint","version":1,"engine":"indexed",|};
+      {|"policy":"oblivious","level":2,"saturated":true,"null_count":1,|};
+      {|"triggers_fired":2,"triggers_dismissed":0,|};
+      {|"counters":{"index.duplicates":0,"index.inserts":3,"index.probes":0,|};
+      {|"joiner.backtracks":0,"joiner.candidates":2},|};
+      {|"facts":[{"p":"prof","l":0,"a":["ada"]},|};
+      {|{"p":"teaches","l":1,"a":["ada",{"n":0}]},|};
+      {|{"p":"course","l":2,"a":[{"n":0}]}]}|};
+    ]
+
+let rec zero_nulls j =
+  match j with
+  | Obs.Json.Obj [ ("n", Obs.Json.Int _) ] -> Obs.Json.Obj [ ("n", Obs.Json.Int 0) ]
+  | Obs.Json.Obj fields ->
+      Obs.Json.Obj (List.map (fun (k, v) -> (k, zero_nulls v)) fields)
+  | Obs.Json.List l -> Obs.Json.List (List.map zero_nulls l)
+  | j -> j
+
+let test_checkpoint_golden () =
+  let ck = Filename.temp_file "guarded_ck" ".json" in
+  let status, _, err =
+    run_cli [ "chase"; prog "prog_chase.gd"; "--checkpoint"; ck ]
+  in
+  check (Fmt.str "exit 0 (err=%S)" err) true (status = 0);
+  let ic = open_in ck in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove ck;
+  match Obs.Json.parse raw with
+  | Error e -> Alcotest.failf "checkpoint is not JSON: %s" e
+  | Ok j ->
+      Alcotest.(check string) "normalized checkpoint matches golden"
+        golden_checkpoint
+        (Obs.Json.to_string (zero_nulls j))
+
+(* Kill a budgeted chase mid-run with an injected fault, resume from the
+   emitted checkpoint in a fresh process, and require the resumed stats
+   report to agree with an uninterrupted run on everything but timings
+   (histograms/span are cut off: they only describe the post-resume part). *)
+let test_fault_kill_and_resume () =
+  let ck = Filename.temp_file "guarded_ck" ".json" in
+  let s_base = Filename.temp_file "guarded_stats" ".json" in
+  let s_res = Filename.temp_file "guarded_stats" ".json" in
+  let budget = [ "--max-level"; "1000"; "--budget-facts"; "40" ] in
+  let status, _, _ =
+    run_cli
+      ([ "chase"; prog "prog_budget.gd" ] @ budget
+      @ [ "--fault-plan"; "hit:60,point:chase.pass:1"; "--retries"; "0";
+          "--checkpoint"; ck ])
+  in
+  check "killed run exits 1" true (status = 1);
+  let status2, _, err2 =
+    run_cli ([ "chase"; prog "prog_budget.gd" ] @ budget @ [ "--resume"; ck; "--stats"; s_res ])
+  in
+  check (Fmt.str "resumed run exits 0 (err=%S)" err2) true (status2 = 0);
+  let status3, _, _ =
+    run_cli ([ "chase"; prog "prog_budget.gd" ] @ budget @ [ "--stats"; s_base ])
+  in
+  check "baseline exits 0" true (status3 = 0);
+  let slurp path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let prefix s =
+    (* keep name/outcome/fact counts/trigger totals/counters *)
+    match String.index_opt s '{' with
+    | None -> s
+    | Some _ -> (
+        match Obs.Json.parse s with
+        | Error _ -> s
+        | Ok j ->
+            let keep k = Obs.Json.member k j in
+            Obs.Json.to_string
+              (Obs.Json.Obj
+                 (List.filter_map
+                    (fun k -> Option.map (fun v -> (k, v)) (keep k))
+                    [
+                      "name"; "outcome"; "saturated"; "max_level"; "facts";
+                      "facts_per_level"; "triggers_fired"; "triggers_dismissed";
+                      "counters";
+                    ])))
+  in
+  let base = slurp s_base and resumed = slurp s_res in
+  List.iter Sys.remove [ ck; s_base; s_res ];
+  Alcotest.(check string) "resumed stats agree with uninterrupted run"
+    (prefix base) (prefix resumed)
+
+(* A transient injected fault is absorbed by the supervisor: same exit
+   code and facts as a clean run, plus a recovery note. *)
+let test_fault_recovery_note () =
+  let status, out, err =
+    run_cli
+      [ "chase"; prog "prog_chase.gd"; "--fault-plan"; "hit:3"; "--retries"; "2" ]
+  in
+  check (Fmt.str "recovered run exits 0 (err=%S)" err) true (status = 0);
+  check "recovery note printed" true (contains out "recovered after");
+  check "still saturates" true (contains out "saturated");
+  check "derived course fact" true (contains out "course(")
 
 let () =
   Alcotest.run "cli"
@@ -228,5 +353,11 @@ let () =
           Alcotest.test_case "chase --stats golden" `Quick test_chase_stats_golden;
           Alcotest.test_case "chase budget flags" `Quick test_chase_budget_flags;
           Alcotest.test_case "errors" `Quick test_errors_reported;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "checkpoint golden" `Quick test_checkpoint_golden;
+          Alcotest.test_case "fault kill and resume" `Quick
+            test_fault_kill_and_resume;
+          Alcotest.test_case "fault recovery note" `Quick
+            test_fault_recovery_note;
         ] );
     ]

@@ -94,6 +94,23 @@ let test_exact_decomposition () =
   check_int "3x3 exact" 3 k;
   check "exact witness verifies" true (Tree_decomposition.verify g td)
 
+let test_exact_opt_total () =
+  (* small graphs agree with [exact]; oversized ones return None instead
+     of raising Too_large *)
+  let g = Graph.grid 3 3 in
+  (match Treewidth.exact_opt g with
+  | Some k -> check_int "3x3 exact_opt" (Treewidth.exact g) k
+  | None -> Alcotest.fail "exact_opt None on a small graph");
+  (match Treewidth.exact_decomposition_opt g with
+  | Some (k, td) ->
+      check_int "3x3 exact_decomposition_opt width" 3 k;
+      check "opt witness verifies" true (Tree_decomposition.verify g td)
+  | None -> Alcotest.fail "exact_decomposition_opt None on a small graph");
+  let big = Graph.grid 8 8 in
+  check "64 vertices: exact_opt is None" true (Treewidth.exact_opt big = None);
+  check "64 vertices: exact_decomposition_opt is None" true
+    (Treewidth.exact_decomposition_opt big = None)
+
 let test_at_most () =
   check "path at most 1" true (Treewidth.at_most (Graph.path 8) 1);
   check "grid not at most 2" false (Treewidth.at_most (Graph.grid 3 3) 2)
@@ -239,6 +256,7 @@ let () =
           Alcotest.test_case "disconnected" `Quick test_treewidth_disconnected;
           Alcotest.test_case "bounds bracket" `Quick test_lower_upper_bracket;
           Alcotest.test_case "exact witness" `Quick test_exact_decomposition;
+          Alcotest.test_case "exact_opt total" `Quick test_exact_opt_total;
           Alcotest.test_case "at_most" `Quick test_at_most;
         ] );
       ( "tree-decomposition",

@@ -1,0 +1,463 @@
+(* Crash-safety suite for lib/resil and the chase's checkpoint/resume
+   machinery: checkpoint JSON round-trips byte-identically, a resumed run
+   is equivalent to an uninterrupted one (up to renaming of nulls invented
+   after the boundary) under both policies and engines — including
+   cross-engine resume, which is how the supervisor degrades — and the
+   supervisor turns injected faults into retries/degradation instead of
+   escaped exceptions. Generators live in Generators.
+
+   Equivalence caveat: a [Partial Facts] cut lands mid-pass, where the set
+   of triggers fired before the cut depends on enumeration order (itself
+   dependent on index insertion order), so for those runs only the levels
+   before the final, truncated pass are compared; runs ending at a clean
+   boundary (saturation or a level cut) must agree in full. *)
+
+open Relational
+open Relational.Term
+module Chase = Tgds.Chase
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let v = Generators.v
+let atom = Generators.atom
+let fact = Generators.fact
+let tgd = Generators.tgd
+
+(* ------------------------------------------------------------------ *)
+(* Result comparison up to null renaming                                *)
+(* ------------------------------------------------------------------ *)
+
+module IntMap = Map.Make (Int)
+
+let facts_levels ?(upto = max_int) r =
+  Instance.facts (Chase.instance r)
+  |> List.filter_map (fun f ->
+         match Option.value ~default:0 (Chase.level r f) with
+         | l when l <= upto -> Some (f, l)
+         | _ -> None)
+
+(* A null-blind sort key: fast rejection and good candidate locality for
+   the backtracking matcher below. *)
+let skeleton (f, l) =
+  ( l,
+    Fact.pred f,
+    List.map (function Null _ -> Null 0 | c -> c) (Fact.args f) )
+
+let match_args map rmap args1 args2 =
+  let rec go map rmap a1 a2 =
+    match (a1, a2) with
+    | [], [] -> Some (map, rmap)
+    | c1 :: r1, c2 :: r2 -> (
+        match (c1, c2) with
+        | Named s1, Named s2 ->
+            if String.equal s1 s2 then go map rmap r1 r2 else None
+        | Null i, Null j -> (
+            match (IntMap.find_opt i map, IntMap.find_opt j rmap) with
+            | Some j', Some i' ->
+                if j' = j && i' = i then go map rmap r1 r2 else None
+            | None, None -> go (IntMap.add i j map) (IntMap.add j i rmap) r1 r2
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  go map rmap args1 args2
+
+(* Multiset equality of (fact, level) lists modulo a bijection on null
+   ids (backtracking; instances here are small). *)
+let equal_upto_nulls l1 l2 =
+  let sk = List.sort Stdlib.compare (List.map skeleton l1) in
+  List.length l1 = List.length l2
+  && sk = List.sort Stdlib.compare (List.map skeleton l2)
+  &&
+  let l1 =
+    List.sort (fun a b -> Stdlib.compare (skeleton a) (skeleton b)) l1
+  in
+  let rec assign map rmap l1 l2 =
+    match l1 with
+    | [] -> true
+    | (f1, lv1) :: rest ->
+        let rec try_cands before = function
+          | [] -> false
+          | (f2, lv2) :: after ->
+              (lv1 = lv2
+              && Fact.pred f1 = Fact.pred f2
+              &&
+              match match_args map rmap (Fact.args f1) (Fact.args f2) with
+              | Some (map', rmap') ->
+                  assign map' rmap' rest (List.rev_append before after)
+              | None -> false)
+              || try_cands ((f2, lv2) :: before) after
+        in
+        try_cands [] l2
+  in
+  assign IntMap.empty IntMap.empty l1 l2
+
+let results_equivalent full r =
+  Chase.saturated full = Chase.saturated r
+  && Chase.max_level full = Chase.max_level r
+  && Chase.outcome full = Chase.outcome r
+  &&
+  match Chase.outcome full with
+  | Obs.Budget.Partial (Obs.Budget.Facts _) ->
+      let upto = Chase.max_level full - 1 in
+      equal_upto_nulls (facts_levels ~upto full) (facts_levels ~upto r)
+  | _ -> equal_upto_nulls (facts_levels full) (facts_levels r)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint serialisation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"checkpoint JSON round-trip is byte-identical"
+    ~count:150 Generators.arb_checkpoint (fun s ->
+      let str = Obs.Json.to_string (Resil.Checkpoint.to_json s) in
+      match Obs.Json.parse str with
+      | Error _ -> false
+      | Ok j -> (
+          match Resil.Checkpoint.of_json j with
+          | Error _ -> false
+          | Ok s' -> Obs.Json.to_string (Resil.Checkpoint.to_json s') = str))
+
+let test_checkpoint_disk_roundtrip () =
+  let snaps =
+    Generators.chase_snapshots ~engine:`Indexed ~policy:Chase.Oblivious
+      [ tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+        tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ] ]
+      (Instance.of_facts [ fact "A" [ "a" ] ])
+  in
+  let s = List.nth snaps (List.length snaps / 2) in
+  let path = Filename.temp_file "resil_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Resil.Checkpoint.save path s;
+      let read () =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let first = read () in
+      (match Resil.Checkpoint.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok s' -> Resil.Checkpoint.save path s');
+      check "save → load → save is byte-identical" true (read () = first))
+
+let test_checkpoint_rejects_bad_schema () =
+  let reject s =
+    match Result.bind (Obs.Json.parse s) Resil.Checkpoint.of_json with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  check "wrong schema" true
+    (reject {|{"schema":"other","version":1}|});
+  check "wrong version" true
+    (reject {|{"schema":"guarded-chase-checkpoint","version":99}|});
+  check "missing fields" true
+    (reject {|{"schema":"guarded-chase-checkpoint","version":1}|})
+
+(* ------------------------------------------------------------------ *)
+(* Resume ≍ uninterrupted                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_resume_case =
+  QCheck.Gen.(
+    let* sigma = Generators.gen_sigma
+    and* db = Generators.gen_db
+    and* engine = Generators.gen_engine
+    and* policy = Generators.gen_policy
+    and* pick = int_range 0 1000
+    and* cross = bool in
+    return (sigma, db, engine, policy, pick, cross))
+
+let print_resume_case (sigma, db, engine, policy, pick, cross) =
+  Fmt.str "%s engine=%s policy=%s pick=%d cross=%b"
+    (Generators.print_sigma_db (sigma, db))
+    (match engine with `Indexed -> "indexed" | `Naive -> "naive")
+    (match policy with
+    | Chase.Oblivious -> "oblivious"
+    | Chase.Restricted -> "restricted")
+    pick cross
+
+let arb_resume_case = QCheck.make ~print:print_resume_case gen_resume_case
+
+let resume_equiv (sigma, db, engine, policy, pick, cross) =
+  Term.reset_nulls ();
+  let snaps = ref [] in
+  let full =
+    Chase.run ~engine ~policy ~budget:(Generators.resil_budget ())
+      ~on_pass:(fun ~level:_ ~saturated:_ take -> snaps := take () :: !snaps)
+      sigma db
+  in
+  let snaps = Array.of_list (List.rev !snaps) in
+  let s = snaps.(pick mod Array.length snaps) in
+  let resume_engine =
+    if cross then match engine with `Indexed -> `Naive | `Naive -> `Indexed
+    else engine
+  in
+  let r =
+    Chase.resume ~engine:resume_engine ~budget:(Generators.resil_budget ())
+      sigma s
+  in
+  results_equivalent full r
+
+let prop_resume_equiv =
+  QCheck.Test.make
+    ~name:"resume from any boundary ≍ uninterrupted (both policies/engines)"
+    ~count:200 arb_resume_case resume_equiv
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A clock advancing one second per reading, so [After_ms] triggers fire
+   deterministically within a few probe hits. *)
+let ticking_clock () =
+  let t = ref 0. in
+  fun () ->
+    t := !t +. 1.;
+    !t
+
+let gen_supervised_case =
+  QCheck.Gen.(
+    let* sigma = Generators.gen_sigma
+    and* db = Generators.gen_db
+    and* policy = Generators.gen_policy
+    and* plan = Generators.gen_fault_plan in
+    return (sigma, db, policy, plan))
+
+let print_supervised_case (sigma, db, policy, plan) =
+  Fmt.str "%s policy=%s plan=%s"
+    (Generators.print_sigma_db (sigma, db))
+    (match policy with
+    | Chase.Oblivious -> "oblivious"
+    | Chase.Restricted -> "restricted")
+    (Resil.Fault.to_string plan)
+
+let arb_supervised_case =
+  QCheck.make ~print:print_supervised_case gen_supervised_case
+
+(* With retries 2 the supervisor grants 3 attempts per engine and the
+   generated plans have ≤ 3 triggers, so some attempt always runs
+   fault-free: the outcome must carry a result equivalent to the
+   uninterrupted run. *)
+let supervised_equiv (sigma, db, policy, plan) =
+  Term.reset_nulls ();
+  let base =
+    Chase.run ~engine:`Indexed ~policy ~budget:(Generators.resil_budget ())
+      sigma db
+  in
+  Term.reset_nulls ();
+  match
+    Resil.Supervisor.run ~engine:`Indexed ~policy
+      ~budget:(Generators.resil_budget ()) ~retries:2
+      ~sleep:(fun _ -> ())
+      ~clock:(ticking_clock ()) ~fault_plan:plan sigma db
+  with
+  | Resil.Supervisor.Completed r
+  | Resil.Supervisor.Recovered (r, _)
+  | Resil.Supervisor.Degraded (r, _) ->
+      results_equivalent base r
+  | Resil.Supervisor.Failed _ -> false
+
+let prop_supervised_equiv =
+  QCheck.Test.make
+    ~name:"supervised run with kills ≍ uninterrupted (both policies)"
+    ~count:200 arb_supervised_case supervised_equiv
+
+(* Σ = {A(x) → ∃y S(x,y); S(x,y) → A(y)}: non-terminating, cut by the
+   level budget — a deterministic workload for the unit tests below. *)
+let unit_sigma =
+  [
+    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ];
+  ]
+
+let unit_db = Instance.of_facts [ fact "A" [ "a" ] ]
+
+let test_supervisor_degrades () =
+  Term.reset_nulls ();
+  let base =
+    Chase.run ~engine:`Indexed ~budget:(Generators.resil_budget ()) unit_sigma
+      unit_db
+  in
+  Term.reset_nulls ();
+  (* every indexed attempt dies at its first pass; the naive engine never
+     hits engine.* probes, so the degraded attempt completes *)
+  let plan =
+    [
+      Resil.Fault.At_point ("engine.pass", 1);
+      Resil.Fault.At_point ("engine.pass", 1);
+      Resil.Fault.At_point ("engine.pass", 1);
+    ]
+  in
+  match
+    Resil.Supervisor.run ~engine:`Indexed
+      ~budget:(Generators.resil_budget ()) ~retries:2
+      ~sleep:(fun _ -> ())
+      ~fault_plan:plan unit_sigma unit_db
+  with
+  | Resil.Supervisor.Degraded (r, log) ->
+      check_int "three failed attempts" 3 (List.length log);
+      List.iter
+        (fun a ->
+          check "failed attempts ran on the indexed engine" true
+            (a.Resil.Supervisor.engine = `Indexed))
+        log;
+      check "degraded result ≍ uninterrupted" true (results_equivalent base r)
+  | _ -> Alcotest.fail "expected Degraded"
+
+let test_supervisor_failed_is_typed () =
+  (* kill both engines on every attempt: engine.pass for indexed,
+     chase.pass for naive *)
+  let plan =
+    [
+      Resil.Fault.At_point ("engine.pass", 1);
+      Resil.Fault.At_point ("chase.pass", 1);
+    ]
+  in
+  match
+    Resil.Supervisor.run ~engine:`Indexed
+      ~budget:(Generators.resil_budget ()) ~retries:0
+      ~sleep:(fun _ -> ())
+      ~fault_plan:plan unit_sigma unit_db
+  with
+  | Resil.Supervisor.Failed d ->
+      check_int "both attempts logged" 2 (List.length d.Resil.Supervisor.attempts)
+  | _ -> Alcotest.fail "expected Failed (and no escaped exception)"
+
+let test_supervisor_backoff_sequence () =
+  let sleeps = ref [] in
+  let plan =
+    [
+      Resil.Fault.At_point ("engine.pass", 1);
+      Resil.Fault.At_point ("engine.pass", 2);
+      Resil.Fault.At_point ("engine.pass", 3);
+    ]
+  in
+  (match
+     Resil.Supervisor.run ~engine:`Indexed
+       ~budget:(Generators.resil_budget ()) ~retries:3 ~backoff_ms:100.
+       ~max_backoff_ms:250.
+       ~sleep:(fun s -> sleeps := s :: !sleeps)
+       ~fault_plan:plan unit_sigma unit_db
+   with
+  | Resil.Supervisor.Recovered (_, log) ->
+      check_int "three failed attempts" 3 (List.length log)
+  | _ -> Alcotest.fail "expected Recovered");
+  let expect = [ 100. /. 1000.; 200. /. 1000.; 250. /. 1000. ] in
+  check_int "three sleeps" (List.length expect) (List.length !sleeps);
+  List.iter2
+    (fun a b -> check "capped exponential backoff" true (Float.abs (a -. b) < 1e-9))
+    expect (List.rev !sleeps)
+
+let test_supervisor_checkpoints_to_disk () =
+  let path = Filename.temp_file "resil_sup" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Term.reset_nulls ();
+      (match
+         Resil.Supervisor.run ~engine:`Indexed
+           ~budget:(Generators.resil_budget ()) ~retries:1 ~checkpoint_path:path
+           ~sleep:(fun s -> ignore s)
+           ~fault_plan:[ Resil.Fault.At_point ("engine.pass", 3) ]
+           unit_sigma unit_db
+       with
+      | Resil.Supervisor.Recovered (_, log) ->
+          check_int "one failed attempt" 1 (List.length log);
+          (* only failed attempts are logged; the first ran from scratch *)
+          check "first attempt started from scratch" true
+            ((List.hd log).Resil.Supervisor.resumed_from = None)
+      | _ -> Alcotest.fail "expected Recovered");
+      match Resil.Checkpoint.load path with
+      | Error e -> Alcotest.failf "final checkpoint unreadable: %s" e
+      | Ok s ->
+          check "final checkpoint is at the run's last boundary" true
+            (s.Chase.snap_level > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_fault_plan =
+  QCheck.make
+    ~print:(fun p -> Resil.Fault.to_string p)
+    Generators.gen_fault_plan
+
+let prop_fault_plan_roundtrip =
+  QCheck.Test.make ~name:"fault plan parse ∘ to_string = id" ~count:200
+    arb_fault_plan (fun plan ->
+      Resil.Fault.parse (Resil.Fault.to_string plan) = Ok plan)
+
+let test_fault_parse () =
+  check "none" true (Resil.Fault.parse "none" = Ok []);
+  check "empty" true (Resil.Fault.parse "" = Ok []);
+  check "hit" true (Resil.Fault.parse "hit:7" = Ok [ Resil.Fault.At_hit 7 ]);
+  check "list" true
+    (Resil.Fault.parse "hit:1,point:engine.pass:2,ms:5"
+    = Ok
+        [
+          Resil.Fault.At_hit 1;
+          Resil.Fault.At_point ("engine.pass", 2);
+          Resil.Fault.After_ms 5.;
+        ]);
+  check "seed is deterministic" true
+    (Resil.Fault.parse "seed:42:4" = Resil.Fault.parse "seed:42:4");
+  (match Resil.Fault.parse "seed:42:4" with
+  | Ok plan -> check_int "seed expands to the requested attempts" 4 (List.length plan)
+  | Error _ -> Alcotest.fail "seed spec rejected");
+  List.iter
+    (fun bad ->
+      check (Fmt.str "rejects %S" bad) true
+        (Result.is_error (Resil.Fault.parse bad)))
+    [ "bogus"; "hit:x"; "hit:0"; "point:engine.pass"; "ms:nope"; "seed:x" ]
+
+let test_fault_arm_determinism () =
+  let count_hits trig =
+    Term.reset_nulls ();
+    match
+      Resil.Fault.with_trigger (Some trig) (fun () ->
+          Chase.run ~engine:`Indexed ~budget:(Generators.resil_budget ())
+            unit_sigma unit_db)
+    with
+    | _ -> None
+    | exception Resil.Fault.Injected (point, hit) -> Some (point, hit)
+  in
+  let a = count_hits (Resil.Fault.At_hit 20) in
+  let b = count_hits (Resil.Fault.At_hit 20) in
+  check "same trigger, same failure point" true (a = b && a <> None);
+  check "probes disarmed afterwards" true (not (Obs.Probe.armed ()))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_checkpoint_roundtrip;
+      prop_resume_equiv;
+      prop_supervised_equiv;
+      prop_fault_plan_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "resil"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "checkpoint disk round-trip" `Quick
+            test_checkpoint_disk_roundtrip;
+          Alcotest.test_case "checkpoint schema validation" `Quick
+            test_checkpoint_rejects_bad_schema;
+          Alcotest.test_case "supervisor degrades to naive" `Quick
+            test_supervisor_degrades;
+          Alcotest.test_case "supervisor failure is a typed outcome" `Quick
+            test_supervisor_failed_is_typed;
+          Alcotest.test_case "supervisor backoff sequence" `Quick
+            test_supervisor_backoff_sequence;
+          Alcotest.test_case "supervisor persists checkpoints" `Quick
+            test_supervisor_checkpoints_to_disk;
+          Alcotest.test_case "fault plan parsing" `Quick test_fault_parse;
+          Alcotest.test_case "fault arming is deterministic" `Quick
+            test_fault_arm_determinism;
+        ] );
+      ("properties", qcheck_tests);
+    ]
