@@ -571,6 +571,192 @@ let e15 ~full () =
   row "@.  wrote BENCH_engine.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E16 — parallel saturation scaling (lib/engine/parallel ablation)     *)
+(* ------------------------------------------------------------------ *)
+
+let e16 ~full () =
+  header "E16: multicore saturation scaling"
+    "not a paper claim — scaling of the parallel engine (DESIGN.md §2.10)"
+    "speedup grows with domains up to the machine's cores; outputs stay byte-identical";
+  let cores = Domain.recommended_domain_count () in
+  row "  machine: %d recommended domain(s)@.@." cores;
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let rows = ref [] in
+  let bench_case ~workload ~sigma ~db ~max_level =
+    let run engine () =
+      ignore (Tgds.Chase.run ~engine ~max_level sigma db)
+    in
+    let t_seq = measure ~repeat:1 (run `Indexed) in
+    let r = Tgds.Chase.run ~engine:`Indexed ~max_level sigma db in
+    let chased = Instance.size (Tgds.Chase.instance r) in
+    let times =
+      List.map
+        (fun n -> (n, measure ~repeat:1 (run (`Parallel n))))
+        domain_counts
+    in
+    rows := (workload, Instance.size db, chased, t_seq, times) :: !rows;
+    row "  %-18s %8d %10d %11.4f" workload (Instance.size db) chased t_seq;
+    List.iter (fun (_, t) -> row " %10.4f" t) times;
+    row "@."
+  in
+  row "  %-18s %8s %10s %11s" "workload" "||D||" "chased" "indexed(s)";
+  List.iter (fun n -> row " %9d-d" n) domain_counts;
+  row "@.";
+  (* the join-heavy E15 workloads: LUBM-style ontology chases and the
+     guarded-full chain (two-atom bodies, long runs) *)
+  List.iter
+    (fun u ->
+      let sigma, db = Workload.lubm ~universities:u () in
+      bench_case ~workload:(Printf.sprintf "lubm-%d" u) ~sigma ~db ~max_level:6)
+    (if full then [ 40; 160; 640 ] else [ 40; 160 ]);
+  let gf = Workload.guarded_full_chain ~depth:4 in
+  List.iter
+    (fun n ->
+      let db = Workload.path_db ~pred:"E" n in
+      bench_case ~workload:(Printf.sprintf "full-chain-%d" n) ~sigma:gf ~db
+        ~max_level:max_int)
+    (if full then [ 800; 2000; 4000 ] else [ 800; 2000 ]);
+  let json =
+    Obs.Json.Obj
+      [
+        ("cores", Obs.Json.Int cores);
+        ( "workloads",
+          Obs.Json.List
+            (List.rev_map
+               (fun (w, d, c, ts, times) ->
+                 Obs.Json.Obj
+                   [
+                     ("workload", Obs.Json.String w);
+                     ("db_facts", Obs.Json.Int d);
+                     ("chase_facts", Obs.Json.Int c);
+                     ("indexed_s", Obs.Json.Float ts);
+                     ( "domains",
+                       Obs.Json.List
+                         (List.map
+                            (fun (n, t) ->
+                              Obs.Json.Obj
+                                [
+                                  ("domains", Obs.Json.Int n);
+                                  ("s", Obs.Json.Float t);
+                                  ("speedup", Obs.Json.Float (ts /. t));
+                                ])
+                            times) );
+                   ])
+               !rows) );
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  Obs.Json.to_channel oc json;
+  close_out oc;
+  row "@.  wrote BENCH_parallel.json@."
+
+(* ------------------------------------------------------------------ *)
+(* gate — bench-regression gate against BENCH_engine.json (CI)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Rerun the two cheapest E15 workloads and compare the indexed engine's
+   total and per-level wall times against the committed BENCH_engine.json
+   baselines. A >3x slowdown is a regression: fatal under
+   BENCH_GATE=strict (CI), a warning otherwise (laptops differ from the
+   machine that produced the baselines). An absolute floor keeps sub-ms
+   baselines from tripping on scheduler noise. *)
+let gate () =
+  Fmt.pr "@.=== gate: bench-regression check vs BENCH_engine.json ===@.";
+  let strict = Sys.getenv_opt "BENCH_GATE" = Some "strict" in
+  let threshold = 3.0 and floor_s = 0.05 in
+  let failed = ref false in
+  let fail fmt =
+    Fmt.kstr
+      (fun msg ->
+        failed := true;
+        Fmt.pr "  REGRESSION %s@." msg)
+      fmt
+  in
+  let baseline =
+    match
+      let ic = open_in_bin "BENCH_engine.json" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e ->
+        Fmt.epr "gate: cannot read BENCH_engine.json: %s@." e;
+        exit 1
+    | s -> (
+        match Obs.Json.parse s with
+        | Ok (Obs.Json.List entries) -> entries
+        | Ok _ | Error _ ->
+            Fmt.epr "gate: BENCH_engine.json is not a JSON list@.";
+            exit 1)
+  in
+  let find_baseline name =
+    List.find_opt
+      (fun e ->
+        Obs.Json.member "workload" e = Some (Obs.Json.String name))
+      baseline
+  in
+  let float_field k j =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.Float f) -> Some f
+    | Some (Obs.Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let check_workload name sigma db max_level =
+    match find_baseline name with
+    | None -> Fmt.pr "  %-16s no baseline entry — skipped@." name
+    | Some base -> (
+        let r = Tgds.Chase.run ~engine:`Indexed ~max_level sigma db in
+        let t =
+          measure ~repeat:3 (fun () ->
+              ignore (Tgds.Chase.run ~engine:`Indexed ~max_level sigma db))
+        in
+        (match float_field "indexed_s" base with
+        | None -> Fmt.pr "  %-16s baseline has no indexed_s — skipped@." name
+        | Some base_s ->
+            let limit = Float.max (base_s *. threshold) floor_s in
+            Fmt.pr "  %-16s total %8.4fs  baseline %8.4fs  limit %8.4fs%s@."
+              name t base_s limit
+              (if t > limit then "  <-- over" else "");
+            if t > limit then
+              fail "%s: %.4fs > %.1fx baseline %.4fs" name t threshold base_s);
+        (* per-level pass times, where the baseline recorded them *)
+        match Obs.Json.member "level_s" base with
+        | Some (Obs.Json.List base_levels) ->
+            let er = Option.get (Tgds.Chase.engine_result r) in
+            let level_s =
+              List.map Obs.Span.elapsed
+                (Obs.Span.children er.Engine.Saturate.span)
+            in
+            List.iteri
+              (fun i b ->
+                match
+                  ( (match b with
+                    | Obs.Json.Float f -> Some f
+                    | Obs.Json.Int n -> Some (float_of_int n)
+                    | _ -> None),
+                    List.nth_opt level_s i )
+                with
+                | Some base_l, Some l ->
+                    let limit = Float.max (base_l *. threshold) floor_s in
+                    if l > limit then
+                      fail "%s level %d: %.4fs > %.1fx baseline %.4fs" name
+                        (i + 1) l threshold base_l
+                | _ -> ())
+              base_levels
+        | _ -> ())
+  in
+  let lubm_sigma, lubm_db = Workload.lubm ~universities:10 () in
+  check_workload "lubm-10" lubm_sigma lubm_db 6;
+  let gf = Workload.guarded_full_chain ~depth:4 in
+  check_workload "full-chain-200" gf (Workload.path_db ~pred:"E" 200) max_int;
+  if !failed then
+    if strict then (
+      Fmt.epr "gate: bench regression detected (BENCH_GATE=strict)@.";
+      exit 1)
+    else Fmt.pr "  (warnings only: set BENCH_GATE=strict to make these fatal)@."
+  else Fmt.pr "  gate ok@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one Test.make per experiment's kernel)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -708,19 +894,22 @@ let all_experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
+  let special = [ "micro"; "smoke"; "gate" ] in
   let wanted =
-    List.filter (fun a -> a <> "--full" && a <> "micro" && a <> "smoke") args
+    List.filter (fun a -> a <> "--full" && not (List.mem a special)) args
   in
   let run_micro = List.mem "micro" args in
   let run_smoke = List.mem "smoke" args in
+  let run_gate = List.mem "gate" args in
   let chosen =
-    if wanted = [] then if run_micro || run_smoke then [] else all_experiments
+    if wanted = [] then
+      if run_micro || run_smoke || run_gate then [] else all_experiments
     else List.filter (fun (name, _) -> List.mem name wanted) all_experiments
   in
   Fmt.pr "guarded: experiment harness (sizes: %s)@."
@@ -729,4 +918,5 @@ let () =
   List.iter (fun (_, f) -> f ~full ()) chosen;
   if run_micro then micro ();
   if run_smoke then smoke ();
+  if run_gate then gate ();
   Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -92,12 +92,31 @@ let report_outcome out =
 
 let engine_arg =
   let engine_conv =
-    Arg.enum [ ("indexed", `Indexed); ("naive", `Naive) ]
+    Arg.enum [ ("indexed", `Indexed); ("naive", `Naive); ("parallel", `Parallel) ]
   in
   Arg.(
     value & opt engine_conv `Indexed
     & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"Saturation engine: $(b,indexed) (semi-naive, default) or $(b,naive).")
+        ~doc:"Saturation engine: $(b,indexed) (semi-naive, default), \
+              $(b,parallel) (semi-naive with multicore trigger matching — \
+              identical output), or $(b,naive).")
+
+let domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel engine (default: the \
+              machine's recommended domain count). Implies \
+              $(b,--engine parallel).")
+
+(* Resolve the engine tag + --domains pair: --domains implies parallel;
+   bare --engine parallel uses the machine's recommended domain count. *)
+let resolve_engine tag domains : Tgds.Chase.engine =
+  match (tag, domains) with
+  | `Indexed, None -> `Indexed
+  | `Naive, None -> `Naive
+  | `Parallel, None -> `Parallel (Domain.recommended_domain_count ())
+  | _, Some n -> `Parallel n
 
 let checkpoint_arg =
   Arg.(
@@ -206,7 +225,7 @@ let resilient_chase ~engine ~max_level ~stats ~budget ~checkpoint ~ck_every
               print_chase_result ~max_level ~stats
                 ~notes:
                   [
-                    Fmt.str "degraded to naive engine after %d failed \
+                    Fmt.str "degraded to a fallback engine after %d failed \
                              attempt(s)"
                       (List.length log);
                   ]
@@ -217,9 +236,10 @@ let resilient_chase ~engine ~max_level ~stats ~budget ~checkpoint ~ck_every
               1))
 
 let chase_cmd =
-  let run file max_level engine stats budget_facts budget_ms checkpoint
-      ck_every resume retries fault_plan =
+  let run file max_level engine_tag domains stats budget_facts budget_ms
+      checkpoint ck_every resume retries fault_plan =
     with_program file (fun p ->
+        let engine = resolve_engine engine_tag domains in
         let budget = make_budget budget_facts budget_ms in
         let sigma = p.Syntax.Parser.tgds in
         let db = Syntax.Parser.database p in
@@ -237,7 +257,7 @@ let chase_cmd =
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the level-bounded oblivious chase and print the result.")
     Term.(
-      const run $ file_arg $ level_arg $ engine_arg $ stats_arg
+      const run $ file_arg $ level_arg $ engine_arg $ domains_arg $ stats_arg
       $ budget_facts_arg $ budget_ms_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ retries_arg $ fault_plan_arg)
 

@@ -1,15 +1,31 @@
 #!/bin/sh
-# Repository check: formatting (when ocamlformat is available), build, tests.
+# Repository check: formatting (when ocamlformat is available), build,
+# tests, bench smoke + regression gate, kill-and-resume, and the parallel
+# engine's determinism contract.
 # Run from the repository root:  sh ci/check.sh
+# Environment:
+#   BENCH_GATE=strict   make a >3x bench slowdown fatal (CI sets this;
+#                       off by default so laptops never fail on noise)
 set -eu
 
 cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt
 else
   echo "== skipping format check (ocamlformat not installed)"
+fi
+
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "== shellcheck"
+  shellcheck ci/*.sh
+else
+  echo "== skipping shellcheck (not installed)"
 fi
 
 echo "== dune build"
@@ -19,35 +35,36 @@ echo "== dune runtest"
 dune runtest
 
 echo "== bench smoke (stats JSON round-trip)"
-dune exec bench/main.exe -- smoke
-rm -f BENCH_smoke.json
+# run from the scratch dir so the smoke artifact never lands in the repo
+(cd "$TMP" && "$ROOT/_build/default/bench/main.exe" smoke)
+
+echo "== bench gate (indexed engine vs BENCH_engine.json baselines)"
+BENCH_GATE=${BENCH_GATE:-off} dune exec bench/main.exe -- gate
 
 echo "== kill-and-resume (checkpointed chase survives an injected crash)"
 CLI=_build/default/bin/guarded_cli.exe
 PROG=examples/programs/prog_budget.gd
-BUDGET="--max-level 1000 --budget-facts 40"
-TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
-# shellcheck disable=SC2086  # BUDGET is a flag list
-"$CLI" chase "$PROG" $BUDGET --stats "$TMP/base.json" > /dev/null
-# kill attempt 1 mid-saturation, then attempt 2 (degraded to the naive
+set -- --max-level 1000 --budget-facts 40
+"$CLI" chase "$PROG" "$@" --stats "$TMP/base.json" > /dev/null
+# kill attempt 1 mid-saturation, then attempt 2 (degraded to a fallback
 # engine) at its first pass — before it can overwrite the checkpoint
 set +e
-# shellcheck disable=SC2086
-"$CLI" chase "$PROG" $BUDGET --retries 0 \
+"$CLI" chase "$PROG" "$@" --retries 0 \
   --fault-plan hit:60,point:chase.pass:1 --checkpoint "$TMP/ck.json" \
   > /dev/null 2>&1
 killed=$?
 set -e
 [ "$killed" -eq 1 ] || { echo "expected exit 1 from the killed run, got $killed"; exit 1; }
 [ -s "$TMP/ck.json" ] || { echo "no checkpoint emitted by the killed run"; exit 1; }
-# shellcheck disable=SC2086
-"$CLI" chase "$PROG" $BUDGET --resume "$TMP/ck.json" --stats "$TMP/resumed.json" > /dev/null
+"$CLI" chase "$PROG" "$@" --resume "$TMP/ck.json" --stats "$TMP/resumed.json" > /dev/null
 # the resumed report must agree with the uninterrupted one on everything
 # before the histograms/span tail (those only cover the post-resume part)
 sed -E 's/,"histograms":.*$//' "$TMP/base.json" > "$TMP/base.cut"
 sed -E 's/,"histograms":.*$//' "$TMP/resumed.json" > "$TMP/resumed.cut"
 diff "$TMP/base.cut" "$TMP/resumed.cut" \
   || { echo "resumed stats diverge from the uninterrupted run"; exit 1; }
+
+echo "== parallel determinism (--domains 1 vs --domains 4)"
+sh ci/determinism.sh
 
 echo "== OK"

@@ -34,6 +34,21 @@ let create () =
     c_duplicates = Obs.Metrics.counter metrics "index.duplicates";
   }
 
+(* A read-only view over the same hash tables with a private metrics
+   registry: worker domains probe through readers so the shared registry
+   is never written concurrently. Safe as long as nobody inserts while
+   readers are in use (the parallel engine freezes the index during the
+   collection stage). *)
+let reader idx =
+  let metrics = Obs.Metrics.create () in
+  {
+    idx with
+    metrics;
+    c_probes = Obs.Metrics.counter metrics "index.probes";
+    c_inserts = Obs.Metrics.counter metrics "index.inserts";
+    c_duplicates = Obs.Metrics.counter metrics "index.duplicates";
+  }
+
 let mem f idx = Hashtbl.mem idx.facts f
 let size idx = Hashtbl.length idx.facts
 let probes idx = Obs.Metrics.value idx.c_probes

@@ -73,3 +73,11 @@ val probes : t -> int
     [index.duplicates], plus the [joiner.*] counters the {!Joiner} files
     against the store it searches. *)
 val metrics : t -> Obs.Metrics.t
+
+(** [reader idx] — a view sharing [idx]'s fact tables but owning a fresh
+    metrics registry. Worker domains search through readers (one each) so
+    probe counting never races on the shared registry; the caller merges
+    the reader registries back with {!Obs.Metrics.absorb}. The view must
+    only be {e read} while [idx] itself is not being mutated — inserting
+    through either handle while another domain reads is a data race. *)
+val reader : t -> t

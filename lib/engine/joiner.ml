@@ -8,8 +8,9 @@ open Relational.Term
 
 type binding = Homomorphism.binding
 
-let fold ?(injective = false) ?(init = VarMap.empty) ?delta atoms idx f acc =
-  Obs.Probe.hit "engine.join";
+let fold ?(probe = true) ?(injective = false) ?(init = VarMap.empty) ?delta
+    atoms idx f acc =
+  if probe then Obs.Probe.hit "engine.join";
   let m = Index.metrics idx in
   let c_candidates = Obs.Metrics.counter m "joiner.candidates" in
   let c_backtracks = Obs.Metrics.counter m "joiner.backtracks" in

@@ -23,9 +23,13 @@ open Relational.Term
 
 type binding = Homomorphism.binding
 
-(** [fold ?injective ?init ?delta atoms idx f acc] — fold [f] over every
-    homomorphism from [atoms] into the index extending [init]. *)
+(** [fold ?probe ?injective ?init ?delta atoms idx f acc] — fold [f] over
+    every homomorphism from [atoms] into the index extending [init].
+    [?probe] (default [true]) controls the ["engine.join"] {!Obs.Probe}
+    hit at entry; worker domains pass [false] because the probe hook is a
+    process-global and must only fire on the main domain. *)
 val fold :
+  ?probe:bool ->
   ?injective:bool ->
   ?init:binding ->
   ?delta:Fact.t list ->

@@ -1,0 +1,52 @@
+(** Deterministic parallel trigger collection.
+
+    One saturation pass's collection stage — enumerate every trigger
+    whose body touches the delta — decomposed into independent
+    [(rule, pivot)] {e jobs} and fanned out over a {!Shard} pool. Each
+    job's delta list is cut into [n] contiguous slices; shard [s] matches
+    slice [s] of {e every} job against a frozen, read-only view of the
+    index ({!Index.reader}), collecting bindings in discovery order.
+
+    {b Determinism argument.} The sequential indexed engine considers
+    bindings in the order: jobs rule-major, within a job delta facts in
+    canonical order, per fact the backtracking search's order. Slicing
+    partitions each job's delta into contiguous runs, the per-fact search
+    is a pure function of (fact, atoms, index), and the merge walk
+    replays shard 0's bindings, then shard 1's, … per job — which is the
+    concatenation of the slices, i.e. exactly the sequential order. All
+    stateful steps (dedup against fired/pending, [Restricted] witness
+    checks, probe hits, firing, fresh-null assignment) happen downstream
+    of the merge on the calling domain, so every observable output —
+    instance, s-levels, counters, checkpoint JSON — is byte-identical for
+    every domain count, including [n = 1] vs the sequential engine.
+
+    Worker shards never hit {!Obs.Probe} (a process-global hook) and file
+    their [joiner.*]/[index.*] counters into shard-local registries that
+    are absorbed in shard order after the join; the merged totals equal
+    the sequential engine's. Per-pass wall-clock of the two stages lands
+    in the [parallel.match_s] / [parallel.merge_s] histograms and the
+    per-shard matched-binding counts in [parallel.shard_matched]
+    (histograms only — never part of checkpoint or counter output, which
+    keeps those byte-comparable across engines). *)
+
+open Relational
+
+type join = { rule : int; atoms : Atom.t list; delta : Fact.t list }
+(** [atoms] pivot-first reordered body; [delta] the pivot's delta facts
+    in canonical order *)
+
+type job =
+  | Bodiless of int
+      (** rule index; considered once with the empty binding (first pass
+          only — the caller filters) *)
+  | Join of join
+
+(** [collect ~pool ~index jobs ~consider] — run the jobs' matching in
+    parallel, then replay [consider rule binding] sequentially in the
+    canonical order. [index] must not be mutated while this runs. *)
+val collect :
+  pool:Shard.t ->
+  index:Index.t ->
+  job list ->
+  consider:(int -> Homomorphism.binding -> unit) ->
+  unit

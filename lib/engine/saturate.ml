@@ -17,6 +17,7 @@ open Relational
 open Relational.Term
 
 type policy = Oblivious | Restricted
+type engine = Indexed | Parallel of int
 type rule = { body : Atom.t list; head : Atom.t list }
 
 type snapshot = {
@@ -85,7 +86,7 @@ type init = {
   i_fpl : int list;  (* reversed: newest level first *)
 }
 
-let exec ~policy ~budget ~span ~on_pass init rules =
+let exec ~policy ~budget ~span ~on_pass ~pool init rules =
   let rules = Array.of_list rules in
   let info =
     Array.map
@@ -160,25 +161,56 @@ let exec ~policy ~budget ~span ~on_pass init rules =
             end
           end
         in
-        Array.iteri
-          (fun i r ->
-            if r.body = [] then begin
-              (* bodiless rules have a single (empty) trigger; it exists from
-                 the start, so only the first pass needs to consider it *)
-              if !first_pass then consider i VarMap.empty
-            end
-            else
-              let _, _, _, pvs = info.(i) in
-              List.iter
-                (fun (pivot, reordered) ->
-                  match Hashtbl.find_opt delta_by_pred (Atom.pred pivot) with
-                  | None -> ()
-                  | Some dfacts ->
-                      Joiner.fold ~delta:dfacts reordered idx
-                        (fun b () -> consider i b)
-                        ())
-                pvs)
-          rules;
+        (match pool with
+        | None ->
+            Array.iteri
+              (fun i r ->
+                if r.body = [] then begin
+                  (* bodiless rules have a single (empty) trigger; it exists
+                     from the start, so only the first pass needs to consider
+                     it *)
+                  if !first_pass then consider i VarMap.empty
+                end
+                else
+                  let _, _, _, pvs = info.(i) in
+                  List.iter
+                    (fun (pivot, reordered) ->
+                      match
+                        Hashtbl.find_opt delta_by_pred (Atom.pred pivot)
+                      with
+                      | None -> ()
+                      | Some dfacts ->
+                          Joiner.fold ~delta:dfacts reordered idx
+                            (fun b () -> consider i b)
+                            ())
+                    pvs)
+              rules
+        | Some pool ->
+            (* same traversal, decomposed into jobs: the matching fans out
+               over the pool, [consider] replays in the sequential order
+               (see Parallel's determinism argument) *)
+            let jobs = ref [] in
+            Array.iteri
+              (fun i r ->
+                if r.body = [] then begin
+                  if !first_pass then jobs := Parallel.Bodiless i :: !jobs
+                end
+                else
+                  let _, _, _, pvs = info.(i) in
+                  List.iter
+                    (fun (pivot, reordered) ->
+                      match
+                        Hashtbl.find_opt delta_by_pred (Atom.pred pivot)
+                      with
+                      | None -> ()
+                      | Some dfacts ->
+                          jobs :=
+                            Parallel.Join
+                              { rule = i; atoms = reordered; delta = dfacts }
+                            :: !jobs)
+                    pvs)
+              rules;
+            Parallel.collect ~pool ~index:idx (List.rev !jobs) ~consider);
         first_pass := false;
         if !new_triggers = [] then saturated := true
         else begin
@@ -266,8 +298,20 @@ let make_span obs =
   | Some parent -> Obs.Span.enter parent "saturate"
   | None -> Obs.Span.root "saturate"
 
-let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs ?on_pass
-    rules db =
+(* Pool lifecycle: one pool per run, reused across passes, torn down even
+   when the run raises (fault injection kills runs mid-pass). *)
+let with_pool engine f =
+  match engine with
+  | Indexed -> f None
+  | Parallel n ->
+      if n < 1 then invalid_arg "Saturate: domain count must be >= 1";
+      let pool = Shard.create n in
+      Fun.protect
+        ~finally:(fun () -> Shard.shutdown pool)
+        (fun () -> f (Some pool))
+
+let run ?(policy = Oblivious) ?(engine = Indexed)
+    ?(budget = Obs.Budget.unlimited) ?obs ?on_pass rules db =
   let span = make_span obs in
   let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
   Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
@@ -284,12 +328,14 @@ let run ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs ?on_pass
       i_fpl = [];
     }
   in
-  let r = exec ~policy ~budget ~span ~on_pass init rules in
+  let r =
+    with_pool engine (fun pool -> exec ~policy ~budget ~span ~on_pass ~pool init rules)
+  in
   Obs.Span.exit span;
   r
 
-let resume ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs
-    ?on_pass rules (s : snapshot) =
+let resume ?(policy = Oblivious) ?(engine = Indexed)
+    ?(budget = Obs.Budget.unlimited) ?obs ?on_pass rules (s : snapshot) =
   let span = make_span obs in
   let idx = Index.create () in
   List.iter (fun (f, _) -> ignore (Index.insert f idx)) s.snap_facts;
@@ -344,6 +390,8 @@ let resume ?(policy = Oblivious) ?(budget = Obs.Budget.unlimited) ?obs
       i_fpl = fpl;
     }
   in
-  let r = exec ~policy ~budget ~span ~on_pass init rules in
+  let r =
+    with_pool engine (fun pool -> exec ~policy ~budget ~span ~on_pass ~pool init rules)
+  in
   Obs.Span.exit span;
   r

@@ -26,6 +26,16 @@ open Relational
 
 type policy = Oblivious | Restricted
 
+(** Execution strategy. [Indexed] is the sequential delta-driven loop;
+    [Parallel n] fans each pass's trigger matching out over [n] domains
+    (a {!Shard} pool reused across passes, [n - 1] spawned domains) and
+    merges the per-shard bindings back in the sequential discovery order
+    — see {!Parallel} for the determinism argument. Every observable
+    output (facts, null names, s-levels, counters, snapshots) is
+    byte-identical between [Indexed] and [Parallel n] for every [n ≥ 1];
+    only the timing histograms differ. *)
+type engine = Indexed | Parallel of int
+
 (** A TGD-shaped rule: non-empty head; head variables absent from the
     body are existential and receive fresh labelled nulls at firing. *)
 type rule = { body : Atom.t list; head : Atom.t list }
@@ -65,9 +75,13 @@ type result = {
     [on_pass ~level ~saturated take] is called after every clean pass
     boundary (including the final, saturation-discovering pass); calling
     [take ()] materialises a {!snapshot} of the state at that boundary.
-    Snapshot capture is pay-per-use — skipping the thunk costs nothing. *)
+    Snapshot capture is pay-per-use — skipping the thunk costs nothing.
+
+    [?engine] (default [Indexed]) selects the execution strategy;
+    [Parallel n] raises [Invalid_argument] when [n < 1]. *)
 val run :
   ?policy:policy ->
+  ?engine:engine ->
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
   ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
@@ -83,9 +97,12 @@ val run :
     per-pass trigger sets, so the final result agrees with the
     uninterrupted run on facts (up to renaming of nulls invented after
     the boundary), s-levels, trigger totals, and outcome. [policy],
-    [budget] and [rules] must match the original run. *)
+    [budget] and [rules] must match the original run; [?engine] need not
+    — snapshots are engine-agnostic, so a checkpoint taken under
+    [Parallel n] resumes under [Indexed] and vice versa. *)
 val resume :
   ?policy:policy ->
+  ?engine:engine ->
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
   ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->

@@ -1,0 +1,106 @@
+(** Reusable pool of worker domains; see the interface. One mailbox per
+    spawned domain; shard 0 always runs on the calling domain, so a pool
+    of size [n] spawns [n - 1] domains and [Parallel 1] costs nothing. *)
+
+type task = unit -> unit
+
+type mailbox = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable slot : task option;
+  mutable busy : bool;
+  mutable stop : bool;
+}
+
+type t = {
+  size : int;
+  boxes : mailbox array;  (* length [size - 1] *)
+  domains : unit Domain.t array;
+  mutable live : bool;
+}
+
+let worker box =
+  let rec loop () =
+    Mutex.lock box.lock;
+    let rec await () =
+      if box.stop then None
+      else
+        match box.slot with
+        | Some t -> Some t
+        | None ->
+            Condition.wait box.cond box.lock;
+            await ()
+    in
+    match await () with
+    | None -> Mutex.unlock box.lock
+    | Some task ->
+        Mutex.unlock box.lock;
+        task ();
+        Mutex.lock box.lock;
+        box.slot <- None;
+        box.busy <- false;
+        Condition.broadcast box.cond;
+        Mutex.unlock box.lock;
+        loop ()
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Shard.create: need at least one shard";
+  let boxes =
+    Array.init (n - 1) (fun _ ->
+        {
+          lock = Mutex.create ();
+          cond = Condition.create ();
+          slot = None;
+          busy = false;
+          stop = false;
+        })
+  in
+  let domains =
+    Array.map (fun box -> Domain.spawn (fun () -> worker box)) boxes
+  in
+  { size = n; boxes; domains; live = true }
+
+let size t = t.size
+
+let run t tasks =
+  let k = Array.length tasks in
+  if k > t.size then invalid_arg "Shard.run: more tasks than shards";
+  if not t.live then invalid_arg "Shard.run: pool already shut down";
+  (* tasks must not escape their exception on a worker domain; capture per
+     slot and re-raise on the caller, lowest shard first, so failures are
+     as deterministic as everything else *)
+  let exns = Array.make (max k 1) None in
+  let guard i task () = try task () with e -> exns.(i) <- Some e in
+  for i = 1 to k - 1 do
+    let box = t.boxes.(i - 1) in
+    Mutex.lock box.lock;
+    box.slot <- Some (guard i tasks.(i));
+    box.busy <- true;
+    Condition.broadcast box.cond;
+    Mutex.unlock box.lock
+  done;
+  if k > 0 then guard 0 tasks.(0) ();
+  for i = 1 to k - 1 do
+    let box = t.boxes.(i - 1) in
+    Mutex.lock box.lock;
+    while box.busy do
+      Condition.wait box.cond box.lock
+    done;
+    Mutex.unlock box.lock
+  done;
+  Array.iter (function Some e -> raise e | None -> ()) exns
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter
+      (fun box ->
+        Mutex.lock box.lock;
+        box.stop <- true;
+        Condition.broadcast box.cond;
+        Mutex.unlock box.lock)
+      t.boxes;
+    Array.iter Domain.join t.domains
+  end

@@ -1,0 +1,37 @@
+(** A reusable pool of worker domains.
+
+    [create n] builds a pool of [n] shards backed by [n - 1] spawned
+    domains ({!Domain.spawn}); shard 0 always executes on the calling
+    domain, so a pool of size 1 spawns nothing and adds no overhead. The
+    pool is reused across saturation passes — domains are spawned once
+    per run, not once per pass.
+
+    {!run} is a fork–join step: task [i] runs on shard [i], the caller
+    participates as shard 0, and the call returns only when every task
+    has finished. A task that raises has its exception re-raised on the
+    calling domain after the join, lowest shard index first (so failure
+    propagation is as deterministic as the rest of the engine).
+
+    Tasks must not touch process-global mutable state — in this codebase
+    that means the {!Obs.Probe} hook and any shared
+    {!Obs.Metrics} registry; workers get shard-local registries via
+    {!Index.reader}. *)
+
+type t
+
+type task = unit -> unit
+
+(** [create n] — a pool of [n ≥ 1] shards ([n - 1] spawned domains).
+    @raise Invalid_argument when [n < 1]. *)
+val create : int -> t
+
+(** Number of shards (including the caller's shard 0). *)
+val size : t -> int
+
+(** [run pool tasks] — execute [tasks.(i)] on shard [i] and wait for all
+    of them; at most {!size}[ pool] tasks.
+    @raise Invalid_argument on too many tasks or a shut-down pool. *)
+val run : t -> task array -> unit
+
+(** Stop and join all worker domains. Idempotent. *)
+val shutdown : t -> unit

@@ -67,6 +67,9 @@ let counters m =
   Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) m.cs []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let absorb ~into src =
+  List.iter (fun (name, v) -> add (counter into name) v) (counters src)
+
 type summary = {
   count : int;
   sum : float;

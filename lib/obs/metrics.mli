@@ -30,6 +30,12 @@ val observe : t -> string -> float -> unit
 (** All counters, sorted by name. *)
 val counters : t -> (string * int) list
 
+(** [absorb ~into src] — add every counter of [src] into [into]
+    (registering missing names; histograms are not merged). The parallel
+    engine drains shard-local registries through this, in shard order, so
+    the merged totals are reproducible. *)
+val absorb : into:t -> t -> unit
+
 type summary = {
   count : int;
   sum : float;

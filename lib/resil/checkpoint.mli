@@ -6,7 +6,7 @@
 
     {v
     {"schema": "guarded-chase-checkpoint", "version": 1,
-     "engine": "indexed" | "naive",
+     "engine": "indexed" | "naive" | "parallel",
      "policy": "oblivious" | "restricted",
      "level": int, "saturated": bool, "null_count": int,
      "triggers_fired": int, "triggers_dismissed": int,

@@ -93,12 +93,18 @@ let run ?(engine = `Indexed) ?(policy = Tgds.Chase.Oblivious) ?budget
   in
   let attempts () = List.rev !log in
   match
-    match run_engine engine with
-    | Some r -> Some (r, engine)
-    | None -> (
-        match engine with
-        | `Naive -> None
-        | `Indexed -> Option.map (fun r -> (r, `Naive)) (run_engine `Naive))
+    (* degradation ladder: Parallel → Indexed → Naive *)
+    let degrade = function
+      | `Parallel _ -> Some `Indexed
+      | `Indexed -> Some `Naive
+      | `Naive -> None
+    in
+    let rec attempt eng =
+      match run_engine eng with
+      | Some r -> Some (r, eng)
+      | None -> Option.bind (degrade eng) attempt
+    in
+    attempt engine
   with
   | Some (r, eng) ->
       if !log = [] then Completed r

@@ -5,17 +5,17 @@
     whatever the process actually hits), checkpoints at clean pass
     boundaries, and on failure backs off and resumes from the last
     checkpoint instead of restarting from scratch. After [retries]
-    failed retries on the primary engine it {e degrades} — re-runs on
-    the [`Naive] engine, still resuming from the last checkpoint
-    (checkpoints are engine-agnostic) — and after exhausting the naive
-    attempts gives up with a typed diagnostic.
+    failed retries on the primary engine it {e degrades} down the ladder
+    [`Parallel _] → [`Indexed] → [`Naive] — still resuming from the last
+    checkpoint (checkpoints are engine-agnostic) — and after exhausting
+    the last rung's attempts gives up with a typed diagnostic.
 
     State machine of one [run]:
     {v
-      attempt(primary, k)  --fault-->  backoff; k+1 ≤ retries+1 ? retry
-                                       : degrade
-      attempt(naive, k)    --fault-->  backoff; k+1 ≤ retries+1 ? retry
-                                       : Failed
+      attempt(engine, k)  --fault-->  backoff; k+1 ≤ retries+1 ? retry
+                                      : degrade (Parallel→Indexed→Naive)
+      attempt(`Naive, k)  --fault-->  backoff; k+1 ≤ retries+1 ? retry
+                                      : Failed
       any attempt --success--> Completed / Recovered / Degraded
     v}
 
@@ -45,7 +45,7 @@ type outcome =
   | Recovered of Tgds.Chase.result * attempt_log
       (** succeeded on the primary engine after ≥ 1 failure *)
   | Degraded of Tgds.Chase.result * attempt_log
-      (** succeeded only after falling back to [`Naive] *)
+      (** succeeded only after degrading to a fallback engine *)
   | Failed of diagnostic  (** all attempts exhausted, or a precondition *)
 
 (** [run ?engine ?policy ?budget ?checkpoint_every ?checkpoint_path

@@ -86,8 +86,15 @@ let arb_full_sigma_db =
 (* Resilience: checkpoints and fault plans                              *)
 (* ------------------------------------------------------------------ *)
 
-let gen_engine =
-  QCheck.Gen.map (fun b -> if b then `Indexed else `Naive) QCheck.Gen.bool
+let engine_to_string : Tgds.Chase.engine -> string = function
+  | `Indexed -> "indexed"
+  | `Naive -> "naive"
+  | `Parallel n -> Printf.sprintf "parallel:%d" n
+
+let gen_engine : Tgds.Chase.engine QCheck.Gen.t =
+  QCheck.Gen.map
+    (function 0 -> `Indexed | 1 -> `Naive | _ -> `Parallel 2)
+    (QCheck.Gen.int_range 0 2)
 
 let gen_policy =
   QCheck.Gen.map
@@ -109,6 +116,91 @@ let chase_snapshots ~engine ~policy sigma db =
       sigma db
   in
   List.rev !snaps
+
+(* ------------------------------------------------------------------ *)
+(* Result comparison up to null renaming                                *)
+(* ------------------------------------------------------------------ *)
+
+module IntMap = Map.Make (Int)
+
+let facts_levels ?(upto = max_int) r =
+  Instance.facts (Tgds.Chase.instance r)
+  |> List.filter_map (fun f ->
+         match Option.value ~default:0 (Tgds.Chase.level r f) with
+         | l when l <= upto -> Some (f, l)
+         | _ -> None)
+
+(* A null-blind sort key: fast rejection and good candidate locality for
+   the backtracking matcher below. *)
+let skeleton (f, l) =
+  ( l,
+    Fact.pred f,
+    List.map (function Null _ -> Null 0 | c -> c) (Fact.args f) )
+
+let match_args map rmap args1 args2 =
+  let rec go map rmap a1 a2 =
+    match (a1, a2) with
+    | [], [] -> Some (map, rmap)
+    | c1 :: r1, c2 :: r2 -> (
+        match (c1, c2) with
+        | Named s1, Named s2 ->
+            if String.equal s1 s2 then go map rmap r1 r2 else None
+        | Null i, Null j -> (
+            match (IntMap.find_opt i map, IntMap.find_opt j rmap) with
+            | Some j', Some i' ->
+                if j' = j && i' = i then go map rmap r1 r2 else None
+            | None, None -> go (IntMap.add i j map) (IntMap.add j i rmap) r1 r2
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  go map rmap args1 args2
+
+(* Multiset equality of (fact, level) lists modulo a bijection on null
+   ids (backtracking; instances here are small). *)
+let equal_upto_nulls l1 l2 =
+  let sk = List.sort Stdlib.compare (List.map skeleton l1) in
+  List.length l1 = List.length l2
+  && sk = List.sort Stdlib.compare (List.map skeleton l2)
+  &&
+  let l1 =
+    List.sort (fun a b -> Stdlib.compare (skeleton a) (skeleton b)) l1
+  in
+  let rec assign map rmap l1 l2 =
+    match l1 with
+    | [] -> true
+    | (f1, lv1) :: rest ->
+        let rec try_cands before = function
+          | [] -> false
+          | (f2, lv2) :: after ->
+              (lv1 = lv2
+              && Fact.pred f1 = Fact.pred f2
+              &&
+              match match_args map rmap (Fact.args f1) (Fact.args f2) with
+              | Some (map', rmap') ->
+                  assign map' rmap' rest (List.rev_append before after)
+              | None -> false)
+              || try_cands ((f2, lv2) :: before) after
+        in
+        try_cands [] l2
+  in
+  assign IntMap.empty IntMap.empty l1 l2
+
+(* Equivalence of two chase results up to renaming of invented nulls.
+   Caveat: a [Partial Facts] cut lands mid-pass, where the set of
+   triggers fired before the cut depends on enumeration order, so for
+   those runs only the levels before the final, truncated pass are
+   compared; runs ending at a clean boundary must agree in full. *)
+let results_equivalent full r =
+  Tgds.Chase.saturated full = Tgds.Chase.saturated r
+  && Tgds.Chase.max_level full = Tgds.Chase.max_level r
+  && Tgds.Chase.outcome full = Tgds.Chase.outcome r
+  &&
+  match Tgds.Chase.outcome full with
+  | Obs.Budget.Partial (Obs.Budget.Facts _) ->
+      let upto = Tgds.Chase.max_level full - 1 in
+      equal_upto_nulls (facts_levels ~upto full) (facts_levels ~upto r)
+  | _ -> equal_upto_nulls (facts_levels full) (facts_levels r)
 
 (* A checkpoint drawn from a random boundary of a random chase. The first
    pass of these budgets is always a clean boundary, so [snaps] is never

@@ -1,0 +1,291 @@
+(* Parallel-engine suite: the multicore engine's contract is that
+   [`Parallel n] is byte-identical to [`Indexed] for every n — the same
+   facts with the same null ids and s-levels, the same clean-boundary
+   snapshots, the same counters and stats report (modulo the timing
+   histograms) — while [`Naive] agrees up to null renaming. Plus unit
+   tests for the shard pool, crash-under-parallel / resume-elsewhere,
+   the supervisor's Parallel → Indexed → Naive ladder, and the
+   domain-count-agnostic checkpoint encoding. Shared helpers live in
+   Generators. *)
+
+open Relational
+module Chase = Tgds.Chase
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let v = Generators.v
+let atom = Generators.atom
+let fact = Generators.fact
+let tgd = Generators.tgd
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity with the indexed engine                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The stats report is deterministic up to its timing tail; the parallel
+   engine additionally records [parallel.*] histograms, so comparisons
+   cut at the histograms key (which also drops the span). *)
+let cut_at_histograms s =
+  let marker = {|,"histograms":|} in
+  let n = String.length s and m = String.length marker in
+  let rec find i =
+    if i + m > n then s
+    else if String.sub s i m = marker then String.sub s 0 i
+    else find (i + 1)
+  in
+  find 0
+
+(* Everything observable about one budgeted run: the exact facts with
+   their null ids and s-levels, and the stats report up to the timing
+   tail. *)
+let run_state ~engine ~policy sigma db =
+  Term.reset_nulls ();
+  let r =
+    Chase.run ~engine ~policy ~budget:(Generators.resil_budget ()) sigma db
+  in
+  let stats =
+    Obs.Json.to_string (Obs.Report.to_json (Chase.report ~name:"par" r))
+  in
+  ( List.sort Stdlib.compare (Generators.facts_levels r),
+    Chase.saturated r,
+    Chase.max_level r,
+    cut_at_histograms stats )
+
+(* Every clean-boundary checkpoint of one run, serialised; the engine
+   field is the one legitimate difference, so it is normalised away. *)
+let snapshot_trace ~engine ~policy sigma db =
+  Generators.chase_snapshots ~engine ~policy sigma db
+  |> List.map (fun s ->
+         Obs.Json.to_string
+           (Resil.Checkpoint.to_json { s with Chase.snap_engine = `Indexed }))
+
+let gen_case =
+  QCheck.Gen.(
+    let* sigma = Generators.gen_sigma
+    and* db = Generators.gen_db
+    and* policy = Generators.gen_policy in
+    return (sigma, db, policy))
+
+let print_case (sigma, db, policy) =
+  Fmt.str "%s policy=%s"
+    (Generators.print_sigma_db (sigma, db))
+    (match policy with
+    | Chase.Oblivious -> "oblivious"
+    | Chase.Restricted -> "restricted")
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+let prop_parallel_byte_identical =
+  QCheck.Test.make
+    ~name:"Parallel n ≡ Indexed byte-for-byte: facts, nulls, snapshots, stats"
+    ~count:60 arb_case (fun (sigma, db, policy) ->
+      let observe engine =
+        ( run_state ~engine ~policy sigma db,
+          snapshot_trace ~engine ~policy sigma db )
+      in
+      let base = observe `Indexed in
+      List.for_all (fun n -> observe (`Parallel n) = base) [ 1; 2; 4 ])
+
+let prop_parallel_naive_equiv =
+  QCheck.Test.make ~name:"Parallel ≍ Naive up to null renaming" ~count:60
+    arb_case (fun (sigma, db, policy) ->
+      Term.reset_nulls ();
+      let naive =
+        Chase.run ~engine:`Naive ~policy ~budget:(Generators.resil_budget ())
+          sigma db
+      in
+      Term.reset_nulls ();
+      let par =
+        Chase.run ~engine:(`Parallel 2) ~policy
+          ~budget:(Generators.resil_budget ()) sigma db
+      in
+      Generators.results_equivalent naive par)
+
+(* ------------------------------------------------------------------ *)
+(* Crash under Parallel, resume anywhere                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Σ = {A(x) → ∃y S(x,y); S(x,y) → A(y)}: non-terminating, cut by the
+   level budget — a deterministic workload for the unit tests. *)
+let unit_sigma =
+  [
+    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ];
+  ]
+
+let unit_db = Instance.of_facts [ fact "A" [ "a" ] ]
+
+(* Kill a parallel run mid-flight, keep its last clean checkpoint, and
+   resume it under [resume_engine]: the result must be equivalent to the
+   uninterrupted run. Exercises both directions of the checkpoint's
+   engine-agnosticism. *)
+let crash_and_resume ~crash_engine ~resume_engine () =
+  Term.reset_nulls ();
+  let full =
+    Chase.run ~engine:crash_engine ~budget:(Generators.resil_budget ())
+      unit_sigma unit_db
+  in
+  Term.reset_nulls ();
+  let last = ref None in
+  (match
+     Resil.Fault.with_trigger
+       (Some (Resil.Fault.At_point ("engine.pass", 3)))
+       (fun () ->
+         Chase.run ~engine:crash_engine ~budget:(Generators.resil_budget ())
+           ~on_pass:(fun ~level:_ ~saturated:_ take -> last := Some (take ()))
+           unit_sigma unit_db)
+   with
+  | _ -> Alcotest.fail "expected the injected fault to kill the run"
+  | exception Resil.Fault.Injected _ -> ());
+  let s =
+    match !last with
+    | Some s -> s
+    | None -> Alcotest.fail "no clean boundary before the injected fault"
+  in
+  check "snapshot records the engine it was taken under" true
+    (s.Chase.snap_engine = crash_engine);
+  let r =
+    Chase.resume ~engine:resume_engine ~budget:(Generators.resil_budget ())
+      unit_sigma s
+  in
+  check
+    (Fmt.str "crash under %s, resume under %s ≍ uninterrupted"
+       (Generators.engine_to_string crash_engine)
+       (Generators.engine_to_string resume_engine))
+    true
+    (Generators.results_equivalent full r)
+
+let test_supervisor_ladder () =
+  Term.reset_nulls ();
+  let base =
+    Chase.run ~engine:`Indexed ~budget:(Generators.resil_budget ()) unit_sigma
+      unit_db
+  in
+  Term.reset_nulls ();
+  (* one trigger per attempt: the parallel attempt dies at its first
+     pass, the degraded indexed attempt dies the same way, and the naive
+     engine (no engine.* probes) completes *)
+  let plan =
+    [
+      Resil.Fault.At_point ("engine.pass", 1);
+      Resil.Fault.At_point ("engine.pass", 1);
+    ]
+  in
+  match
+    Resil.Supervisor.run ~engine:(`Parallel 2)
+      ~budget:(Generators.resil_budget ()) ~retries:0
+      ~sleep:(fun _ -> ())
+      ~fault_plan:plan unit_sigma unit_db
+  with
+  | Resil.Supervisor.Degraded (r, log) ->
+      check_int "two failed attempts" 2 (List.length log);
+      check "ladder walked Parallel → Indexed → Naive" true
+        (List.map (fun a -> a.Resil.Supervisor.engine) log
+        = [ `Parallel 2; `Indexed ]);
+      check "degraded result ≍ uninterrupted" true
+        (Generators.results_equivalent base r)
+  | _ -> Alcotest.fail "expected Degraded"
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint encoding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_domain_agnostic () =
+  let trace n =
+    Generators.chase_snapshots ~engine:(`Parallel n) ~policy:Chase.Oblivious
+      unit_sigma unit_db
+    |> List.map (fun s -> Obs.Json.to_string (Resil.Checkpoint.to_json s))
+  in
+  let t1 = trace 1 and t4 = trace 4 in
+  check "checkpoints byte-identical across domain counts" true (t1 = t4);
+  (* the engine family round-trips; the domain count is deliberately not
+     state, so the loaded engine is parallel with the machine's count *)
+  match
+    Result.bind (Obs.Json.parse (List.hd t1)) Resil.Checkpoint.of_json
+  with
+  | Error e -> Alcotest.failf "checkpoint unreadable: %s" e
+  | Ok s -> (
+      match s.Chase.snap_engine with
+      | `Parallel n -> check "domain count ≥ 1" true (n >= 1)
+      | _ -> Alcotest.fail "engine family lost in the round-trip")
+
+(* ------------------------------------------------------------------ *)
+(* Shard pool                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_pool () =
+  let pool = Engine.Shard.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Engine.Shard.shutdown pool)
+    (fun () ->
+      check_int "pool size" 4 (Engine.Shard.size pool);
+      let results = Array.make 4 0 in
+      Engine.Shard.run pool
+        (Array.init 4 (fun i -> fun () -> results.(i) <- (i * i) + 1));
+      Alcotest.(check (list int))
+        "all shards ran" [ 1; 2; 5; 10 ] (Array.to_list results);
+      (* the pool is reused across passes, and a step may use fewer
+         tasks than shards *)
+      Engine.Shard.run pool
+        (Array.init 2 (fun i -> fun () -> results.(i) <- -results.(i)));
+      Alcotest.(check (list int))
+        "pool reused with fewer tasks" [ -1; -2; 5; 10 ]
+        (Array.to_list results))
+
+let test_shard_exceptions () =
+  let pool = Engine.Shard.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Engine.Shard.shutdown pool)
+    (fun () ->
+      (match
+         Engine.Shard.run pool
+           [| (fun () -> ()); (fun () -> failwith "boom"); (fun () -> ()) |]
+       with
+      | () -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Failure m ->
+          check "worker exception re-raised on the caller" true (m = "boom"));
+      (* a failed step must not poison the pool *)
+      let ok = ref false in
+      Engine.Shard.run pool [| (fun () -> ok := true) |];
+      check "pool survives a failed step" true !ok)
+
+let test_invalid_domain_counts () =
+  check "Shard.create 0 rejected" true
+    (match Engine.Shard.create 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "Saturate rejects Parallel 0" true
+    (match
+       Engine.Saturate.run ~engine:(Engine.Saturate.Parallel 0) []
+         Instance.empty
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_parallel_byte_identical; prop_parallel_naive_equiv ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "crash parallel, resume indexed" `Quick
+            (crash_and_resume ~crash_engine:(`Parallel 2)
+               ~resume_engine:`Indexed);
+          Alcotest.test_case "crash indexed, resume parallel" `Quick
+            (crash_and_resume ~crash_engine:`Indexed
+               ~resume_engine:(`Parallel 3));
+          Alcotest.test_case "supervisor degradation ladder" `Quick
+            test_supervisor_ladder;
+          Alcotest.test_case "checkpoints are domain-count agnostic" `Quick
+            test_checkpoint_domain_agnostic;
+          Alcotest.test_case "shard pool fork-join" `Quick test_shard_pool;
+          Alcotest.test_case "shard pool exception propagation" `Quick
+            test_shard_exceptions;
+          Alcotest.test_case "invalid domain counts rejected" `Quick
+            test_invalid_domain_counts;
+        ] );
+      ("properties", qcheck_tests);
+    ]

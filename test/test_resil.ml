@@ -13,7 +13,6 @@
    boundary (saturation or a level cut) must agree in full. *)
 
 open Relational
-open Relational.Term
 module Chase = Tgds.Chase
 
 let check = Alcotest.(check bool)
@@ -23,85 +22,9 @@ let atom = Generators.atom
 let fact = Generators.fact
 let tgd = Generators.tgd
 
-(* ------------------------------------------------------------------ *)
-(* Result comparison up to null renaming                                *)
-(* ------------------------------------------------------------------ *)
-
-module IntMap = Map.Make (Int)
-
-let facts_levels ?(upto = max_int) r =
-  Instance.facts (Chase.instance r)
-  |> List.filter_map (fun f ->
-         match Option.value ~default:0 (Chase.level r f) with
-         | l when l <= upto -> Some (f, l)
-         | _ -> None)
-
-(* A null-blind sort key: fast rejection and good candidate locality for
-   the backtracking matcher below. *)
-let skeleton (f, l) =
-  ( l,
-    Fact.pred f,
-    List.map (function Null _ -> Null 0 | c -> c) (Fact.args f) )
-
-let match_args map rmap args1 args2 =
-  let rec go map rmap a1 a2 =
-    match (a1, a2) with
-    | [], [] -> Some (map, rmap)
-    | c1 :: r1, c2 :: r2 -> (
-        match (c1, c2) with
-        | Named s1, Named s2 ->
-            if String.equal s1 s2 then go map rmap r1 r2 else None
-        | Null i, Null j -> (
-            match (IntMap.find_opt i map, IntMap.find_opt j rmap) with
-            | Some j', Some i' ->
-                if j' = j && i' = i then go map rmap r1 r2 else None
-            | None, None -> go (IntMap.add i j map) (IntMap.add j i rmap) r1 r2
-            | _ -> None)
-        | _ -> None)
-    | _ -> None
-  in
-  go map rmap args1 args2
-
-(* Multiset equality of (fact, level) lists modulo a bijection on null
-   ids (backtracking; instances here are small). *)
-let equal_upto_nulls l1 l2 =
-  let sk = List.sort Stdlib.compare (List.map skeleton l1) in
-  List.length l1 = List.length l2
-  && sk = List.sort Stdlib.compare (List.map skeleton l2)
-  &&
-  let l1 =
-    List.sort (fun a b -> Stdlib.compare (skeleton a) (skeleton b)) l1
-  in
-  let rec assign map rmap l1 l2 =
-    match l1 with
-    | [] -> true
-    | (f1, lv1) :: rest ->
-        let rec try_cands before = function
-          | [] -> false
-          | (f2, lv2) :: after ->
-              (lv1 = lv2
-              && Fact.pred f1 = Fact.pred f2
-              &&
-              match match_args map rmap (Fact.args f1) (Fact.args f2) with
-              | Some (map', rmap') ->
-                  assign map' rmap' rest (List.rev_append before after)
-              | None -> false)
-              || try_cands ((f2, lv2) :: before) after
-        in
-        try_cands [] l2
-  in
-  assign IntMap.empty IntMap.empty l1 l2
-
-let results_equivalent full r =
-  Chase.saturated full = Chase.saturated r
-  && Chase.max_level full = Chase.max_level r
-  && Chase.outcome full = Chase.outcome r
-  &&
-  match Chase.outcome full with
-  | Obs.Budget.Partial (Obs.Budget.Facts _) ->
-      let upto = Chase.max_level full - 1 in
-      equal_upto_nulls (facts_levels ~upto full) (facts_levels ~upto r)
-  | _ -> equal_upto_nulls (facts_levels full) (facts_levels r)
+(* Result comparison up to null renaming lives in Generators (shared
+   with the parallel-engine suite). *)
+let results_equivalent = Generators.results_equivalent
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint serialisation                                             *)
@@ -173,7 +96,7 @@ let gen_resume_case =
 let print_resume_case (sigma, db, engine, policy, pick, cross) =
   Fmt.str "%s engine=%s policy=%s pick=%d cross=%b"
     (Generators.print_sigma_db (sigma, db))
-    (match engine with `Indexed -> "indexed" | `Naive -> "naive")
+    (Generators.engine_to_string engine)
     (match policy with
     | Chase.Oblivious -> "oblivious"
     | Chase.Restricted -> "restricted")
@@ -192,7 +115,13 @@ let resume_equiv (sigma, db, engine, policy, pick, cross) =
   let snaps = Array.of_list (List.rev !snaps) in
   let s = snaps.(pick mod Array.length snaps) in
   let resume_engine =
-    if cross then match engine with `Indexed -> `Naive | `Naive -> `Indexed
+    (* cross-engine resume covers every rung of the supervisor's
+       degradation ladder, plus escalation back up to parallel *)
+    if cross then
+      match engine with
+      | `Indexed -> `Naive
+      | `Naive -> `Parallel 2
+      | `Parallel _ -> `Indexed
     else engine
   in
   let r =
