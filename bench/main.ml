@@ -498,6 +498,37 @@ let e14 ~full () =
 (* E15 — naive vs indexed saturation engine (lib/engine ablation)       *)
 (* ------------------------------------------------------------------ *)
 
+(* BENCH_engine.json is shared between E15 (chase workloads) and E17
+   (answer-enumeration workloads, names prefixed "answers-"). Each
+   experiment replaces only its own entries and keeps the other's, so
+   regenerating one never drops the other's baselines. *)
+let update_bench_engine ~owns entries =
+  let existing =
+    match open_in_bin "BENCH_engine.json" with
+    | exception Sys_error _ -> []
+    | ic -> (
+        let s =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Obs.Json.parse s with Ok (Obs.Json.List es) -> es | _ -> [])
+  in
+  let kept =
+    List.filter
+      (fun e ->
+        match Obs.Json.member "workload" e with
+        | Some (Obs.Json.String w) -> not (owns w)
+        | _ -> false)
+      existing
+  in
+  let oc = open_out "BENCH_engine.json" in
+  Obs.Json.to_channel oc (Obs.Json.List (kept @ entries));
+  close_out oc;
+  row "@.  wrote BENCH_engine.json@."
+
+let answers_workload w = String.starts_with ~prefix:"answers-" w
+
 let e15 ~full () =
   header "E15: semi-naive indexed chase vs naive re-enumeration"
     "not a paper claim — ablation of the lib/engine saturation engine (DESIGN.md §2.7)"
@@ -545,10 +576,9 @@ let e15 ~full () =
     (if full then [ 200; 800; 2000; 4000 ] else [ 200; 800; 2000 ]);
   (* emit machine-readable results for the ablation record, now with the
      per-level (phase) breakdown of the indexed run *)
-  let json =
-    Obs.Json.List
-      (List.rev_map
-         (fun (w, d, c, tr, tn, ti, fpl, level_s) ->
+  let entries =
+    List.rev_map
+      (fun (w, d, c, tr, tn, ti, fpl, level_s) ->
            Obs.Json.Obj
              [
                ("workload", Obs.Json.String w);
@@ -563,12 +593,9 @@ let e15 ~full () =
                ( "level_s",
                  Obs.Json.List (List.map (fun s -> Obs.Json.Float s) level_s) );
              ])
-         !rows)
+      !rows
   in
-  let oc = open_out "BENCH_engine.json" in
-  Obs.Json.to_channel oc json;
-  close_out oc;
-  row "@.  wrote BENCH_engine.json@."
+  update_bench_engine ~owns:(fun w -> not (answers_workload w)) entries
 
 (* ------------------------------------------------------------------ *)
 (* E16 — parallel saturation scaling (lib/engine/parallel ablation)     *)
@@ -649,6 +676,112 @@ let e16 ~full () =
   Obs.Json.to_channel oc json;
   close_out oc;
   row "@.  wrote BENCH_parallel.json@."
+
+(* ------------------------------------------------------------------ *)
+(* E17 — streaming answer enumeration vs generate-and-test              *)
+(* ------------------------------------------------------------------ *)
+
+(* The E17 workload family: a path database E(c1,c2), E(c2,c3), … chased
+   with the copy rule E(x,y) -> R(x,y); queries of arity 0–3 over E/R.
+   Answer sets are sparse (O(|adom|) tuples) while generate-and-test
+   entailment-checks |adom|^arity candidates, so the asymptotic gap the
+   enumerator removes is visible at small domains already. *)
+let e17_sigma =
+  [
+    Tgds.Tgd.make
+      ~body:[ atom "E" [ v "x"; v "y" ] ]
+      ~head:[ atom "R" [ v "x"; v "y" ] ];
+  ]
+
+let e17_query = function
+  | 0 -> Ucq.of_cq (Cq.make [ atom "E" [ v "x"; v "y" ] ])
+  | 1 -> Ucq.of_cq (Cq.make ~answer:[ "x" ] [ atom "E" [ v "x"; v "y" ] ])
+  | 2 ->
+      Ucq.of_cq
+        (Cq.make ~answer:[ "x"; "z" ]
+           [ atom "R" [ v "x"; v "y" ]; atom "E" [ v "y"; v "z" ] ])
+  | 3 ->
+      Ucq.of_cq
+        (Cq.make ~answer:[ "x"; "y"; "z" ]
+           [ atom "E" [ v "x"; v "y" ]; atom "E" [ v "y"; v "z" ] ])
+  | k -> invalid_arg (Printf.sprintf "e17_query: arity %d" k)
+
+(* The seed generate-and-test evaluation, kept verbatim as the oracle:
+   every |adom|^arity candidate tuple, entailment-checked one by one. *)
+let e17_generate_and_test idx query db =
+  let dom = Term.ConstSet.elements (Instance.dom db) in
+  let rec tuples n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map (fun t -> List.map (fun c -> c :: t) dom) (tuples (n - 1))
+  in
+  List.filter (fun c -> Engine.Joiner.entails_ucq idx query c)
+    (tuples (Ucq.arity query))
+
+let e17 ~full () =
+  header "E17: streaming answer enumeration vs generate-and-test"
+    "not a paper claim — the Omq_eval.answers path (DESIGN.md §2.11)"
+    "enumeration scales with the answers found; generate-and-test with |adom|^arity";
+  let rows = ref [] in
+  let bench_case ~workload ~arity ~n =
+    let db = Workload.path_db ~pred:"E" n in
+    let query = e17_query arity in
+    let r = Tgds.Chase.run ~max_level:8 e17_sigma db in
+    let idx = Tgds.Chase.index r in
+    let universe = Instance.dom db in
+    let t_enum =
+      measure ~repeat:3 (fun () ->
+          ignore (Engine.Enumerate.ucq ~universe idx query))
+    in
+    let enum =
+      (Engine.Enumerate.ucq ~universe idx query).Engine.Enumerate.answers
+    in
+    let t_gat =
+      measure ~repeat:1 (fun () ->
+          ignore (e17_generate_and_test idx query db))
+    in
+    let oracle =
+      List.sort_uniq Stdlib.compare (e17_generate_and_test idx query db)
+    in
+    let agree = enum = oracle in
+    rows :=
+      (workload, Instance.size db, n, arity, List.length enum, t_enum, t_gat,
+       agree)
+      :: !rows;
+    row "  %-20s %6d %6d %8d %13.5f %12.5f %9.1fx %6b@." workload n arity
+      (List.length enum) t_gat t_enum (t_gat /. t_enum) agree
+  in
+  row "  %-20s %6s %6s %8s %13s %12s %9s %6s@." "workload" "|adom|" "arity"
+    "answers" "gen+test(s)" "enum(s)" "speedup" "agree";
+  (* |adom| sweep at arity 2 (the acceptance workload: |adom| >= 200) *)
+  List.iter
+    (fun n ->
+      bench_case ~workload:(Printf.sprintf "answers-adom%d-ar2" n) ~arity:2 ~n)
+    (if full then [ 100; 200; 400; 800 ] else [ 100; 200; 400 ]);
+  (* arity sweep at a fixed domain *)
+  let n0 = if full then 60 else 40 in
+  List.iter
+    (fun k ->
+      bench_case ~workload:(Printf.sprintf "answers-ar%d" k) ~arity:k ~n:n0)
+    [ 0; 1; 2; 3 ];
+  let entries =
+    List.rev_map
+      (fun (w, d, n, arity, answers, te, tg, agree) ->
+        Obs.Json.Obj
+          [
+            ("workload", Obs.Json.String w);
+            ("db_facts", Obs.Json.Int d);
+            ("adom", Obs.Json.Int n);
+            ("arity", Obs.Json.Int arity);
+            ("answers", Obs.Json.Int answers);
+            ("enumerate_s", Obs.Json.Float te);
+            ("generate_and_test_s", Obs.Json.Float tg);
+            ("speedup", Obs.Json.Float (tg /. te));
+            ("agree", Obs.Json.Bool agree);
+          ])
+      !rows
+  in
+  update_bench_engine ~owns:answers_workload entries
 
 (* ------------------------------------------------------------------ *)
 (* gate — bench-regression gate against BENCH_engine.json (CI)          *)
@@ -745,10 +878,44 @@ let gate () =
               base_levels
         | _ -> ())
   in
+  (* E17: the enumerator must stay fast *and* agree with the
+     generate-and-test oracle on the acceptance workload *)
+  let check_answers name ~arity ~n =
+    match find_baseline name with
+    | None -> Fmt.pr "  %-16s no baseline entry — skipped@." name
+    | Some base -> (
+        let db = Workload.path_db ~pred:"E" n in
+        let query = e17_query arity in
+        let r = Tgds.Chase.run ~max_level:8 e17_sigma db in
+        let idx = Tgds.Chase.index r in
+        let universe = Instance.dom db in
+        let t =
+          measure ~repeat:3 (fun () ->
+              ignore (Engine.Enumerate.ucq ~universe idx query))
+        in
+        let enum =
+          (Engine.Enumerate.ucq ~universe idx query).Engine.Enumerate.answers
+        in
+        let oracle =
+          List.sort_uniq Stdlib.compare (e17_generate_and_test idx query db)
+        in
+        if enum <> oracle then
+          fail "%s: enumerated answers differ from generate-and-test" name;
+        match float_field "enumerate_s" base with
+        | None -> Fmt.pr "  %-16s baseline has no enumerate_s — skipped@." name
+        | Some base_s ->
+            let limit = Float.max (base_s *. threshold) floor_s in
+            Fmt.pr "  %-16s total %8.4fs  baseline %8.4fs  limit %8.4fs%s@."
+              name t base_s limit
+              (if t > limit then "  <-- over" else "");
+            if t > limit then
+              fail "%s: %.4fs > %.1fx baseline %.4fs" name t threshold base_s)
+  in
   let lubm_sigma, lubm_db = Workload.lubm ~universities:10 () in
   check_workload "lubm-10" lubm_sigma lubm_db 6;
   let gf = Workload.guarded_full_chain ~depth:4 in
   check_workload "full-chain-200" gf (Workload.path_db ~pred:"E" 200) max_int;
+  check_answers "answers-adom200-ar2" ~arity:2 ~n:200;
   if !failed then
     if strict then (
       Fmt.epr "gate: bench regression detected (BENCH_GATE=strict)@.";
@@ -894,7 +1061,7 @@ let all_experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
   ]
 
 let () =

@@ -64,6 +64,17 @@ sed -E 's/,"histograms":.*$//' "$TMP/resumed.json" > "$TMP/resumed.cut"
 diff "$TMP/base.cut" "$TMP/resumed.cut" \
   || { echo "resumed stats diverge from the uninterrupted run"; exit 1; }
 
+echo "== answers smoke (streaming enumeration, both pipelines)"
+"$CLI" answers examples/programs/prog_eval.gd --query who --stats "$TMP/answers.json" \
+  | grep -q "(ada)" || { echo "answers: expected (ada) for prog_eval/who"; exit 1; }
+grep -q '"name":"answers"' "$TMP/answers.json" \
+  || { echo "answers: --stats report missing"; exit 1; }
+"$CLI" answers examples/programs/prog_fpt.gd --query who --fpt > /dev/null \
+  || { echo "answers: --fpt pipeline failed"; exit 1; }
+# a budget-cut enumeration must stay exit 0 and say so
+"$CLI" answers examples/programs/prog_eval.gd --query who --budget-facts 0 \
+  | grep -q "partial" || { echo "answers: budget cut not reported"; exit 1; }
+
 echo "== parallel determinism (--domains 1 vs --domains 4)"
 sh ci/determinism.sh
 

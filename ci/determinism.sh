@@ -65,3 +65,47 @@ done
   exit 1
 }
 echo "determinism: OK ($compared programs byte-identical across engines)"
+
+# Answer enumeration: the `answers` command prints a canonical sorted
+# set, so stdout and exit code must be byte-identical across the
+# parallel engine's domain counts and the sequential indexed engine.
+run_answers() {
+  tag=$1
+  file=$2
+  query=$3
+  shift 3
+  set +e
+  "$CLI" answers "$file" --query "$query" --max-level 4 "$@" \
+    > "$TMP/$tag.out" 2> "$TMP/$tag.err"
+  echo $? > "$TMP/$tag.code"
+  set -e
+}
+
+answers_ok=0
+for spec in prog_eval:q prog_eval:who prog_fpt:who prog_cqs:q university:q; do
+  prog=examples/programs/${spec%%:*}.gd
+  query=${spec##*:}
+  [ -f "$prog" ] || continue
+  base="answers.${spec%%:*}.$query"
+  run_answers "$base.d1" "$prog" "$query" --engine parallel --domains 1
+  run_answers "$base.d4" "$prog" "$query" --engine parallel --domains 4
+  run_answers "$base.seq" "$prog" "$query" --engine indexed
+  for pair in d1:d4 d1:seq; do
+    a=${pair%%:*}
+    b=${pair##*:}
+    for aspect in code out; do
+      cmp -s "$TMP/$base.$a.$aspect" "$TMP/$base.$b.$aspect" || {
+        echo "determinism: $base: $aspect differs between $a and $b"
+        exit 1
+      }
+    done
+  done
+  if [ "$(cat "$TMP/$base.d1.code")" = 0 ]; then
+    answers_ok=$((answers_ok + 1))
+  fi
+done
+[ "$answers_ok" -ge 3 ] || {
+  echo "determinism: only $answers_ok answer runs completed cleanly"
+  exit 1
+}
+echo "determinism: OK ($answers_ok answer sets byte-identical across engines)"

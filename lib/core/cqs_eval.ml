@@ -42,12 +42,33 @@ let optimize ?obs (s : Cqs.t) =
 let eval_optimized ?obs (s : Cqs.t) db tuple =
   eval_tw ?obs (optimize ?obs s) db tuple
 
-(** [answers s db] — all answers of the (possibly optimized) query, with
-    the database indexed once for every disjunct. *)
-let answers ?(optimize_first = false) ?obs (s : Cqs.t) db =
+(* The "match" child span is handed to the enumerator so the per-disjunct
+   spans nest under it. *)
+let in_match_span obs f =
+  match obs with
+  | None -> f None
+  | Some parent ->
+      let sp = Obs.Span.enter parent "match" in
+      Fun.protect ~finally:(fun () -> Obs.Span.exit sp) (fun () -> f (Some sp))
+
+(** [answer_set s db] — the answer set of the (possibly optimized) query,
+    enumerated output-sensitively from the index ({!Engine.Enumerate}):
+    the database is indexed once, answer variables bind from posting
+    lists, and a budget cuts the stream gracefully (the prefix is a
+    subset of the exact set, [outcome] records the cut). Unlike the
+    joiner's [answers_ucq], answer variables that occur in no atom are
+    supported — they range over the active domain. *)
+let answer_set ?(optimize_first = false) ?budget ?obs (s : Cqs.t) db =
   let s = if optimize_first then optimize ?obs s else s in
   let idx =
     Obs.Span.timed obs "index" @@ fun () -> Engine.Index.of_instance db
   in
-  Obs.Span.timed obs "match" @@ fun () ->
-  Engine.Joiner.answers_ucq idx (Cqs.query s)
+  in_match_span obs @@ fun sp ->
+  Engine.Enumerate.ucq ?budget ?obs:sp
+    ~universe:(Relational.Instance.dom db)
+    idx (Cqs.query s)
+
+(** [answers s db] — all answers of the (possibly optimized) query, as a
+    canonical sorted set. *)
+let answers ?(optimize_first = false) ?obs (s : Cqs.t) db =
+  (answer_set ~optimize_first ?obs s db).Engine.Enumerate.answers

@@ -19,7 +19,20 @@ val optimize : ?obs:Obs.Span.t -> Cqs.t -> Cqs.t
 val eval_optimized :
   ?obs:Obs.Span.t -> Cqs.t -> Instance.t -> Term.const list -> bool
 
-(** All answers (of the optionally optimized query). *)
+(** [answer_set s db] — the answer set, enumerated output-sensitively
+    via {!Engine.Enumerate}; a budget cuts the stream gracefully (the
+    prefix is a subset of the exact set). Answer variables occurring in
+    no atom range over the active domain. *)
+val answer_set :
+  ?optimize_first:bool ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  Cqs.t ->
+  Instance.t ->
+  Engine.Enumerate.result
+
+(** All answers (of the optionally optimized query), as a canonical
+    sorted set. *)
 val answers :
   ?optimize_first:bool ->
   ?obs:Obs.Span.t ->

@@ -71,21 +71,79 @@ let certain_fpt ?(max_level = 10) ?max_facts ?max_types ?budget ?obs
 let certain_atomic (ontology : Tgds.Tgd.t list) db (fact : Fact.t) =
   Tgds.Ground_closure.entails_atom ontology db fact
 
-(** [answers ?max_level q db] — the certain answers over tuples of the
-    active domain (sound; exact when the chase saturates). *)
-let answers ?(max_level = 8) ?max_facts ?budget ?obs (q : Omq.t) db =
-  let r = Chase.run ~max_level ?max_facts ?budget ?obs (Omq.ontology q) db in
-  let idx = Chase.index r in
-  let dom = Term.ConstSet.elements (Instance.dom db) in
-  let rec tuples n =
-    if n = 0 then [ [] ]
+(* ------------------------------------------------------------------ *)
+(* Answer enumeration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type answer_set = {
+  tuples : Term.const list list;
+  exact : bool;
+  outcome : Obs.Budget.outcome;
+}
+
+(* [timed] without losing the span: the "match" child is handed to the
+   enumerator so the per-disjunct spans nest under it. *)
+let in_match_span obs f =
+  match obs with
+  | None -> f None
+  | Some parent ->
+      let sp = Obs.Span.enter parent "match" in
+      Fun.protect ~finally:(fun () -> Obs.Span.exit sp) (fun () -> f (Some sp))
+
+(** [answer_set q db] — the certain answers over tuples of the active
+    domain, enumerated output-sensitively from the chased index
+    ({!Engine.Enumerate}) instead of entailment-testing the
+    [|adom|^arity] cross product. [fpt] routes through the linearization
+    of Proposition 3.3(3) (requires [Σ ∈ G]). The budget bounds the chase
+    {e and} the enumeration (fact axis = emitted answers); a cut run
+    returns a sound prefix with [outcome = Partial _]. *)
+let answer_set ?engine ?(fpt = false) ?max_level ?max_facts ?max_types ?budget
+    ?obs (q : Omq.t) db =
+  let r, rewrite_complete =
+    if fpt then begin
+      if not (Omq.in_guarded q) then
+        invalid_arg "Omq_eval.answer_set: fpt requires a guarded ontology";
+      let lin =
+        Obs.Span.timed obs "rewrite" @@ fun () ->
+        Tgds.Linearize.make ?max_types (Omq.ontology q) db
+      in
+      ( Chase.run ?engine
+          ~max_level:(Option.value max_level ~default:10)
+          ?max_facts ?budget ?obs lin.Tgds.Linearize.sigma_star
+          lin.Tgds.Linearize.db_star,
+        lin.Tgds.Linearize.complete )
+    end
     else
-      List.concat_map (fun t -> List.map (fun c -> c :: t) dom) (tuples (n - 1))
+      ( Chase.run ?engine
+          ~max_level:(Option.value max_level ~default:8)
+          ?max_facts ?budget ?obs (Omq.ontology q) db,
+        true )
   in
-  let candidates = tuples (Omq.arity q) in
-  let sel =
-    Obs.Span.timed obs "match" @@ fun () ->
-    List.filter (fun c -> Engine.Joiner.entails_ucq idx (Omq.query q) c)
-      candidates
+  let er =
+    in_match_span obs @@ fun sp ->
+    Engine.Enumerate.ucq ?budget ?obs:sp ~universe:(Instance.dom db)
+      (Chase.index r) (Omq.query q)
   in
-  (sel, Chase.saturated r)
+  let enum_complete =
+    match er.Engine.Enumerate.outcome with
+    | Obs.Budget.Complete -> true
+    | Obs.Budget.Partial _ -> false
+  in
+  let outcome =
+    match Chase.outcome r with
+    | Obs.Budget.Partial _ as o -> o
+    | Obs.Budget.Complete -> er.Engine.Enumerate.outcome
+  in
+  {
+    tuples = er.Engine.Enumerate.answers;
+    exact = Chase.saturated r && rewrite_complete && enum_complete;
+    outcome;
+  }
+
+(** [answers ?max_level q db] — the certain answers over tuples of the
+    active domain (sound; exact when the chase saturates). Compatibility
+    wrapper around {!answer_set}; the set is canonical (sorted,
+    duplicate-free). *)
+let answers ?max_level ?max_facts ?budget ?obs (q : Omq.t) db =
+  let r = answer_set ?max_level ?max_facts ?budget ?obs q db in
+  (r.tuples, r.exact)

@@ -43,8 +43,38 @@ val certain_fpt :
     terminating). *)
 val certain_atomic : Tgds.Tgd.t list -> Instance.t -> Fact.t -> bool
 
+(** The result of an answer-enumeration run. *)
+type answer_set = {
+  tuples : Term.const list list;
+      (** canonical answer set: sorted, duplicate-free, null-free *)
+  exact : bool;
+      (** chase saturated, rewrite complete, enumeration uncut — the set
+          is {e the} certain-answer set, not just a sound subset *)
+  outcome : Obs.Budget.outcome;
+      (** [Partial v] when the budget cut the chase or the enumeration *)
+}
+
+(** [answer_set q db] — certain answers over active-domain tuples,
+    enumerated output-sensitively via {!Engine.Enumerate} (cost scales
+    with the answers found, not [|adom|^arity]). [fpt] routes through the
+    Proposition 3.3(3) linearization (guarded ontologies only; raises
+    [Invalid_argument] otherwise). The budget's fact axis bounds chase
+    facts and emitted answers; a cut run returns a sound prefix. *)
+val answer_set :
+  ?engine:Tgds.Chase.engine ->
+  ?fpt:bool ->
+  ?max_level:int ->
+  ?max_facts:int ->
+  ?max_types:int ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  Omq.t ->
+  Instance.t ->
+  answer_set
+
 (** Certain answers over active-domain tuples; the boolean reports
-    exactness. *)
+    exactness. Compatibility wrapper around {!answer_set} — the returned
+    set is canonical (sorted, duplicate-free). *)
 val answers :
   ?max_level:int ->
   ?max_facts:int ->

@@ -1,0 +1,177 @@
+(** Streaming answer enumeration over {!Index} posting lists; see the
+    interface for the algorithm and the budget/observability contract. *)
+
+open Relational
+open Relational.Term
+
+type result = {
+  answers : const list list;
+  outcome : Obs.Budget.outcome;
+}
+
+(* Raised to unwind the search when the budget cuts mid-enumeration; the
+   accumulated prefix is kept. *)
+exception Cut of Obs.Budget.violation
+
+(* Shared mutable state of one [cq]/[ucq] call: the cross-disjunct dedup
+   table, the emitted-answer count the budget's fact axis meters, and the
+   per-disjunct candidate counter. *)
+type state = {
+  seen : (const list, unit) Hashtbl.t;
+  mutable emitted : int;
+  mutable acc : const list list;
+  mutable candidates : int;
+}
+
+let check_budget budget st =
+  match Obs.Budget.check budget ~facts:st.emitted ~level:0 with
+  | Some v -> raise (Cut v)
+  | None -> ()
+
+let emit budget st tuple =
+  if not (Hashtbl.mem st.seen tuple) then begin
+    Hashtbl.add st.seen tuple ();
+    st.acc <- tuple :: st.acc;
+    st.emitted <- st.emitted + 1;
+    Obs.Probe.hit "engine.answer";
+    check_budget budget st
+  end
+
+(* Expand the answer variables of [free] (absent from every atom of the
+   disjunct) over the universe, in sorted-constant order. [prefix] holds
+   the already-fixed answer positions reversed. *)
+let rec expand_free budget st universe prefix = function
+  | [] -> emit budget st (List.rev prefix)
+  | `Free :: rest ->
+      ConstSet.iter
+        (fun c -> expand_free budget st universe (c :: prefix) rest)
+        universe
+  | `Bound c :: rest -> expand_free budget st universe (c :: prefix) rest
+
+(* One disjunct. [answer] is the CQ's answer-variable tuple; [universe]
+   is null-free. *)
+let enum_cq budget st ~universe idx (q : Cq.t) =
+  let answer = Cq.answer q in
+  (* answer variables occurring in some atom; the others are free and
+     range over the universe *)
+  let atom_vars =
+    List.fold_left
+      (fun acc a -> VarSet.union (Atom.vars a) acc)
+      VarSet.empty (Cq.atoms q)
+  in
+  let rec search (b : Homomorphism.binding) pending =
+    check_budget budget st;
+    let needs_binding x = VarSet.mem x atom_vars && not (VarMap.mem x b) in
+    if List.exists needs_binding answer then begin
+      (* expand the cheapest pending atom that still constrains an
+         unbound answer variable *)
+      let best =
+        List.fold_left
+          (fun best (i, a) ->
+            if not (VarSet.exists needs_binding (Atom.vars a)) then best
+            else
+              let c = Index.candidate_count idx a b in
+              match best with
+              | Some (_, _, bc) when bc <= c -> best
+              | _ -> Some (i, a, c))
+          None
+          (List.mapi (fun i a -> (i, a)) pending)
+      in
+      match best with
+      | None ->
+          (* unreachable: an unbound answer variable of [atom_vars] always
+             occurs in some pending atom (matched atoms bind their
+             variables) *)
+          assert false
+      | Some (i, a, _) ->
+          let rest = List.filteri (fun j _ -> j <> i) pending in
+          List.iter
+            (fun tuple ->
+              st.candidates <- st.candidates + 1;
+              match Homomorphism.match_atom ~injective:false b a tuple with
+              | Some b' -> search b' rest
+              | None -> ())
+            (Index.candidates idx a b)
+    end
+    else begin
+      (* every atom-constrained answer variable is bound: the subtree
+         below this node cannot change the answer tuple, so decide it
+         here and prune *)
+      let positions =
+        List.map
+          (fun x ->
+            match VarMap.find_opt x b with
+            | Some c -> `Bound c
+            | None -> `Free)
+          answer
+      in
+      let bound_ok =
+        List.for_all
+          (function `Bound c -> ConstSet.mem c universe | `Free -> true)
+          positions
+      in
+      let free = List.exists (function `Free -> true | _ -> false) positions in
+      if bound_ok && (not free || not (ConstSet.is_empty universe)) then
+        let all_seen =
+          (not free)
+          && Hashtbl.mem st.seen
+               (List.map
+                  (function `Bound c -> c | `Free -> assert false)
+                  positions)
+        in
+        if not all_seen then
+          (* the remaining atoms are purely existential: one witness is
+             enough *)
+          let holds =
+            pending = [] || Joiner.exists ~probe:false ~init:b pending idx
+          in
+          if holds then expand_free budget st universe [] positions
+    end
+  in
+  search VarMap.empty (Cq.atoms q)
+
+let with_child obs name f =
+  match obs with
+  | None -> f None
+  | Some parent ->
+      let sp = Obs.Span.enter parent name in
+      Fun.protect ~finally:(fun () -> Obs.Span.exit sp) (fun () -> f (Some sp))
+
+let run ?budget ?obs ~universe idx disjuncts =
+  let budget = Option.value budget ~default:Obs.Budget.unlimited in
+  let universe = ConstSet.filter (fun c -> not (is_null c)) universe in
+  let st =
+    { seen = Hashtbl.create 64; emitted = 0; acc = []; candidates = 0 }
+  in
+  let outcome = ref Obs.Budget.Complete in
+  (try
+     List.iteri
+       (fun i q ->
+         with_child obs "disjunct" @@ fun sp ->
+         let c0 = st.candidates and e0 = st.emitted in
+         let finish () =
+           match sp with
+           | None -> ()
+           | Some sp ->
+               Obs.Span.set sp "disjunct" (Obs.Json.Int i);
+               Obs.Span.set sp "candidates" (Obs.Json.Int (st.candidates - c0));
+               Obs.Span.set sp "emitted" (Obs.Json.Int (st.emitted - e0))
+         in
+         (try enum_cq budget st ~universe idx q
+          with Cut v ->
+            finish ();
+            (match sp with
+            | Some sp ->
+                Obs.Span.set sp "cut" (Obs.Json.String (Fmt.str "%a" Obs.Budget.pp_violation v))
+            | None -> ());
+            raise (Cut v));
+         finish ())
+       disjuncts
+   with Cut v -> outcome := Obs.Budget.Partial v);
+  {
+    answers = List.sort_uniq Stdlib.compare st.acc;
+    outcome = !outcome;
+  }
+
+let cq ?budget ?obs ~universe idx q = run ?budget ?obs ~universe idx [ q ]
+let ucq ?budget ?obs ~universe idx u = run ?budget ?obs ~universe idx (Ucq.disjuncts u)

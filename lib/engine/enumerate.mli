@@ -1,0 +1,70 @@
+(** Streaming answer enumeration over an indexed fact store.
+
+    The generate-and-test evaluation of a non-Boolean UCQ — materialize
+    every [|adom|^arity] candidate tuple and run a full entailment check
+    on each — is asymptotically wrong for a system meant to serve answer
+    workloads: its cost scales with the domain raised to the query arity,
+    not with the output. This module enumerates the answers directly by
+    walking the {!Index} posting lists (the worst-case-optimal-join /
+    leapfrog line of engines), so the cost scales with the number of
+    matches actually found:
+
+    - per disjunct, a backtracking search expands the pending atom with
+      the fewest index candidates {e among the atoms still containing an
+      unbound answer variable} — answer variables bind as early as
+      possible;
+    - the moment every answer variable occurring in atoms is bound, the
+      remaining (purely existential) atoms are checked for {e
+      satisfiability} with {!Joiner.exists} instead of being enumerated —
+      one witness is enough, so a tuple's cost never depends on how many
+      homomorphisms support it;
+    - duplicate answer bindings are pruned {e during} the search (a
+      subtree whose answer variables are all bound to an
+      already-emitted tuple is cut), and answers are deduplicated across
+      disjuncts into one canonical sorted set;
+    - answers are restricted to [universe] (certain-answer semantics:
+      tuples range over the active domain of the {e input} database, so
+      labelled nulls invented by a chase are never answers — nulls are
+      filtered from [universe] on entry);
+    - answer variables that occur in no atom of a disjunct range over
+      the whole [universe], matching the generate-and-test semantics.
+
+    Observability: [?obs] gains one child span per disjunct (attributes:
+    disjunct index, candidates scanned, answers emitted). [?budget] cuts
+    the enumeration gracefully mid-stream: the fact axis bounds the
+    number of {e answers} emitted, the deadline axis is checked at every
+    search node, and a violated budget returns the prefix enumerated so
+    far with a [Partial] outcome — the prefix is always a subset of the
+    exact answer set. *)
+
+open Relational
+open Relational.Term
+
+type result = {
+  answers : const list list;
+      (** the canonical answer set: sorted, duplicate-free, null-free *)
+  outcome : Obs.Budget.outcome;
+      (** [Complete], or [Partial v] when [budget] cut the enumeration *)
+}
+
+(** [cq ~universe idx q] — the answers of a single conjunctive query over
+    the store. *)
+val cq :
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  universe:ConstSet.t ->
+  Index.t ->
+  Cq.t ->
+  result
+
+(** [ucq ~universe idx u] — the union of the disjuncts' answers,
+    deduplicated into one canonical sorted set. The budget spans the
+    whole union (the fact axis counts distinct answers across
+    disjuncts). *)
+val ucq :
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  universe:ConstSet.t ->
+  Index.t ->
+  Ucq.t ->
+  result

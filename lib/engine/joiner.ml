@@ -58,14 +58,14 @@ let fold ?(probe = true) ?(injective = false) ?(init = VarMap.empty) ?delta
 
 exception Found of binding
 
-let find ?injective ?init ?delta atoms idx =
+let find ?probe ?injective ?init ?delta atoms idx =
   try
-    fold ?injective ?init ?delta atoms idx (fun b _ -> raise (Found b)) ();
+    fold ?probe ?injective ?init ?delta atoms idx (fun b _ -> raise (Found b)) ();
     None
   with Found b -> Some b
 
-let exists ?injective ?init ?delta atoms idx =
-  Option.is_some (find ?injective ?init ?delta atoms idx)
+let exists ?probe ?injective ?init ?delta atoms idx =
+  Option.is_some (find ?probe ?injective ?init ?delta atoms idx)
 
 let all ?injective ?init ?delta atoms idx =
   List.rev (fold ?injective ?init ?delta atoms idx (fun b acc -> b :: acc) [])

@@ -39,13 +39,15 @@ val fold :
   'a ->
   'a
 
-(** First homomorphism, if any. *)
+(** First homomorphism, if any. [?probe] as in {!fold} — callers issuing
+    many small satisfiability checks (e.g. {!Enumerate}'s per-answer
+    witness) pass [false] so ["engine.join"] meters joins, not answers. *)
 val find :
-  ?injective:bool -> ?init:binding -> ?delta:Fact.t list ->
+  ?probe:bool -> ?injective:bool -> ?init:binding -> ?delta:Fact.t list ->
   Atom.t list -> Index.t -> binding option
 
 val exists :
-  ?injective:bool -> ?init:binding -> ?delta:Fact.t list ->
+  ?probe:bool -> ?injective:bool -> ?init:binding -> ?delta:Fact.t list ->
   Atom.t list -> Index.t -> bool
 
 (** All homomorphisms (exponentially many in general). *)

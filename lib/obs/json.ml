@@ -141,19 +141,53 @@ let parse s =
     go ();
     Buffer.contents buf
   in
+  (* RFC 8259 number grammar: an optional minus, then [0] or a nonzero-led
+     digit run, then an optional [. digits] fraction and an optional
+     [e|E [+|-] digits] exponent — nothing else.
+     OCaml's [int_of_string]/[float_of_string] are far more liberal (leading
+     '+', interior signs, '0x', '5.', …), so the token is validated
+     character by character before conversion; a sign or digit sequence in
+     any other position is a parse error, never a silently-read value. *)
   let number () =
+    let is_digit = function '0' .. '9' -> true | _ -> false in
     let start = !pos in
     let is_float = ref false in
-    let rec go () =
+    let digits1 () =
       match peek () with
-      | Some ('0' .. '9' | '-' | '+') -> advance (); go ()
-      | Some ('.' | 'e' | 'E') ->
-          is_float := true;
+      | Some c when is_digit c ->
           advance ();
+          let rec go () =
+            match peek () with
+            | Some c when is_digit c -> advance (); go ()
+            | _ -> ()
+          in
           go ()
-      | _ -> ()
+      | _ -> fail "bad number"
     in
-    go ();
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (* integer part: 0, or a nonzero-led digit run (no leading zeros) *)
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some c when is_digit c -> digits1 ()
+    | _ -> fail "bad number");
+    (match peek () with
+    | Some '.' ->
+        is_float := true;
+        advance ();
+        digits1 ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits1 ()
+    | _ -> ());
+    (* a dangling sign or digit here is not part of any JSON token — reject
+       now with a number error instead of "trailing garbage" later *)
+    (match peek () with
+    | Some ('0' .. '9' | '+' | '-' | '.' | 'e' | 'E') -> fail "bad number"
+    | _ -> ());
     let text = String.sub s start (!pos - start) in
     if !is_float then
       match float_of_string_opt text with

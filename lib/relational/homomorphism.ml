@@ -41,10 +41,23 @@ let unbound_count (b : binding) a =
     (fun x acc -> if VarMap.mem x b then acc else acc + 1)
     (Atom.vars a) 0
 
-(* Candidate tuples for [a] under [b]. *)
-let candidates inst (b : binding) a =
-  let tuples = Instance.tuples_of (Atom.pred a) inst in
-  List.filter_map (fun t -> match_atom ~injective:false b a t |> Option.map (fun _ -> t)) tuples
+(* Matches of [a] under [b], counted with an early exit: [None] as soon as
+   the count would exceed [limit] (the atom then cannot be selected), else
+   [Some (count, tuples)] with the matching tuples in relation order — the
+   selected atom's candidates are reused directly instead of rescanning
+   [Instance.tuples_of] after selection. Matching is scored without the
+   injectivity constraint (a superset), exactly as the previous
+   candidate-list scoring did; the search re-checks each tuple under the
+   caller's [~injective] when expanding. *)
+let matches_upto inst ~limit (b : binding) a =
+  let rec go n acc = function
+    | [] -> Some (n, List.rev acc)
+    | t :: rest -> (
+        match match_atom ~injective:false b a t with
+        | Some _ -> if n >= limit then None else go (n + 1) (t :: acc) rest
+        | None -> go n acc rest)
+  in
+  go 0 [] (Instance.tuples_of (Atom.pred a) inst)
 
 (** [fold_homs ?injective ?init ?ordering atoms inst f acc] folds [f] over
     every homomorphism from [atoms] to [inst] extending [init].
@@ -60,29 +73,36 @@ let fold_homs ?(injective = false) ?(init = VarMap.empty)
     | [] -> f b acc
     | first_atom :: static_rest ->
         (* choose the most constrained atom: fewest candidate tuples,
-           tie-broken by fewer unbound variables *)
-        let idx, a =
+           tie-broken by fewer unbound variables. Counting stops early the
+           moment an atom exceeds the best count seen so far, and the
+           winner's matches are kept so expansion never rescans the
+           relation. *)
+        let idx, a, cands =
           match ordering with
-          | `Static -> (0, first_atom)
+          | `Static ->
+              (0, first_atom, Instance.tuples_of (Atom.pred first_atom) inst)
           | `Dynamic ->
-              let scored =
-                List.mapi
-                  (fun i a ->
-                    (i, a, unbound_count b a, List.length (candidates inst b a)))
-                  pending
-              in
               let best =
-                match scored with
-                | [] -> assert false
-                | first :: rest ->
-                    List.fold_left
-                      (fun (bi, ba, bu, bc) (i, a, u, c) ->
-                        if c < bc || (c = bc && u < bu) then (i, a, u, c)
-                        else (bi, ba, bu, bc))
-                      first rest
+                List.fold_left
+                  (fun best (i, a) ->
+                    let u = unbound_count b a in
+                    match best with
+                    | None -> (
+                        match matches_upto inst ~limit:max_int b a with
+                        | Some (c, ms) -> Some (i, a, u, c, ms)
+                        | None -> assert false)
+                    | Some (_, _, bu, bc, _) -> (
+                        match matches_upto inst ~limit:bc b a with
+                        | Some (c, ms) when c < bc || (c = bc && u < bu) ->
+                            Some (i, a, u, c, ms)
+                        | _ -> best))
+                  None
+                  (List.mapi (fun i a -> (i, a)) pending)
               in
-              let i, a, _, _ = best in
-              (i, a)
+              let i, a, _, _, ms =
+                match best with Some b -> b | None -> assert false
+              in
+              (i, a, ms)
         in
         let rest =
           if idx = 0 then static_rest
@@ -93,8 +113,7 @@ let fold_homs ?(injective = false) ?(init = VarMap.empty)
             match match_atom ~injective b a tuple with
             | Some b' -> search b' rest acc
             | None -> acc)
-          acc
-          (Instance.tuples_of (Atom.pred a) inst)
+          acc cands
   in
   search init atoms acc
 
@@ -118,22 +137,14 @@ let all ?injective ?init atoms inst =
 (* Homomorphisms between instances                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Encode source constants as variables "#<n>". *)
-let var_of_const =
-  let tbl : (const, string) Hashtbl.t = Hashtbl.create 64 in
-  let ctr = ref 0 in
-  fun c ->
-    match Hashtbl.find_opt tbl c with
-    | Some v -> v
-    | None ->
-        incr ctr;
-        let v = Printf.sprintf "#%d" !ctr in
-        Hashtbl.replace tbl c v;
-        v
-
+(* Encode source constants as variables "#<n>". The numbering is local to
+   each call: [ConstSet.elements] is sorted, so position [i] gets "#i+1"
+   deterministically, and no state survives the call — a long-running
+   process issuing many [maps_to] checks holds no growing const→var table,
+   and concurrent callers (e.g. [Parallel] engine workers) share nothing. *)
 let pattern_of_instance src =
   let consts = ConstSet.elements (Instance.dom src) in
-  let tbl = List.map (fun c -> (c, var_of_const c)) consts in
+  let tbl = List.mapi (fun i c -> (c, Printf.sprintf "#%d" (i + 1))) consts in
   let atoms =
     List.map
       (fun f ->

@@ -283,6 +283,21 @@ let gen_cq =
     let answer = List.filteri (fun i _ -> i < n_ans) present in
     return (Cq.make ~answer atoms))
 
+(* Random UCQ of arity 0–3: one tuple of distinct answer variables shared
+   by 1–2 disjuncts. Answer variables need not occur in a disjunct's
+   atoms — the free-variable case of answer enumeration, where they range
+   over the whole active domain. *)
+let gen_ucq =
+  QCheck.Gen.(
+    let* arity = int_range 0 3 in
+    let answer = List.filteri (fun i _ -> i < arity) [ "u"; "w"; "t" ] in
+    let gen_disjunct =
+      map
+        (fun atoms -> Cq.make ~answer atoms)
+        (list_size (int_range 1 3) gen_query_atom)
+    in
+    map Ucq.make (list_size (int_range 1 2) gen_disjunct))
+
 (* ------------------------------------------------------------------ *)
 (* Linear fragments (used by the rewriting/ground-closure suites)       *)
 (* ------------------------------------------------------------------ *)

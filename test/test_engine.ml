@@ -170,6 +170,112 @@ let prop_answer_sets_agree =
       via_joiner = naive)
 
 (* ------------------------------------------------------------------ *)
+(* Enumerate ≡ the seed generate-and-test answers                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed implementation of Omq_eval.answers, kept verbatim as the
+   oracle: entailment-test every |adom|^arity candidate tuple over the
+   chased index. *)
+let oracle_answers idx db q =
+  let dom = Term.ConstSet.elements (Instance.dom db) in
+  let rec tuples n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map (fun t -> List.map (fun c -> c :: t) dom) (tuples (n - 1))
+  in
+  List.filter (fun c -> Engine.Joiner.entails_ucq idx q c)
+    (tuples (Ucq.arity q))
+  |> List.sort_uniq Stdlib.compare
+
+let arb_enum_case =
+  QCheck.make
+    ~print:(fun (((sigma, db), q), engine) ->
+      Fmt.str "%s q=%a engine=%s"
+        (Generators.print_sigma_db (sigma, db))
+        Ucq.pp q
+        (Generators.engine_to_string engine))
+    QCheck.Gen.(
+      pair
+        (pair (pair Generators.gen_sigma Generators.gen_db) Generators.gen_ucq)
+        Generators.gen_engine)
+
+let prop_enumerate_matches_generate_and_test =
+  QCheck.Test.make
+    ~name:"Enumerate.ucq = generate-and-test oracle (arity 0-3, all engines)"
+    ~count:250 arb_enum_case
+    (fun (((sigma, db), q), engine) ->
+      let r = Chase.run ~engine ~max_level:4 ~max_facts:400 sigma db in
+      let idx = Chase.index r in
+      let enum =
+        (Engine.Enumerate.ucq ~universe:(Instance.dom db) idx q)
+          .Engine.Enumerate.answers
+      in
+      enum = oracle_answers idx db q)
+
+(* A facts budget cuts the stream gracefully: the prefix is a subset of
+   the exact set, and a Complete outcome means the whole set. *)
+let prop_enumerate_budget_prefix =
+  QCheck.Test.make ~name:"budgeted enumeration is a prefix of the answer set"
+    ~count:150
+    (QCheck.make
+       ~print:(fun ((((s, db), q), e), k) ->
+         Fmt.str "%s q=%a engine=%s k=%d"
+           (Generators.print_sigma_db (s, db))
+           Ucq.pp q
+           (Generators.engine_to_string e)
+           k)
+       QCheck.Gen.(
+         pair
+           (pair
+              (pair (pair Generators.gen_sigma Generators.gen_db)
+                 Generators.gen_ucq)
+              Generators.gen_engine)
+           (int_range 0 5)))
+    (fun ((((sigma, db), q), engine), k) ->
+      let r = Chase.run ~engine ~max_level:4 ~max_facts:400 sigma db in
+      let idx = Chase.index r in
+      let universe = Instance.dom db in
+      let exact = (Engine.Enumerate.ucq ~universe idx q).Engine.Enumerate.answers in
+      let budget = Obs.Budget.create ~max_facts:k () in
+      let res = Engine.Enumerate.ucq ~budget ~universe idx q in
+      List.for_all (fun t -> List.mem t exact) res.Engine.Enumerate.answers
+      &&
+      match res.Engine.Enumerate.outcome with
+      | Obs.Budget.Complete -> res.Engine.Enumerate.answers = exact
+      | Obs.Budget.Partial _ ->
+          List.length res.Engine.Enumerate.answers <= k + 1)
+
+(* Unit corners of the enumerator: null filtering, free answer
+   variables, Boolean queries, cross-disjunct dedup. *)
+let test_enumerate_corners () =
+  let sigma = [ tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ] ] in
+  let db = Instance.of_facts [ fact "A" [ "a" ]; fact "B" [ "b" ] ] in
+  let r = Chase.run ~max_level:2 sigma db in
+  let idx = Chase.index r in
+  let universe = Instance.dom db in
+  let answers q =
+    (Engine.Enumerate.ucq ~universe idx q).Engine.Enumerate.answers
+  in
+  (* S(a, n) holds with an invented null n: x=a is an answer of q(x) :-
+     S(x,y), but no null ever appears in an answer position *)
+  let q1 = Ucq.of_cq (Cq.make ~answer:[ "x" ] [ atom "S" [ v "x"; v "y" ] ]) in
+  Alcotest.(check (list (list string)))
+    "nulls never surface" [ [ "a" ] ]
+    (List.map (List.map (Fmt.str "%a" Term.pp_const)) (answers q1));
+  (* a free answer variable ranges over the whole active domain *)
+  let q2 = Ucq.of_cq (Cq.make ~answer:[ "z" ] [ atom "A" [ v "x" ] ]) in
+  check_int "free variable expands over adom" 2 (List.length (answers q2));
+  (* Boolean query: [[]] iff it holds *)
+  let q3 = Ucq.of_cq (Cq.make [ atom "S" [ v "x"; v "y" ] ]) in
+  check "boolean true is [[]]" true (answers q3 = [ [] ]);
+  let q4 = Ucq.of_cq (Cq.make [ atom "T" [ v "x"; v "y" ] ]) in
+  check "boolean false is []" true (answers q4 = []);
+  (* identical disjuncts dedup into one canonical set *)
+  let d = Cq.make ~answer:[ "x" ] [ atom "A" [ v "x" ] ] in
+  check "disjuncts dedup" true
+    (answers (Ucq.make [ d; d ]) = answers (Ucq.of_cq d))
+
+(* ------------------------------------------------------------------ *)
 (* Index unit properties                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -243,6 +349,8 @@ let qcheck_tests =
       prop_budget_level_prefix;
       prop_joiner_matches_fold_homs;
       prop_answer_sets_agree;
+      prop_enumerate_matches_generate_and_test;
+      prop_enumerate_budget_prefix;
       prop_index_roundtrip;
     ]
 
@@ -254,6 +362,7 @@ let () =
           Alcotest.test_case "index postings" `Quick test_index_postings;
           Alcotest.test_case "delta restriction" `Quick test_delta_restriction;
           Alcotest.test_case "saturation stats" `Quick test_stats_reported;
+          Alcotest.test_case "enumerate corners" `Quick test_enumerate_corners;
         ] );
       ("properties", qcheck_tests);
     ]

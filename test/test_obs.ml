@@ -65,6 +65,51 @@ let test_json_parse_errors () =
       | Ok _ -> Alcotest.failf "expected parse error on %S" s)
     bad
 
+(* RFC 8259 numbers only: OCaml's int_of_string/float_of_string accept
+   far more (leading '+', interior signs via partial reads, leading
+   zeros, dangling '.', hex), none of which may leak through — a
+   checkpoint or report with "1-2" in a number position must be rejected,
+   not silently read as 1 or -1. *)
+let test_json_number_grammar () =
+  let rejected =
+    [
+      "1-2"; "+5"; "--3"; "01"; "007"; "5."; ".5"; "1.e5"; "1e"; "1e+";
+      "0x10"; "1_000"; "-"; "- 1"; "[1-2]"; "{\"a\":+5}"; "1.2.3"; "NaN";
+      "Infinity";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Error _ -> ()
+      | Ok j ->
+          Alcotest.failf "expected number parse error on %S, got %s" s
+            (Obs.Json.to_string j))
+    rejected;
+  let accepted =
+    [
+      ("0", Obs.Json.Int 0);
+      ("-0", Obs.Json.Int 0);
+      ("42", Obs.Json.Int 42);
+      ("-17", Obs.Json.Int (-17));
+      ("3.5", Obs.Json.Float 3.5);
+      ("1e2", Obs.Json.Float 100.);
+      ("1e+2", Obs.Json.Float 100.);
+      ("-0.5e-1", Obs.Json.Float (-0.05));
+      ("1.25E2", Obs.Json.Float 125.);
+    ]
+  in
+  List.iter
+    (fun (s, expect) ->
+      match Obs.Json.parse s with
+      | Ok j when j = expect -> ()
+      | Ok j ->
+          Alcotest.failf "parse %S: got %s, expected %s" s
+            (Obs.Json.to_string j)
+            (Obs.Json.to_string expect)
+      | Error e -> Alcotest.failf "parse %S failed: %s" s e)
+    accepted
+
 let test_json_map_floats () =
   let j = Obs.Json.Obj [ ("s", Obs.Json.Float 1.25); ("n", Obs.Json.Int 2) ] in
   check_str "floats normalised" {|{"s":0.000000,"n":2}|}
@@ -288,6 +333,7 @@ let () =
           Alcotest.test_case "render" `Quick test_json_render;
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "number grammar" `Quick test_json_number_grammar;
           Alcotest.test_case "map_floats" `Quick test_json_map_floats;
           Alcotest.test_case "member" `Quick test_json_member;
         ] );

@@ -110,6 +110,33 @@ let test_hom_between_instances () =
 let test_hom_empty_pattern () =
   check "empty pattern holds" true (Homomorphism.exists [] (db_path 1))
 
+(* Regression: the const→var encoding of pattern_of_instance used to
+   intern every source constant in a global, never-cleared table, so a
+   long-running process issuing maps_to checks against ever-fresh
+   constants grew the live heap with the call count. The numbering is now
+   local to each call: repeated checks must leave no residue. *)
+let test_maps_to_memory_stable () =
+  let dst = Instance.of_facts [ fact "E" [ "a"; "b" ] ] in
+  let src i =
+    Instance.of_facts
+      [ fact "E" [ "x" ^ string_of_int i; "y" ^ string_of_int i ] ]
+  in
+  let run n0 n1 =
+    for i = n0 to n1 - 1 do
+      ignore (Homomorphism.maps_to (src i) dst)
+    done
+  in
+  (* warm-up fills any one-time caches *)
+  run 0 1000;
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  run 1000 5000;
+  Gc.compact ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  (* 4000 further calls see 8000 fresh constants; a leaked const→var
+     table would retain tens of thousands of words *)
+  check "maps_to leaves no per-call residue" true (live1 - live0 < 8_000)
+
 (* ------------------------------------------------------------------ *)
 (* CQs                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -390,6 +417,8 @@ let () =
           Alcotest.test_case "init binding" `Quick test_hom_init;
           Alcotest.test_case "between instances" `Quick test_hom_between_instances;
           Alcotest.test_case "empty pattern" `Quick test_hom_empty_pattern;
+          Alcotest.test_case "maps_to memory stable" `Quick
+            test_maps_to_memory_stable;
         ] );
       ( "cq",
         [
