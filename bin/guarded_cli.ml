@@ -262,6 +262,130 @@ let chase_cmd =
       $ checkpoint_every_arg $ resume_arg $ retries_arg $ fault_plan_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a mutation log against a maintained store (lib/incr): chase the
+   program's database once (or resume a maintained checkpoint), then
+   repair incrementally per mutation. Output: one `%` comment per
+   mutation with the repair counts, a summary, the final instance, and —
+   like `chase` — optional --stats / --checkpoint artifacts. Everything
+   printed is byte-identical across indexed/parallel engines and domain
+   counts. *)
+let serve_cmd =
+  let read_log path =
+    try Ok (Syntax.Parser.parse_mutations_file path) with
+    | Syntax.Lexer.Error (msg, l, c) ->
+        Error (Fmt.str "%s:%d:%d: %s" path l c msg)
+    | Syntax.Parser.Error (msg, l, c) ->
+        Error (Fmt.str "%s:%d:%d: %s" path l c msg)
+    | Sys_error e -> Error e
+  in
+  let run file log max_level engine_tag domains stats checkpoint resume =
+    with_program file (fun p ->
+        match read_log log with
+        | Error e ->
+            Fmt.epr "error: %s@." e;
+            2
+        | Ok muts -> (
+            let engine = resolve_engine engine_tag domains in
+            let sigma = p.Syntax.Parser.tgds in
+            let span = Obs.Span.root "serve" in
+            let store =
+              match resume with
+              | None ->
+                  Ok
+                    (Incr.create ~engine ~max_level ~obs:span sigma
+                       (Syntax.Parser.database p))
+              | Some path ->
+                  Result.map
+                    (fun ck -> Incr.of_checkpoint ~engine ~obs:span sigma ck)
+                    (Resil.Checkpoint.load path)
+            in
+            match store with
+            | Error e ->
+                Fmt.epr "error: %s@." e;
+                2
+            | Ok store ->
+                if not (Incr.saturated store) then begin
+                  Fmt.epr
+                    "error: store did not saturate within %d levels — cannot \
+                     maintain a truncated chase@."
+                    max_level;
+                  1
+                end
+                else begin
+                  Fmt.pr "%% serve: store saturated, %d facts@."
+                    (Incr.size store);
+                  let inserts = ref 0 and deletes = ref 0 and noops = ref 0 in
+                  List.iter
+                    (fun m ->
+                      let op =
+                        match m with
+                        | Syntax.Parser.Add f -> Incr.Insert f
+                        | Syntax.Parser.Del f -> Incr.Delete f
+                      in
+                      let eff = Incr.apply ~obs:span store op in
+                      (match (op, eff.Incr.e_noop) with
+                      | Incr.Insert f, true ->
+                          incr noops;
+                          Fmt.pr "%% +%a: no-op (already in the base)@." Fact.pp f
+                      | Incr.Delete f, true ->
+                          incr noops;
+                          Fmt.pr "%% -%a: no-op (not in the base)@." Fact.pp f
+                      | Incr.Insert f, false ->
+                          incr inserts;
+                          Fmt.pr "%% +%a: %d facts added@." Fact.pp f
+                            eff.Incr.e_repaired
+                      | Incr.Delete f, false ->
+                          incr deletes;
+                          Fmt.pr
+                            "%% -%a: overdeleted %d, rederived %d, repaired \
+                             %d, deleted %d@."
+                            Fact.pp f eff.Incr.e_overdeleted
+                            eff.Incr.e_rederived eff.Incr.e_repaired
+                            eff.Incr.e_deleted))
+                    muts;
+                  Fmt.pr
+                    "%% serve: %d mutations applied (%d inserts, %d deletes, \
+                     %d no-ops), %d facts@."
+                    (List.length muts) !inserts !deletes !noops
+                    (Incr.size store);
+                  Instance.iter
+                    (fun f -> Fmt.pr "%a.@." Fact.pp f)
+                    (Incr.instance store);
+                  (match checkpoint with
+                  | Some path ->
+                      Resil.Checkpoint.save path (Incr.checkpoint store)
+                  | None -> ());
+                  Obs.Span.exit span;
+                  (match stats with
+                  | Some path ->
+                      let rep = Incr.report ~name:"serve" ~span store in
+                      Obs.Report.add_field rep "mutations"
+                        (Obs.Json.Int (List.length muts));
+                      Obs.Report.write path rep
+                  | None -> ());
+                  0
+                end))
+  in
+  let log_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Mutation log: ground $(b,+fact(...).) / $(b,-fact(...).) \
+                statements applied in order.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Maintain a chased store under a base-fact mutation log \
+             (incremental insert/delete repair, no re-chase).")
+    Term.(
+      const run $ file_arg $ log_arg $ level_arg $ engine_arg $ domains_arg
+      $ stats_arg $ checkpoint_arg $ resume_arg)
+
+(* ------------------------------------------------------------------ *)
 (* classify                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -606,9 +730,9 @@ let main =
     (Cmd.info "guarded" ~version:"1.0.0"
        ~doc:"Open- and closed-world query evaluation under guarded TGDs.")
     [
-      chase_cmd; classify_cmd; eval_cmd; answers_cmd; cqs_eval_cmd; treewidth_cmd;
-      rewrite_cmd; equiv_cmd; clique_cmd; terminates_cmd; witness_cmd;
-      reduce_cmd;
+      chase_cmd; serve_cmd; classify_cmd; eval_cmd; answers_cmd; cqs_eval_cmd;
+      treewidth_cmd; rewrite_cmd; equiv_cmd; clique_cmd; terminates_cmd;
+      witness_cmd; reduce_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

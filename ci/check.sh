@@ -75,6 +75,26 @@ grep -q '"name":"answers"' "$TMP/answers.json" \
 "$CLI" answers examples/programs/prog_eval.gd --query who --budget-facts 0 \
   | grep -q "partial" || { echo "answers: budget cut not reported"; exit 1; }
 
+echo "== serve smoke (incremental maintenance applies a mutation log)"
+"$CLI" serve examples/programs/university.gd \
+  --log examples/programs/university.mut \
+  --stats "$TMP/serve.json" > "$TMP/serve.out"
+grep -q "serve: 5 mutations applied (2 inserts, 2 deletes, 1 no-ops)" \
+  "$TMP/serve.out" || { echo "serve: unexpected mutation summary"; exit 1; }
+if grep -q "faculty(ada)" "$TMP/serve.out"; then
+  echo "serve: deleted subtree still present"; exit 1
+fi
+grep -q "teaches(turing," "$TMP/serve.out" \
+  || { echo "serve: inserted professor's chain missing"; exit 1; }
+# the maintenance counters must land in the stats report with the exact
+# values this program + log produce (they are deterministic)
+for counter in '"incr.inserts":2' '"incr.deletes":2' '"incr.noops":1' \
+               '"incr.repaired":9' '"incr.overdeleted":11' \
+               '"incr.rederived":2' '"incr.deleted":9' '"index.removes":11'; do
+  grep -q "$counter" "$TMP/serve.json" \
+    || { echo "serve: stats missing $counter"; exit 1; }
+done
+
 echo "== parallel determinism (--domains 1 vs --domains 4)"
 sh ci/determinism.sh
 

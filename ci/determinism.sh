@@ -109,3 +109,45 @@ done
   exit 1
 }
 echo "determinism: OK ($answers_ok answer sets byte-identical across engines)"
+
+# Incremental maintenance: `serve` applies a mutation log to a maintained
+# store. Stdout, stats (up to the timing tail) and the checkpoint must be
+# byte-identical across the engine family and domain counts — including
+# the checkpoint, because a maintained store always checkpoints as the
+# indexed engine regardless of how the initial chase was executed.
+run_serve() {
+  tag=$1
+  shift
+  set +e
+  "$CLI" serve examples/programs/university.gd \
+    --log examples/programs/university.mut "$@" \
+    --checkpoint "$TMP/$tag.ck" --stats "$TMP/$tag.stats" \
+    > "$TMP/$tag.out" 2> "$TMP/$tag.err"
+  echo $? > "$TMP/$tag.code"
+  set -e
+  if [ -f "$TMP/$tag.stats" ]; then
+    sed -E 's/,"histograms":.*$//' "$TMP/$tag.stats" > "$TMP/$tag.cut"
+  else
+    : > "$TMP/$tag.cut"
+  fi
+  [ -f "$TMP/$tag.ck" ] || : > "$TMP/$tag.ck"
+}
+
+run_serve serve.d1 --engine parallel --domains 1
+run_serve serve.d4 --engine parallel --domains 4
+run_serve serve.seq --engine indexed
+[ "$(cat "$TMP/serve.d1.code")" = 0 ] || {
+  echo "determinism: serve failed (exit $(cat "$TMP/serve.d1.code"))"
+  exit 1
+}
+for pair in d1:d4 d1:seq; do
+  a=${pair%%:*}
+  b=${pair##*:}
+  for aspect in code out ck cut; do
+    cmp -s "$TMP/serve.$a.$aspect" "$TMP/serve.$b.$aspect" || {
+      echo "determinism: serve: $aspect differs between $a and $b"
+      exit 1
+    }
+  done
+done
+echo "determinism: OK (serve byte-identical across engines and domains)"

@@ -20,6 +20,7 @@ type t = {
   c_probes : Obs.Metrics.counter;
   c_inserts : Obs.Metrics.counter;
   c_duplicates : Obs.Metrics.counter;
+  c_removes : Obs.Metrics.counter;
 }
 
 let create () =
@@ -32,6 +33,7 @@ let create () =
     c_probes = Obs.Metrics.counter metrics "index.probes";
     c_inserts = Obs.Metrics.counter metrics "index.inserts";
     c_duplicates = Obs.Metrics.counter metrics "index.duplicates";
+    c_removes = Obs.Metrics.counter metrics "index.removes";
   }
 
 (* A read-only view over the same hash tables with a private metrics
@@ -47,6 +49,7 @@ let reader idx =
     c_probes = Obs.Metrics.counter metrics "index.probes";
     c_inserts = Obs.Metrics.counter metrics "index.inserts";
     c_duplicates = Obs.Metrics.counter metrics "index.duplicates";
+    c_removes = Obs.Metrics.counter metrics "index.removes";
   }
 
 let mem f idx = Hashtbl.mem idx.facts f
@@ -79,6 +82,38 @@ let insert f idx =
     let p = Fact.pred f and args = Fact.args f in
     push (bucket idx.by_pred p) args;
     List.iteri (fun i c -> push (bucket idx.by_pos (p, i, c)) args) args;
+    true
+  end
+
+(* Remove one occurrence of [tuple] from a bucket. Posting lists may
+   legitimately not contain the tuple (the bucket for a position the
+   tuple was never indexed under does not exist); [drop] is a no-op
+   then. *)
+let drop tbl key tuple =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some b ->
+      let rec remove_one = function
+        | [] -> []
+        | t :: rest ->
+            if t = tuple then begin
+              b.n <- b.n - 1;
+              rest
+            end
+            else t :: remove_one rest
+      in
+      b.tuples <- remove_one b.tuples
+
+(** [remove f idx] — delete [f]; [false] when it was not present.
+    Posting lists are pruned eagerly so candidate counts stay exact. *)
+let remove f idx =
+  if not (Hashtbl.mem idx.facts f) then false
+  else begin
+    Obs.Metrics.incr idx.c_removes;
+    Hashtbl.remove idx.facts f;
+    let p = Fact.pred f and args = Fact.args f in
+    drop idx.by_pred p args;
+    List.iteri (fun i c -> drop idx.by_pos (p, i, c) args) args;
     true
   end
 

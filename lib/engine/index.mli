@@ -35,6 +35,13 @@ val add : Fact.t -> t -> t
     (a single membership probe; the engine's hot path). *)
 val insert : Fact.t -> t -> bool
 
+(** [remove f idx] — delete [f] from the store and prune every posting
+    list it was filed under; [false] when it was not present. Counts
+    against [index.removes]. The incremental maintenance layer's
+    over-delete phase is the intended caller — the chase itself never
+    retracts. *)
+val remove : Fact.t -> t -> bool
+
 val mem : Fact.t -> t -> bool
 
 (** Number of (distinct) facts. *)
@@ -70,8 +77,8 @@ val candidate_count : t -> Atom.t -> Homomorphism.binding -> int
 val probes : t -> int
 
 (** The store's metrics registry: [index.probes], [index.inserts],
-    [index.duplicates], plus the [joiner.*] counters the {!Joiner} files
-    against the store it searches. *)
+    [index.duplicates], [index.removes], plus the [joiner.*] counters the
+    {!Joiner} files against the store it searches. *)
 val metrics : t -> Obs.Metrics.t
 
 (** [reader idx] — a view sharing [idx]'s fact tables but owning a fresh

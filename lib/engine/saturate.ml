@@ -41,6 +41,13 @@ type result = {
   span : Obs.Span.t;
 }
 
+type firing = {
+  fire_rule : int;
+  fire_key : int * const option list;
+  fire_body : Fact.t list;
+  fire_outs : (Fact.t * bool) list;
+}
+
 (* Key identifying a trigger: rule index + body-variable image (same shape
    as the naive chase's key, so the two engines dismiss identically). *)
 let trigger_key i (b : Homomorphism.binding) body_vars =
@@ -86,7 +93,7 @@ type init = {
   i_fpl : int list;  (* reversed: newest level first *)
 }
 
-let exec ~policy ~budget ~span ~on_pass ~pool init rules =
+let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
   let rules = Array.of_list rules in
   let info =
     Array.map
@@ -225,27 +232,39 @@ let exec ~policy ~budget ~span ~on_pass ~pool init rules =
                 incr level_fired;
                 let r = rules.(i) in
                 let _, existentials, _, _ = info.(i) in
+                let body_facts = List.map (ground b) r.body in
                 let body_level =
                   List.fold_left
-                    (fun acc a ->
-                      let f = ground b a in
+                    (fun acc f ->
                       max acc (try Hashtbl.find level_of f with Not_found -> 0))
-                    0 r.body
+                    0 body_facts
                 in
                 let full_binding =
                   List.fold_left
                     (fun acc z -> VarMap.add z (fresh_null ()) acc)
                     b existentials
                 in
-                List.iter
-                  (fun h ->
-                    let f = ground full_binding h in
-                    if Index.insert f idx then begin
-                      Hashtbl.replace level_of f (body_level + 1);
-                      incr new_count;
-                      new_delta := f :: !new_delta
-                    end)
-                  r.head;
+                let land_head h =
+                  let f = ground full_binding h in
+                  let fresh = Index.insert f idx in
+                  if fresh then begin
+                    Hashtbl.replace level_of f (body_level + 1);
+                    incr new_count;
+                    new_delta := f :: !new_delta
+                  end;
+                  (f, fresh)
+                in
+                (match on_fire with
+                | None -> List.iter (fun h -> ignore (land_head h)) r.head
+                | Some cb ->
+                    let outs = List.map land_head r.head in
+                    cb
+                      {
+                        fire_rule = i;
+                        fire_key = key;
+                        fire_body = body_facts;
+                        fire_outs = outs;
+                      });
                 (* the budget is re-checked trigger-atomically: the
                    overflowing trigger's whole head lands (matching the
                    naive loop), remaining triggers are skipped *)
@@ -311,7 +330,7 @@ let with_pool engine f =
         (fun () -> f (Some pool))
 
 let run ?(policy = Oblivious) ?(engine = Indexed)
-    ?(budget = Obs.Budget.unlimited) ?obs ?on_pass rules db =
+    ?(budget = Obs.Budget.unlimited) ?obs ?on_pass ?on_fire rules db =
   let span = make_span obs in
   let level_of : (Fact.t, int) Hashtbl.t = Hashtbl.create 256 in
   Instance.iter (fun f -> Hashtbl.replace level_of f 0) db;
@@ -329,13 +348,48 @@ let run ?(policy = Oblivious) ?(engine = Indexed)
     }
   in
   let r =
-    with_pool engine (fun pool -> exec ~policy ~budget ~span ~on_pass ~pool init rules)
+    with_pool engine (fun pool ->
+        exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules)
+  in
+  Obs.Span.exit span;
+  r
+
+(** [continue ... rules ~index ~level_of ~level delta] — run the delta
+    fixpoint over an {e existing} store: passes enumerate only triggers
+    whose body touches [delta] (then the facts those produce, and so on)
+    until saturation. The trigger-key table starts empty — sound whenever
+    every previously fired trigger has no body fact in the transitive
+    delta, which is the incremental-maintenance invariant (a fired
+    trigger touching the delta was either never fired or was invalidated
+    by the over-delete phase). Bodiless rules are never (re-)considered:
+    their single trigger fired on the original first pass. *)
+let continue ?(policy = Oblivious) ?(engine = Indexed)
+    ?(budget = Obs.Budget.unlimited) ?obs ?on_pass ?on_fire rules ~index
+    ~level_of ~level delta =
+  let span = make_span obs in
+  let init =
+    {
+      i_idx = index;
+      i_level_of = level_of;
+      i_delta = delta;
+      i_level = level;
+      i_saturated = false;
+      i_first_pass = false;
+      i_fired = 0;
+      i_dismissed = 0;
+      i_fpl = [];
+    }
+  in
+  let r =
+    with_pool engine (fun pool ->
+        exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules)
   in
   Obs.Span.exit span;
   r
 
 let resume ?(policy = Oblivious) ?(engine = Indexed)
-    ?(budget = Obs.Budget.unlimited) ?obs ?on_pass rules (s : snapshot) =
+    ?(budget = Obs.Budget.unlimited) ?obs ?on_pass ?on_fire rules
+    (s : snapshot) =
   let span = make_span obs in
   let idx = Index.create () in
   List.iter (fun (f, _) -> ignore (Index.insert f idx)) s.snap_facts;
@@ -391,7 +445,8 @@ let resume ?(policy = Oblivious) ?(engine = Indexed)
     }
   in
   let r =
-    with_pool engine (fun pool -> exec ~policy ~budget ~span ~on_pass ~pool init rules)
+    with_pool engine (fun pool ->
+        exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules)
   in
   Obs.Span.exit span;
   r

@@ -68,6 +68,20 @@ type result = {
   span : Obs.Span.t;  (** the run's span (one [level] child per pass) *)
 }
 
+(** One trigger firing, reported to [?on_fire] as it happens — the hook
+    the incremental-maintenance ledger records derivations with. Firings
+    are reported in the deterministic sequential order under every
+    engine ([Parallel n] replays trigger application on the main
+    domain). *)
+type firing = {
+  fire_rule : int;  (** index into the rule list *)
+  fire_key : int * Term.const option list;
+      (** the trigger's identity: rule index + body-variable image *)
+  fire_body : Fact.t list;  (** grounded body, in body-atom order *)
+  fire_outs : (Fact.t * bool) list;
+      (** grounded head facts; [true] = fact was new to the store *)
+}
+
 (** [run ?policy ?budget ?obs ?on_pass rules db] — saturate [db] under
     [rules] until no new trigger exists or the budget cuts the run (the
     overflowing level may be cut short, as in the naive chase).
@@ -77,6 +91,9 @@ type result = {
     [take ()] materialises a {!snapshot} of the state at that boundary.
     Snapshot capture is pay-per-use — skipping the thunk costs nothing.
 
+    [on_fire] is called once per fired trigger, in firing order, after
+    the trigger's whole head has landed in the index.
+
     [?engine] (default [Indexed]) selects the execution strategy;
     [Parallel n] raises [Invalid_argument] when [n < 1]. *)
 val run :
@@ -85,6 +102,7 @@ val run :
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
   ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
+  ?on_fire:(firing -> unit) ->
   rule list ->
   Instance.t ->
   result
@@ -106,6 +124,36 @@ val resume :
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
   ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
+  ?on_fire:(firing -> unit) ->
   rule list ->
   snapshot ->
+  result
+
+(** [continue ?policy ?engine … rules ~index ~level_of ~level delta] —
+    drive the semi-naive fixpoint over an {e existing, already saturated}
+    store after [delta] has been added to it: pass [level + 1] enumerates
+    the triggers whose body touches [delta], and the loop runs to
+    saturation (or a budget cut). [index] and [level_of] are mutated in
+    place; [delta]'s facts must already be present in both, carrying
+    level [level].
+
+    This is the incremental-maintenance entry point. Its trigger-key
+    table starts empty, which is sound iff no previously fired trigger
+    has a body fact in the transitive delta — exactly the invariant the
+    maintenance layer establishes (new facts were never seen before;
+    re-inserted facts had their dependent firings invalidated by the
+    over-delete phase). It is {e not} sound to [continue] after removing
+    facts without invalidating their dependents. *)
+val continue :
+  ?policy:policy ->
+  ?engine:engine ->
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
+  ?on_fire:(firing -> unit) ->
+  rule list ->
+  index:Index.t ->
+  level_of:(Fact.t, int) Hashtbl.t ->
+  level:int ->
+  Fact.t list ->
   result

@@ -1,0 +1,396 @@
+(** Incremental chase maintenance; see the interface for the contract.
+
+    The ledger is three hash tables over one mutable [derivation] record
+    per fired trigger: [derivs] maps a fact to the derivations producing
+    it, [uses] maps a fact to the derivations consuming it, [fired] maps
+    a trigger key to its (live) derivation. A derivation dies when any of
+    its body facts is over-deleted; its key leaves [fired] at the same
+    moment, so the trigger may legitimately refire during repair.
+    Dead records are pruned lazily from the per-fact lists.
+
+    Soundness of running {!Engine.Saturate.continue} with a fresh
+    trigger-key table after every mutation: a trigger enumerated by the
+    delta fixpoint has a body fact in the transitive delta; for an insert
+    that fact never existed before (so the trigger never fired), and for
+    a delete it was over-deleted first (so the trigger's old firing was
+    invalidated and removed from [fired]). Either way the firing is not a
+    duplicate. *)
+
+open Relational
+
+type key = int * Term.const option list
+
+type derivation = {
+  d_key : key;
+  d_body : Fact.t list;  (* grounded body, deduplicated, sorted *)
+  d_outs : Fact.t list;  (* grounded head, deduplicated, sorted *)
+  mutable d_live : bool;
+}
+
+type op = Insert of Fact.t | Delete of Fact.t
+
+type effect = {
+  e_op : op;
+  e_noop : bool;
+  e_repaired : int;
+  e_overdeleted : int;
+  e_rederived : int;
+  e_deleted : int;
+}
+
+type t = {
+  rules : Engine.Saturate.rule list;
+  idx : Engine.Index.t;
+  level_of : (Fact.t, int) Hashtbl.t;
+  base : (Fact.t, unit) Hashtbl.t;
+  derivs : (Fact.t, derivation list ref) Hashtbl.t;
+  uses : (Fact.t, derivation list ref) Hashtbl.t;
+  fired : (key, derivation) Hashtbl.t;
+  mutable level : int;  (* highest pass number handed to [continue] *)
+  mutable sat : bool;
+  (* maintenance counters, registered on the index's metrics registry so
+     they travel with the usual report plumbing *)
+  c_inserts : Obs.Metrics.counter;
+  c_deletes : Obs.Metrics.counter;
+  c_noops : Obs.Metrics.counter;
+  c_repaired : Obs.Metrics.counter;
+  c_overdeleted : Obs.Metrics.counter;
+  c_rederived : Obs.Metrics.counter;
+  c_deleted : Obs.Metrics.counter;
+}
+
+let saturated t = t.sat
+
+let ensure_saturated t =
+  if not t.sat then invalid_arg "Incr: store is not saturated"
+
+(* ---- ledger primitives ------------------------------------------------ *)
+
+let push tbl f d =
+  match Hashtbl.find_opt tbl f with
+  | Some r -> r := d :: !r
+  | None -> Hashtbl.replace tbl f (ref [ d ])
+
+(* Live derivations of [f] in [tbl], pruning dead records in passing. *)
+let live tbl f =
+  match Hashtbl.find_opt tbl f with
+  | None -> []
+  | Some r ->
+      let l = List.filter (fun d -> d.d_live) !r in
+      if l = [] then Hashtbl.remove tbl f else r := l;
+      l
+
+let record ~derivs ~uses ~fired (fir : Engine.Saturate.firing) =
+  let body = List.sort_uniq Fact.compare fir.Engine.Saturate.fire_body in
+  let outs =
+    List.sort_uniq Fact.compare
+      (List.map fst fir.Engine.Saturate.fire_outs)
+  in
+  let d =
+    { d_key = fir.Engine.Saturate.fire_key; d_body = body; d_outs = outs;
+      d_live = true }
+  in
+  Hashtbl.replace fired d.d_key d;
+  List.iter (fun f -> push uses f d) body;
+  List.iter (fun f -> push derivs f d) outs
+
+let kill t d =
+  d.d_live <- false;
+  (match Hashtbl.find_opt t.fired d.d_key with
+  | Some d' when d' == d -> Hashtbl.remove t.fired d.d_key
+  | _ -> ())
+
+(* ---- construction ----------------------------------------------------- *)
+
+let check_engine : Tgds.Chase.engine -> unit = function
+  | `Naive -> invalid_arg "Incr.create: maintenance requires an indexed engine"
+  | `Indexed | `Parallel _ -> ()
+
+let create ?(engine = `Indexed) ?max_level ?obs sigma db =
+  check_engine engine;
+  let derivs = Hashtbl.create 1024
+  and uses = Hashtbl.create 1024
+  and fired = Hashtbl.create 1024 in
+  let r =
+    Tgds.Chase.run ~engine ~policy:Tgds.Chase.Oblivious ?max_level ?obs
+      ~on_fire:(record ~derivs ~uses ~fired)
+      sigma db
+  in
+  let er =
+    match Tgds.Chase.engine_result r with
+    | Some er -> er
+    | None -> assert false (* indexed family always has one *)
+  in
+  let base = Hashtbl.create (Instance.size db) in
+  Instance.iter (fun f -> Hashtbl.replace base f ()) db;
+  let idx = Tgds.Chase.index r in
+  let m = Engine.Index.metrics idx in
+  {
+    rules = List.map (fun t -> Engine.Saturate.{ body = Tgds.Tgd.body t; head = Tgds.Tgd.head t }) sigma;
+    idx;
+    level_of = er.Engine.Saturate.level_of;
+    base;
+    derivs;
+    uses;
+    fired;
+    level = Tgds.Chase.max_level r;
+    sat = Tgds.Chase.saturated r;
+    c_inserts = Obs.Metrics.counter m "incr.inserts";
+    c_deletes = Obs.Metrics.counter m "incr.deletes";
+    c_noops = Obs.Metrics.counter m "incr.noops";
+    c_repaired = Obs.Metrics.counter m "incr.repaired";
+    c_overdeleted = Obs.Metrics.counter m "incr.overdeleted";
+    c_rederived = Obs.Metrics.counter m "incr.rederived";
+    c_deleted = Obs.Metrics.counter m "incr.deleted";
+  }
+
+(* ---- the delta fixpoint over the live store --------------------------- *)
+
+(* Run [Saturate.continue] from [delta] (already inserted into the index
+   with levels set), recording new derivations. Returns the number of
+   facts the fixpoint added. *)
+let propagate ?obs t delta =
+  if delta = [] then 0
+  else begin
+    let r =
+      Engine.Saturate.continue ~policy:Engine.Saturate.Oblivious
+        ~engine:Engine.Saturate.Indexed ?obs
+        ~on_fire:(record ~derivs:t.derivs ~uses:t.uses ~fired:t.fired)
+        t.rules ~index:t.idx ~level_of:t.level_of ~level:t.level delta
+    in
+    t.level <- r.Engine.Saturate.max_level;
+    List.fold_left ( + ) 0 r.Engine.Saturate.facts_per_level
+  end
+
+(* ---- mutations -------------------------------------------------------- *)
+
+let fact_attr f = Obs.Json.String (Fmt.str "%a" Fact.pp f)
+
+let insert ?obs t f =
+  ensure_saturated t;
+  let span = Option.map (fun p -> Obs.Span.enter p "insert") obs in
+  Option.iter (fun s -> Obs.Span.set s "fact" (fact_attr f)) span;
+  let eff =
+    if Hashtbl.mem t.base f then begin
+      Obs.Metrics.incr t.c_noops;
+      { e_op = Insert f; e_noop = true; e_repaired = 0; e_overdeleted = 0;
+        e_rederived = 0; e_deleted = 0 }
+    end
+    else begin
+      Obs.Metrics.incr t.c_inserts;
+      Hashtbl.replace t.base f ();
+      let repaired =
+        if Engine.Index.mem f t.idx then 0
+          (* already derivable: it gains base membership, nothing fires —
+             every trigger over the existing facts has fired already *)
+        else begin
+          ignore (Engine.Index.insert f t.idx);
+          Hashtbl.replace t.level_of f 0;
+          1 + propagate ?obs:span t [ f ]
+        end
+      in
+      Obs.Metrics.add t.c_repaired repaired;
+      { e_op = Insert f; e_noop = false; e_repaired = repaired;
+        e_overdeleted = 0; e_rederived = 0; e_deleted = 0 }
+    end
+  in
+  Option.iter
+    (fun s ->
+      Obs.Span.set s "repaired" (Obs.Json.Int eff.e_repaired);
+      Obs.Span.exit s)
+    span;
+  eff
+
+(* Canonical-ish level of a re-derived fact: base facts are level 0,
+   others sit one above their cheapest surviving derivation. Live
+   derivations never lost a body fact, so every body level is present. *)
+let relevel t f =
+  if Hashtbl.mem t.base f then 0
+  else
+    List.fold_left
+      (fun acc d ->
+        let bl =
+          List.fold_left
+            (fun m g ->
+              max m (match Hashtbl.find_opt t.level_of g with Some l -> l | None -> 0))
+            0 d.d_body
+        in
+        min acc (bl + 1))
+      max_int (live t.derivs f)
+
+let delete ?obs t f =
+  ensure_saturated t;
+  let span = Option.map (fun p -> Obs.Span.enter p "delete") obs in
+  Option.iter (fun s -> Obs.Span.set s "fact" (fact_attr f)) span;
+  let eff =
+    if not (Hashtbl.mem t.base f) then begin
+      Obs.Metrics.incr t.c_noops;
+      { e_op = Delete f; e_noop = true; e_repaired = 0; e_overdeleted = 0;
+        e_rederived = 0; e_deleted = 0 }
+    end
+    else begin
+      Obs.Metrics.incr t.c_deletes;
+      Hashtbl.remove t.base f;
+      (* Phase 1: over-delete. Retract [f] and, transitively, every fact
+         produced by a derivation that consumed a retracted fact. The
+         retracted set is order-independent (a closure), so the phases
+         below are deterministic after sorting. *)
+      let over = ref [] in
+      let stack = ref [ f ] in
+      while !stack <> [] do
+        let g = List.hd !stack in
+        stack := List.tl !stack;
+        if Engine.Index.remove g t.idx then begin
+          over := g :: !over;
+          Hashtbl.remove t.level_of g;
+          List.iter
+            (fun d ->
+              kill t d;
+              List.iter (fun o -> stack := o :: !stack) d.d_outs)
+            (live t.uses g);
+          Hashtbl.remove t.uses g
+        end
+      done;
+      let over = List.sort Fact.compare !over in
+      let overdeleted = List.length over in
+      (* Phase 2: re-derive. A retracted fact comes straight back when it
+         is still base, or still carries a live derivation (one whose
+         body never touched the retracted set). *)
+      let red =
+        List.filter
+          (fun g -> Hashtbl.mem t.base g || live t.derivs g <> [])
+          over
+      in
+      List.iter
+        (fun g ->
+          ignore (Engine.Index.insert g t.idx);
+          Hashtbl.replace t.level_of g (relevel t g))
+        red;
+      (* Ledger entries of facts that stayed out hold only dead records. *)
+      List.iter
+        (fun g ->
+          if not (Engine.Index.mem g t.idx) then begin
+            Hashtbl.remove t.derivs g;
+            Hashtbl.remove t.uses g
+          end)
+        over;
+      (* Phase 3: propagate. The re-inserted facts are the delta; the
+         invalidated triggers whose bodies survived refire here (and may
+         resurrect more of the retracted set, with fresh nulls where the
+         original derivation passed through an existential). *)
+      let repaired = propagate ?obs:span t red in
+      let deleted =
+        List.length (List.filter (fun g -> not (Engine.Index.mem g t.idx)) over)
+      in
+      Obs.Metrics.add t.c_overdeleted overdeleted;
+      Obs.Metrics.add t.c_rederived (List.length red);
+      Obs.Metrics.add t.c_repaired repaired;
+      Obs.Metrics.add t.c_deleted deleted;
+      { e_op = Delete f; e_noop = false; e_repaired = repaired;
+        e_overdeleted = overdeleted; e_rederived = List.length red;
+        e_deleted = deleted }
+    end
+  in
+  Option.iter
+    (fun s ->
+      Obs.Span.set s "overdeleted" (Obs.Json.Int eff.e_overdeleted);
+      Obs.Span.set s "rederived" (Obs.Json.Int eff.e_rederived);
+      Obs.Span.set s "repaired" (Obs.Json.Int eff.e_repaired);
+      Obs.Span.set s "deleted" (Obs.Json.Int eff.e_deleted);
+      Obs.Span.exit s)
+    span;
+  eff
+
+let apply ?obs t = function
+  | Insert f -> insert ?obs t f
+  | Delete f -> delete ?obs t f
+
+(* ---- views ------------------------------------------------------------ *)
+
+let instance t = Engine.Index.to_instance t.idx
+let index t = t.idx
+let size t = Engine.Index.size t.idx
+let base_size t = Hashtbl.length t.base
+let base t = Hashtbl.fold (fun f () acc -> Instance.add_fact f acc) t.base Instance.empty
+let support_count t f = List.length (live t.derivs f)
+let metrics t = Engine.Index.metrics t.idx
+
+(* ---- checkpointing ---------------------------------------------------- *)
+
+(* Canonical s-levels: minimum derivation depth over the live ledger,
+   base facts at 0. This equals the level the level-wise chase assigns —
+   the oblivious chase fires every trigger at the earliest pass its body
+   is complete, so a fact's s-level is [min] over its producing triggers
+   of [1 + max body level]. Monotone decreasing fixpoint; terminates
+   because levels only shrink. *)
+let canonical_levels t =
+  let lev = Hashtbl.create (size t) in
+  Hashtbl.iter (fun f () -> Hashtbl.replace lev f 0) t.base;
+  let ds = Hashtbl.fold (fun _ d acc -> d :: acc) t.fired [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun d ->
+        let bl =
+          List.fold_left
+            (fun acc g ->
+              match (acc, Hashtbl.find_opt lev g) with
+              | Some m, Some l -> Some (max m l)
+              | _ -> None)
+            (Some 0) d.d_body
+        in
+        match bl with
+        | None -> () (* some body level still unknown this round *)
+        | Some m ->
+            List.iter
+              (fun o ->
+                match Hashtbl.find_opt lev o with
+                | Some cur when cur <= m + 1 -> ()
+                | _ ->
+                    Hashtbl.replace lev o (m + 1);
+                    changed := true)
+              d.d_outs)
+      ds
+  done;
+  lev
+
+let checkpoint t : Tgds.Chase.snapshot =
+  ensure_saturated t;
+  let lev = canonical_levels t in
+  let snap_facts =
+    Hashtbl.fold
+      (fun f stored acc ->
+        let l =
+          match Hashtbl.find_opt lev f with Some l -> l | None -> stored
+        in
+        (f, l) :: acc)
+      t.level_of []
+  in
+  let snap_level = List.fold_left (fun acc (_, l) -> max acc l) 0 snap_facts in
+  {
+    Tgds.Chase.snap_engine = `Indexed;
+    snap_policy = Tgds.Chase.Oblivious;
+    snap_level;
+    snap_saturated = true;
+    snap_null_count = Term.null_count ();
+    snap_triggers_fired = Hashtbl.length t.fired;
+    snap_triggers_dismissed = 0;
+    snap_facts;
+    snap_counters = Obs.Metrics.counters (metrics t);
+  }
+
+let of_checkpoint ?engine ?obs sigma (s : Tgds.Chase.snapshot) =
+  let db =
+    List.fold_left
+      (fun acc (f, l) -> if l = 0 then Instance.add_fact f acc else acc)
+      Instance.empty s.Tgds.Chase.snap_facts
+  in
+  create ?engine ?obs sigma db
+
+let report ?(name = "incr") ?span t =
+  let rep = Obs.Report.create ~metrics:(metrics t) ?span name in
+  Obs.Report.add_field rep "saturated" (Obs.Json.Bool t.sat);
+  Obs.Report.add_field rep "facts" (Obs.Json.Int (size t));
+  Obs.Report.add_field rep "base_facts" (Obs.Json.Int (base_size t));
+  rep

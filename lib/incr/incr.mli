@@ -1,0 +1,132 @@
+(** Incremental chase maintenance.
+
+    A {!t} is a {e maintained store}: a saturated oblivious-chase instance
+    kept saturated under base-fact mutations without re-chasing. The store
+    records a {e derivation ledger} at firing time (via
+    {!Engine.Saturate}'s [on_fire] hook): one record per fired trigger,
+    holding the grounded body, the grounded head, and the trigger key.
+    The ledger is the support graph DRed-style maintenance needs:
+
+    - {!insert} adds a base fact and restarts the semi-naive delta
+      fixpoint from it ({!Engine.Saturate.continue}), so only triggers
+      whose body touches the new fact (transitively) are enumerated;
+    - {!delete} removes a base fact in three phases: {e over-delete}
+      (cascade through the ledger: retract every fact whose support
+      includes an invalidated derivation, via {!Engine.Index.remove}),
+      {e re-derive} (re-insert retracted facts that are still base or
+      still carry a live derivation), and {e propagate} (delta fixpoint
+      from the re-inserted facts, refiring the invalidated triggers that
+      survive).
+
+    Guardedness keeps repair local: every fact mentioning a labelled null
+    derives transitively from the single trigger that invented the null,
+    so an over-delete cascade is bounded by the affected subtree of the
+    guarded chase forest rather than the whole instance.
+
+    The maintained store is observationally equivalent to a fresh chase
+    of the current base database: same facts up to null renaming, same
+    trigger count, and {!checkpoint} re-derives the canonical s-levels
+    (minimum derivation depth over the ledger — exactly the level a fresh
+    chase assigns). Maintenance is defined for the {e oblivious} policy
+    only: restricted-chase dismissals depend on enumeration order and are
+    not ledgered, so there is nothing sound to repair against. *)
+
+open Relational
+
+type t
+
+(** A base-fact mutation, as parsed from a [+fact.] / [-fact.] log. *)
+type op = Insert of Fact.t | Delete of Fact.t
+
+(** What one mutation did to the store. [e_repaired] counts facts added
+    by the delta fixpoint (for an insert this includes the inserted fact
+    itself); [e_overdeleted]/[e_rederived] are the delete phases'
+    retractions and reinstatements; [e_deleted] is the net number of
+    facts that left the store. [e_noop] marks mutations that changed
+    nothing: inserting a fact already in the base, or deleting one that
+    never was. *)
+type effect = {
+  e_op : op;
+  e_noop : bool;
+  e_repaired : int;
+  e_overdeleted : int;
+  e_rederived : int;
+  e_deleted : int;
+}
+
+(** [create ?engine ?max_level ?obs sigma db] — chase [db] under [sigma]
+    (oblivious policy), recording the derivation ledger as triggers fire.
+    [engine] selects the initial chase's execution strategy (indexed
+    family only — [`Naive] raises [Invalid_argument]); maintenance
+    itself always runs the sequential indexed loop. When [max_level]
+    cuts the chase, the store is returned {e unsaturated} and refuses
+    mutations. *)
+val create :
+  ?engine:Tgds.Chase.engine ->
+  ?max_level:int ->
+  ?obs:Obs.Span.t ->
+  Tgds.Tgd.t list ->
+  Instance.t ->
+  t
+
+(** The store is saturated — mutations are accepted. *)
+val saturated : t -> bool
+
+(** [insert ?obs t f] — add base fact [f]. Raises [Invalid_argument] on
+    an unsaturated store. *)
+val insert : ?obs:Obs.Span.t -> t -> Fact.t -> effect
+
+(** [delete ?obs t f] — remove base fact [f] and repair. Facts of the
+    store that still follow from the remaining base are kept (their
+    nulls included); facts whose every derivation died are retracted.
+    Raises [Invalid_argument] on an unsaturated store. *)
+val delete : ?obs:Obs.Span.t -> t -> Fact.t -> effect
+
+(** [apply ?obs t op] — dispatch on {!op}. *)
+val apply : ?obs:Obs.Span.t -> t -> op -> effect
+
+(** The maintained instance. *)
+val instance : t -> Instance.t
+
+(** The store's index (shared, do not mutate). *)
+val index : t -> Engine.Index.t
+
+(** Facts in the store / facts in the base database. *)
+val size : t -> int
+
+val base_size : t -> int
+
+(** The current base database (the facts a fresh chase would start
+    from). *)
+val base : t -> Instance.t
+
+(** Number of live derivations supporting a fact (0 when absent or only
+    base-supported). *)
+val support_count : t -> Fact.t -> int
+
+(** The store's metrics registry: the usual [index.*]/[joiner.*]
+    counters plus [index.removes] and the maintenance counters
+    [incr.inserts], [incr.deletes], [incr.noops], [incr.repaired],
+    [incr.overdeleted], [incr.rederived], [incr.deleted]. *)
+val metrics : t -> Obs.Metrics.t
+
+(** [checkpoint t] — the maintained state as a saturated
+    {!Tgds.Chase.snapshot}, indistinguishable from the final checkpoint of a
+    fresh chase of {!base}[ t] (up to null renaming): s-levels are
+    re-derived canonically from the ledger as minimum derivation depth,
+    which is exactly the level the level-wise chase assigns. The
+    snapshot resumes (under {!Tgds.Chase.resume} or {!of_checkpoint}) as a
+    no-op continuation. Raises [Invalid_argument] on an unsaturated
+    store. *)
+val checkpoint : t -> Tgds.Chase.snapshot
+
+(** [of_checkpoint ?engine ?obs sigma snapshot] — rebuild a maintained
+    store from a checkpoint by re-chasing its level-0 (base) facts,
+    reconstructing the ledger. The result holds the same instance as the
+    checkpoint up to null renaming. *)
+val of_checkpoint :
+  ?engine:Tgds.Chase.engine -> ?obs:Obs.Span.t -> Tgds.Tgd.t list -> Tgds.Chase.snapshot -> t
+
+(** [report ?name t] — a run report over the store's metrics (counters
+    above, no span tree unless the caller kept one). *)
+val report : ?name:string -> ?span:Obs.Span.t -> t -> Obs.Report.t

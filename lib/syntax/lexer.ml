@@ -13,6 +13,8 @@ type token =
   | Comma
   | Period
   | Slash
+  | Plus  (** "+" (mutation logs) *)
+  | Minus  (** "-" not followed by ">" (mutation logs) *)
   | Arrow  (** "->" *)
   | Turnstile  (** ":-" *)
   | Eof
@@ -30,6 +32,8 @@ let pp_token ppf = function
   | Comma -> Fmt.string ppf "','"
   | Period -> Fmt.string ppf "'.'"
   | Slash -> Fmt.string ppf "'/'"
+  | Plus -> Fmt.string ppf "'+'"
+  | Minus -> Fmt.string ppf "'-'"
   | Arrow -> Fmt.string ppf "'->'"
   | Turnstile -> Fmt.string ppf "':-'"
   | Eof -> Fmt.string ppf "end of input"
@@ -72,6 +76,8 @@ let tokenize src =
       advance ();
       advance ()
     end
+    else if c = '+' then (emit Plus; advance ())
+    else if c = '-' then (emit Minus; advance ())
     else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then begin
       emit Turnstile;
       advance ();

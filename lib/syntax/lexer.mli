@@ -9,6 +9,8 @@ type token =
   | Comma
   | Period
   | Slash
+  | Plus  (** "+" (mutation logs) *)
+  | Minus  (** "-" not followed by ">" (mutation logs) *)
   | Arrow  (** "->" *)
   | Turnstile  (** ":-" *)
   | Eof

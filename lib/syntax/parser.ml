@@ -179,13 +179,44 @@ let parse src =
       List.rev_map (fun (name, cqs) -> (name, Ucq.make (List.rev cqs))) !queries;
   }
 
-(** [parse_file path] — parse a program from a file. *)
-let parse_file path =
+(* A base-fact mutation of a log file: [+fact.] adds, [-fact.] removes. *)
+type mutation = Add of Fact.t | Del of Fact.t
+
+(** [parse_mutations src] — a mutation log: a sequence of
+    [+fact(...).] / [-fact(...).] statements ([%] comments as usual),
+    in order. Facts must be ground. *)
+let parse_mutations src =
+  let st = { rest = Lexer.tokenize src } in
+  let muts = ref [] in
+  while (peek st).Lexer.token <> Lexer.Eof do
+    let sign =
+      match (next st).Lexer.token with
+      | Lexer.Plus -> true
+      | Lexer.Minus -> false
+      | _ ->
+          st.rest <- peek st :: st.rest;
+          fail st "expected '+' or '-' starting a mutation"
+    in
+    let a = parse_atom st in
+    expect st Lexer.Period "expected '.' after mutation";
+    if not (Atom.is_ground a) then fail st "a mutation must be ground";
+    let f = Fact.of_atom a in
+    muts := (if sign then Add f else Del f) :: !muts
+  done;
+  List.rev !muts
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  parse src
+  src
+
+(** [parse_file path] — parse a program from a file. *)
+let parse_file path = parse (read_file path)
+
+(** [parse_mutations_file path] — parse a mutation log from a file. *)
+let parse_mutations_file path = parse_mutations (read_file path)
 
 (** Database of the program's facts. *)
 let database p = Instance.of_facts p.facts

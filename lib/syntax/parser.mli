@@ -21,6 +21,17 @@ val parse : string -> program
 
 val parse_file : string -> program
 
+(** A base-fact mutation of a log file: [+fact.] adds, [-fact.]
+    removes. *)
+type mutation = Add of Fact.t | Del of Fact.t
+
+(** [parse_mutations src] — a mutation log: a sequence of ground
+    [+fact(...).] / [-fact(...).] statements in order ([%] comments as
+    usual). Raises {!Error} / {!Lexer.Error} on malformed input. *)
+val parse_mutations : string -> mutation list
+
+val parse_mutations_file : string -> mutation list
+
 (** Database of the program's facts. *)
 val database : program -> Instance.t
 

@@ -314,12 +314,12 @@ let of_engine_result ~span (r : Engine.Saturate.result) =
     span;
   }
 
-let run_indexed ~engine ~policy ~budget ~span ~on_pass sigma db =
+let run_indexed ~engine ~policy ~budget ~span ~on_pass ~on_fire sigma db =
   let r =
     Engine.Saturate.run ~policy:(engine_policy policy)
       ~engine:(sat_engine engine) ~budget ~obs:span
       ?on_pass:(engine_on_pass ~engine ~policy on_pass)
-      (engine_rules sigma) db
+      ?on_fire (engine_rules sigma) db
   in
   of_engine_result ~span r
 
@@ -339,19 +339,22 @@ let make_span obs =
   | None -> Obs.Span.root "chase"
 
 let run ?(engine = `Indexed) ?(policy = Oblivious) ?max_level ?max_facts
-    ?budget ?obs ?on_pass sigma db =
+    ?budget ?obs ?on_pass ?on_fire sigma db =
   let budget = make_budget ~max_level ~max_facts ~budget in
   let span = make_span obs in
   let r =
     match engine with
-    | `Naive -> run_naive ~policy ~budget ~span ~on_pass sigma db
+    | `Naive ->
+        if on_fire <> None then
+          invalid_arg "Chase.run: ?on_fire requires an indexed engine";
+        run_naive ~policy ~budget ~span ~on_pass sigma db
     | (`Indexed | `Parallel _) as e ->
-        run_indexed ~engine:e ~policy ~budget ~span ~on_pass sigma db
+        run_indexed ~engine:e ~policy ~budget ~span ~on_pass ~on_fire sigma db
   in
   Obs.Span.exit span;
   r
 
-let resume ?engine ?max_level ?max_facts ?budget ?obs ?on_pass sigma
+let resume ?engine ?max_level ?max_facts ?budget ?obs ?on_pass ?on_fire sigma
     (s : snapshot) =
   let engine = match engine with Some e -> e | None -> s.snap_engine in
   let budget = make_budget ~max_level ~max_facts ~budget in
@@ -364,14 +367,17 @@ let resume ?engine ?max_level ?max_facts ?budget ?obs ?on_pass sigma
   Term.set_null_count s.snap_null_count;
   let r =
     match engine with
-    | `Naive -> resume_naive ~budget ~span ~on_pass sigma s
+    | `Naive ->
+        if on_fire <> None then
+          invalid_arg "Chase.resume: ?on_fire requires an indexed engine";
+        resume_naive ~budget ~span ~on_pass sigma s
     | (`Indexed | `Parallel _) as e ->
         of_engine_result ~span
           (Engine.Saturate.resume
              ~policy:(engine_policy s.snap_policy)
              ~engine:(sat_engine e) ~budget ~obs:span
              ?on_pass:(engine_on_pass ~engine:e ~policy:s.snap_policy on_pass)
-             (engine_rules sigma) (to_engine_snapshot s))
+             ?on_fire (engine_rules sigma) (to_engine_snapshot s))
   in
   Obs.Span.exit span;
   r

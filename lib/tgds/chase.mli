@@ -62,7 +62,12 @@ type snapshot = {
 
     [on_pass ~level ~saturated take] is called after every clean pass
     boundary; [take ()] materialises a {!snapshot} of the state at that
-    boundary (pay-per-use — not calling the thunk costs nothing). *)
+    boundary (pay-per-use — not calling the thunk costs nothing).
+
+    [on_fire] is called once per fired trigger, in the deterministic
+    firing order, after the trigger's whole head has landed — the hook
+    {!Incr}'s derivation ledger records support with. Requires an
+    indexed-family engine; [`Naive] raises [Invalid_argument]. *)
 val run :
   ?engine:engine ->
   ?policy:policy ->
@@ -71,6 +76,7 @@ val run :
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
   ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
+  ?on_fire:(Engine.Saturate.firing -> unit) ->
   Tgd.t list ->
   Instance.t ->
   result
@@ -91,6 +97,7 @@ val resume :
   ?budget:Obs.Budget.t ->
   ?obs:Obs.Span.t ->
   ?on_pass:(level:int -> saturated:bool -> (unit -> snapshot) -> unit) ->
+  ?on_fire:(Engine.Saturate.firing -> unit) ->
   Tgd.t list ->
   snapshot ->
   result

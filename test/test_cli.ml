@@ -117,7 +117,8 @@ let golden_stats =
       {|{"name":"chase","outcome":{"status":"complete"},"saturated":true,|};
       {|"max_level":2,"facts":3,"facts_per_level":[1,1],"triggers_fired":2,|};
       {|"triggers_dismissed":0,"counters":{"index.duplicates":0,|};
-      {|"index.inserts":3,"index.probes":0,"joiner.backtracks":0,|};
+      {|"index.inserts":3,"index.probes":0,"index.removes":0,|};
+      {|"joiner.backtracks":0,|};
       {|"joiner.candidates":2},"histograms":{},"span":{"name":"chase",|};
       {|"s":0.000000,"children":[{"name":"saturate","s":0.000000,"children":[|};
       {|{"name":"level","s":0.000000,"level":1,"triggers_fired":1,|};
@@ -237,7 +238,7 @@ let golden_checkpoint =
       {|"policy":"oblivious","level":2,"saturated":true,"null_count":1,|};
       {|"triggers_fired":2,"triggers_dismissed":0,|};
       {|"counters":{"index.duplicates":0,"index.inserts":3,"index.probes":0,|};
-      {|"joiner.backtracks":0,"joiner.candidates":2},|};
+      {|"index.removes":0,"joiner.backtracks":0,"joiner.candidates":2},|};
       {|"facts":[{"p":"prof","l":0,"a":["ada"]},|};
       {|{"p":"teaches","l":1,"a":["ada",{"n":0}]},|};
       {|{"p":"course","l":2,"a":[{"n":0}]}]}|};
@@ -375,6 +376,190 @@ let test_parallel_determinism () =
       Alcotest.(check string) (name ^ ": stats match indexed engine") ti t1)
     [ "prog_chase.gd"; "prog_budget.gd"; "prog_cqs.gd"; "university.gd" ]
 
+(* serve: apply the committed mutation log to university.gd; the final
+   instance is the fresh chase of the final base, and every maintenance
+   phase shows up in the per-mutation trace. *)
+let test_serve () =
+  let status, out, err =
+    run_cli
+      [ "serve"; prog "university.gd"; "--log"; prog "university.mut" ]
+  in
+  check (Fmt.str "exit 0 (err=%S)" err) true (status = 0);
+  check "initial saturation reported" true
+    (contains out "% serve: store saturated, 9 facts");
+  check "insert traced" true (contains out "% +prof(turing): 6 facts added");
+  check "delete phases traced" true
+    (contains out "% -prof(ada): overdeleted 6, rederived 1");
+  check "no-op detected" true (contains out "% -prof(hopper): no-op");
+  check "summary line" true
+    (contains out "5 mutations applied (2 inserts, 2 deletes, 1 no-ops)");
+  check "ada's subtree gone" false (contains out "faculty(ada)");
+  check "turing's chain derived" true (contains out "teaches(turing,");
+  check "base course survives" true (contains out "course(logic)")
+
+(* serve inherits the CLI exit-code contract: 2 = usage/input error with
+   a one-line diagnostic, 1 = runtime refusal (unsaturated store). *)
+let test_serve_exit_codes () =
+  let one_line err =
+    List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' err))
+    = 1
+    && not (contains err "Raised at")
+  in
+  (* missing log file *)
+  let status, _, err =
+    run_cli [ "serve"; prog "university.gd"; "--log"; "no_such.mut" ]
+  in
+  check "missing log exits 2" true (status = 2);
+  check "missing log: one-line diagnostic" true (one_line err);
+  (* malformed log *)
+  let bad = Filename.temp_file "guarded_bad" ".mut" in
+  let oc = open_out bad in
+  output_string oc "prof(x).\n";
+  close_out oc;
+  let status2, _, err2 =
+    run_cli [ "serve"; prog "university.gd"; "--log"; bad ]
+  in
+  Sys.remove bad;
+  check "unsigned mutation exits 2" true (status2 = 2);
+  check "parse error names the position" true
+    (one_line err2 && contains err2 ":1:");
+  (* an unsaturated store refuses to serve: runtime error, exit 1 *)
+  let status3, _, err3 =
+    run_cli
+      [
+        "serve"; prog "prog_budget.gd"; "--log"; prog "university.mut";
+        "--max-level"; "2";
+      ]
+  in
+  check "unsaturated store exits 1" true (status3 = 1);
+  check "refusal is one line" true
+    (one_line err3 && contains err3 "saturat")
+
+(* The serve --stats report is schema-stable: float durations are the
+   only volatile part for a fixed program + log (nulls are allocated
+   deterministically from a fresh counter), so the normalised JSON is
+   pinned byte-for-byte like the chase golden above. *)
+let test_serve_stats_golden () =
+  let stats = Filename.temp_file "guarded_stats" ".json" in
+  let status, _, err =
+    run_cli
+      [
+        "serve"; prog "university.gd"; "--log"; prog "university.mut";
+        "--stats"; stats;
+      ]
+  in
+  check (Fmt.str "exit 0 (err=%S)" err) true (status = 0);
+  let ic = open_in stats in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove stats;
+  match Obs.Json.parse raw with
+  | Error e -> Alcotest.failf "stats file is not JSON: %s" e
+  | Ok j ->
+      check "name is serve" true
+        (Obs.Json.member "name" j = Some (Obs.Json.String "serve"));
+      check "mutations counted" true
+        (Obs.Json.member "mutations" j = Some (Obs.Json.Int 5));
+      check "saturated" true
+        (Obs.Json.member "saturated" j = Some (Obs.Json.Bool true));
+      (* every maintenance counter present with its pinned value *)
+      (match Obs.Json.member "counters" j with
+      | Some c ->
+          List.iter
+            (fun (k, n) ->
+              check (k ^ " pinned") true
+                (Obs.Json.member k c = Some (Obs.Json.Int n)))
+            [
+              ("incr.inserts", 2); ("incr.deletes", 2); ("incr.noops", 1);
+              ("incr.repaired", 9); ("incr.overdeleted", 11);
+              ("incr.rederived", 2); ("incr.deleted", 9);
+              ("index.removes", 11);
+            ]
+      | None -> Alcotest.fail "counters missing");
+      (* per-mutation spans nest under the serve root, in log order *)
+      (match Obs.Json.member "span" j with
+      | Some s -> (
+          match Obs.Json.member "children" s with
+          | Some (Obs.Json.List kids) ->
+              let tag k field =
+                match Obs.Json.member field k with
+                | Some (Obs.Json.String n) -> n
+                | _ -> "?"
+              in
+              Alcotest.(check (list string))
+                "span children are chase + one span per mutation"
+                [
+                  "chase"; "insert:prof(turing)"; "insert:teaches(ada,logic)";
+                  "delete:prof(ada)"; "delete:teaches(ada,logic)";
+                  "delete:prof(hopper)";
+                ]
+                (List.map
+                   (fun k ->
+                     match tag k "name" with
+                     | "chase" -> "chase"
+                     | n -> n ^ ":" ^ tag k "fact")
+                   kids)
+          | _ -> Alcotest.fail "serve span has no children")
+      | None -> Alcotest.fail "span missing")
+
+(* serve determinism end to end: identical stdout and checkpoint bytes
+   across the engine family and domain counts (cf. the chase variant
+   above) — the maintained store must not leak engine choice. *)
+let test_serve_determinism () =
+  let slurp path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let run engine_flags =
+    let ck = Filename.temp_file "guarded_ck" ".json" in
+    let status, out, err =
+      run_cli
+        ([ "serve"; prog "university.gd"; "--log"; prog "university.mut" ]
+        @ engine_flags @ [ "--checkpoint"; ck ])
+    in
+    let cks = slurp ck in
+    Sys.remove ck;
+    check
+      (Fmt.str "serve %s exits 0 (err=%S)" (String.concat " " engine_flags) err)
+      true (status = 0);
+    (out, cks)
+  in
+  let o1, c1 = run [ "--domains"; "1" ] in
+  let o4, c4 = run [ "--domains"; "4" ] in
+  let oi, ci = run [ "--engine"; "indexed" ] in
+  Alcotest.(check string) "stdout identical across domains" o1 o4;
+  Alcotest.(check string) "checkpoint identical across domains" c1 c4;
+  Alcotest.(check string) "stdout matches indexed engine" oi o1;
+  Alcotest.(check string) "checkpoint matches indexed engine" ci c1
+
+(* A serve checkpoint of the maintained store resumes under `chase` as a
+   no-op continuation of a fresh chase of the final base. *)
+let test_serve_checkpoint_resumes () =
+  let ck = Filename.temp_file "guarded_ck" ".json" in
+  let status, out, _ =
+    run_cli
+      [
+        "serve"; prog "university.gd"; "--log"; prog "university.mut";
+        "--checkpoint"; ck;
+      ]
+  in
+  check "serve exits 0" true (status = 0);
+  let status2, out2, err2 =
+    run_cli [ "chase"; prog "university.gd"; "--resume"; ck ]
+  in
+  Sys.remove ck;
+  check (Fmt.str "resume exits 0 (err=%S)" err2) true (status2 = 0);
+  check "resume is a no-op (saturated)" true (contains out2 "saturated");
+  (* both print the same sorted fact lines *)
+  let facts s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '%')
+  in
+  Alcotest.(check (list string))
+    "resumed instance equals the maintained one" (facts out) (facts out2)
+
 (* A transient injected fault is absorbed by the supervisor: same exit
    code and facts as a clean run, plus a recovery note. *)
 let test_fault_recovery_note () =
@@ -408,6 +593,13 @@ let () =
           Alcotest.test_case "errors" `Quick test_errors_reported;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
           Alcotest.test_case "checkpoint golden" `Quick test_checkpoint_golden;
+          Alcotest.test_case "serve" `Quick test_serve;
+          Alcotest.test_case "serve exit codes" `Quick test_serve_exit_codes;
+          Alcotest.test_case "serve --stats golden" `Quick
+            test_serve_stats_golden;
+          Alcotest.test_case "serve determinism" `Quick test_serve_determinism;
+          Alcotest.test_case "serve checkpoint resumes" `Quick
+            test_serve_checkpoint_resumes;
           Alcotest.test_case "parallel engine determinism" `Quick
             test_parallel_determinism;
           Alcotest.test_case "fault kill and resume" `Quick
