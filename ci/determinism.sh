@@ -1,10 +1,16 @@
 #!/bin/sh
-# Parallel-engine determinism check: for every example program, a chase
-# under `--engine parallel` must produce byte-identical exit code, stdout,
-# checkpoint, and stats (up to the timing tail) for --domains 1 vs
-# --domains 4 — and match the sequential indexed engine on everything but
-# the checkpoint's engine field (which names the engine family by design).
-# Run from the repository root:  sh ci/determinism.sh
+# Parallel-engine determinism check against committed golden outputs: for
+# every example program, a chase must produce byte-identical exit code,
+# stdout, checkpoint, and stats (up to the timing tail) for every engine
+# of the indexed family — `--engine parallel --domains 1/2/4/8` and
+# `--engine indexed` — *and* match the goldens under ci/golden/, so a
+# representation change in the fact store is caught as drift even when it
+# is self-consistent across engines. The checkpoint's engine field names
+# the engine family by design; it is normalised before comparison.
+#
+# Run from the repository root:    sh ci/determinism.sh
+# Refresh the goldens (after an *intentional* observable change,
+# reviewed like any other golden): GOLDEN_REGEN=1 sh ci/determinism.sh
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,8 +18,29 @@ cd "$(dirname "$0")/.."
 CLI=_build/default/bin/guarded_cli.exe
 [ -x "$CLI" ] || { echo "determinism: build first (dune build)"; exit 1; }
 
+GOLD=ci/golden
+REGEN=${GOLDEN_REGEN:-}
+[ -z "$REGEN" ] || mkdir -p "$GOLD"
+
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
+
+# The engine family is an implementation detail of the run, not of the
+# chase state; checkpoints agree on everything else.
+norm_ck() {
+  sed -E 's/"engine":"(indexed|parallel)"/"engine":"FAMILY"/' "$1"
+}
+
+# expect <got> <golden-name> <what> — byte comparison against a golden
+expect() {
+  if [ -n "$REGEN" ] && [ ! -f "$GOLD/$2" ]; then
+    cp "$1" "$GOLD/$2"
+  fi
+  cmp -s "$1" "$GOLD/$2" || {
+    echo "determinism: $3 drifted from golden $2"
+    exit 1
+  }
+}
 
 # run <tag> <program> <engine flags...> — capture every observable output
 run() {
@@ -33,28 +60,29 @@ run() {
   else
     : > "$TMP/$tag.cut"
   fi
-  [ -f "$TMP/$tag.ck" ] || : > "$TMP/$tag.ck"
+  if [ -f "$TMP/$tag.ck" ]; then
+    norm_ck "$TMP/$tag.ck" > "$TMP/$tag.nck"
+  else
+    : > "$TMP/$tag.nck"
+  fi
 }
 
 compared=0
 for prog in examples/programs/*.gd; do
   base=$(basename "$prog" .gd)
-  run "$base.d1" "$prog" --engine parallel --domains 1
-  run "$base.d4" "$prog" --engine parallel --domains 4
   run "$base.seq" "$prog" --engine indexed
-  for aspect in code out ck cut; do
-    cmp -s "$TMP/$base.d1.$aspect" "$TMP/$base.d4.$aspect" || {
-      echo "determinism: $base: $aspect differs between --domains 1 and --domains 4"
-      exit 1
-    }
+  for aspect in code out cut nck; do
+    expect "$TMP/$base.seq.$aspect" "$base.$aspect" "$base: indexed $aspect"
   done
-  for aspect in code out cut; do
-    cmp -s "$TMP/$base.d1.$aspect" "$TMP/$base.seq.$aspect" || {
-      echo "determinism: $base: $aspect differs between parallel and indexed"
-      exit 1
-    }
+  # shard-count sweep: every domain count must reproduce the golden
+  for d in 1 2 4 8; do
+    run "$base.d$d" "$prog" --engine parallel --domains "$d"
+    for aspect in code out cut nck; do
+      expect "$TMP/$base.d$d.$aspect" "$base.$aspect" \
+        "$base: parallel --domains $d $aspect"
+    done
   done
-  if [ "$(cat "$TMP/$base.d1.code")" = 0 ]; then
+  if [ "$(cat "$TMP/$base.seq.code")" = 0 ]; then
     compared=$((compared + 1))
   fi
 done
@@ -64,11 +92,12 @@ done
   echo "determinism: only $compared programs chased cleanly"
   exit 1
 }
-echo "determinism: OK ($compared programs byte-identical across engines)"
+echo "determinism: OK ($compared programs match goldens across --domains 1/2/4/8 and indexed)"
 
 # Answer enumeration: the `answers` command prints a canonical sorted
 # set, so stdout and exit code must be byte-identical across the
-# parallel engine's domain counts and the sequential indexed engine.
+# parallel engine's domain counts and the sequential indexed engine —
+# and match the committed goldens.
 run_answers() {
   tag=$1
   file=$2
@@ -87,20 +116,18 @@ for spec in prog_eval:q prog_eval:who prog_fpt:who prog_cqs:q university:q; do
   query=${spec##*:}
   [ -f "$prog" ] || continue
   base="answers.${spec%%:*}.$query"
-  run_answers "$base.d1" "$prog" "$query" --engine parallel --domains 1
-  run_answers "$base.d4" "$prog" "$query" --engine parallel --domains 4
   run_answers "$base.seq" "$prog" "$query" --engine indexed
-  for pair in d1:d4 d1:seq; do
-    a=${pair%%:*}
-    b=${pair##*:}
+  for aspect in code out; do
+    expect "$TMP/$base.seq.$aspect" "$base.$aspect" "$base: indexed $aspect"
+  done
+  for d in 1 4; do
+    run_answers "$base.d$d" "$prog" "$query" --engine parallel --domains "$d"
     for aspect in code out; do
-      cmp -s "$TMP/$base.$a.$aspect" "$TMP/$base.$b.$aspect" || {
-        echo "determinism: $base: $aspect differs between $a and $b"
-        exit 1
-      }
+      expect "$TMP/$base.d$d.$aspect" "$base.$aspect" \
+        "$base: parallel --domains $d $aspect"
     done
   done
-  if [ "$(cat "$TMP/$base.d1.code")" = 0 ]; then
+  if [ "$(cat "$TMP/$base.seq.code")" = 0 ]; then
     answers_ok=$((answers_ok + 1))
   fi
 done
@@ -108,7 +135,7 @@ done
   echo "determinism: only $answers_ok answer runs completed cleanly"
   exit 1
 }
-echo "determinism: OK ($answers_ok answer sets byte-identical across engines)"
+echo "determinism: OK ($answers_ok answer sets match goldens across engines)"
 
 # Incremental maintenance: `serve` applies a mutation log to a maintained
 # store. Stdout, stats (up to the timing tail) and the checkpoint must be
@@ -133,21 +160,19 @@ run_serve() {
   [ -f "$TMP/$tag.ck" ] || : > "$TMP/$tag.ck"
 }
 
-run_serve serve.d1 --engine parallel --domains 1
-run_serve serve.d4 --engine parallel --domains 4
 run_serve serve.seq --engine indexed
-[ "$(cat "$TMP/serve.d1.code")" = 0 ] || {
-  echo "determinism: serve failed (exit $(cat "$TMP/serve.d1.code"))"
+[ "$(cat "$TMP/serve.seq.code")" = 0 ] || {
+  echo "determinism: serve failed (exit $(cat "$TMP/serve.seq.code"))"
   exit 1
 }
-for pair in d1:d4 d1:seq; do
-  a=${pair%%:*}
-  b=${pair##*:}
+for aspect in code out ck cut; do
+  expect "$TMP/serve.seq.$aspect" "serve.$aspect" "serve: indexed $aspect"
+done
+for d in 1 4; do
+  run_serve "serve.d$d" --engine parallel --domains "$d"
   for aspect in code out ck cut; do
-    cmp -s "$TMP/serve.$a.$aspect" "$TMP/serve.$b.$aspect" || {
-      echo "determinism: serve: $aspect differs between $a and $b"
-      exit 1
-    }
+    expect "$TMP/serve.d$d.$aspect" "serve.$aspect" \
+      "serve: parallel --domains $d $aspect"
   done
 done
-echo "determinism: OK (serve byte-identical across engines and domains)"
+echo "determinism: OK (serve matches goldens across engines and domains)"

@@ -1,0 +1,438 @@
+(* Cross-engine equivalence harness for the fact-store substrate.
+
+   The store under [lib/engine] is the load-bearing representation five
+   consumers share (Chase, Enumerate, Incr, Parallel, Resil); this suite
+   pins its *observable* behaviour so the representation can change
+   underneath without anything noticing. The contract, over random
+   guarded programs × random databases:
+
+   - fresh chase: facts with their exact null ids and Lemma A.1
+     s-levels, every clean-boundary checkpoint's bytes, the counter
+     stats (up to the timing histograms) and the enumerated answer sets
+     are byte-identical across {Indexed, Parallel 1/2/4};
+   - resume: continuing any checkpointed boundary is byte-identical
+     across the indexed engine family;
+   - serve: a maintained store (initial chase under any indexed-family
+     engine, then a mutation log) holds byte-identical facts, effects,
+     checkpoint and counters;
+   - Naive agrees with the family up to null renaming, and exactly on
+     answer sets (answers are null-free).
+
+   The fixed-oracle cases additionally embed literals produced by the
+   pre-columnar hash-of-lists store, so a representation change that
+   drifts any observable fails here before it reaches CI's golden
+   sweep. *)
+
+open Relational
+module Chase = Tgds.Chase
+
+let check = Alcotest.(check bool)
+let v = Generators.v
+let atom = Generators.atom
+let fact = Generators.fact
+let tgd = Generators.tgd
+
+(* The stats report is deterministic up to its timing tail; comparisons
+   cut at the histograms key (which also drops the span). *)
+let cut_at_histograms s =
+  let marker = {|,"histograms":|} in
+  let n = String.length s and m = String.length marker in
+  let rec find i =
+    if i + m > n then s
+    else if String.sub s i m = marker then String.sub s 0 i
+    else find (i + 1)
+  in
+  find 0
+
+let family = [ `Indexed; `Parallel 1; `Parallel 2; `Parallel 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fresh chase: everything observable about one budgeted run            *)
+(* ------------------------------------------------------------------ *)
+
+(* Facts with null ids and s-levels, saturation/outcome, every
+   clean-boundary checkpoint serialised (engine field normalised — it
+   names the engine family by design), the stats report up to the
+   timing tail, and the answer sets of the fixed query pool. *)
+let chase_observables ~engine ~policy sigma db =
+  Term.reset_nulls ();
+  let snaps = ref [] in
+  let r =
+    Chase.run ~engine ~policy ~budget:(Generators.resil_budget ())
+      ~on_pass:(fun ~level:_ ~saturated:_ take -> snaps := take () :: !snaps)
+      sigma db
+  in
+  let stats =
+    cut_at_histograms
+      (Obs.Json.to_string (Obs.Report.to_json (Chase.report ~name:"store" r)))
+  in
+  let trace =
+    List.rev_map
+      (fun s ->
+        Obs.Json.to_string
+          (Resil.Checkpoint.to_json { s with Chase.snap_engine = `Indexed }))
+      !snaps
+  in
+  let answers =
+    List.map
+      (fun q ->
+        (Engine.Enumerate.ucq ~universe:(Instance.dom db) (Chase.index r) q)
+          .Engine.Enumerate.answers)
+      Generators.queries
+  in
+  ( List.sort Stdlib.compare (Generators.facts_levels r),
+    Chase.saturated r,
+    Chase.max_level r,
+    Chase.outcome r,
+    stats,
+    trace,
+    answers )
+
+let print_case (sigma, db, policy) =
+  Fmt.str "%s policy=%s"
+    (Generators.print_sigma_db (sigma, db))
+    (match policy with
+    | Chase.Oblivious -> "oblivious"
+    | Chase.Restricted -> "restricted")
+
+let arb_case =
+  QCheck.make ~print:print_case
+    QCheck.Gen.(
+      let* sigma = Generators.gen_sigma
+      and* db = Generators.gen_db
+      and* policy = Generators.gen_policy in
+      return (sigma, db, policy))
+
+let prop_fresh_chase_byte_identical =
+  QCheck.Test.make
+    ~name:
+      "store: fresh chase byte-identical across the family (facts, levels, \
+       checkpoints, stats, answers)"
+    ~count:50 arb_case (fun (sigma, db, policy) ->
+      let base = chase_observables ~engine:`Indexed ~policy sigma db in
+      List.for_all
+        (fun engine -> chase_observables ~engine ~policy sigma db = base)
+        (List.tl family))
+
+let prop_naive_equivalent =
+  QCheck.Test.make
+    ~name:"store: Naive ≍ family up to null renaming, exactly on answers"
+    ~count:50 arb_case (fun (sigma, db, policy) ->
+      let budget () = Generators.resil_budget () in
+      Term.reset_nulls ();
+      let naive = Chase.run ~engine:`Naive ~policy ~budget:(budget ()) sigma db in
+      let naive_answers =
+        List.map
+          (fun q ->
+            (Engine.Enumerate.ucq ~universe:(Instance.dom db)
+               (Chase.index naive) q)
+              .Engine.Enumerate.answers)
+          Generators.queries
+      in
+      Term.reset_nulls ();
+      let idx = Chase.run ~engine:`Indexed ~policy ~budget:(budget ()) sigma db in
+      let idx_answers =
+        List.map
+          (fun q ->
+            (Engine.Enumerate.ucq ~universe:(Instance.dom db) (Chase.index idx)
+               q)
+              .Engine.Enumerate.answers)
+          Generators.queries
+      in
+      Generators.results_equivalent naive idx && naive_answers = idx_answers)
+
+(* ------------------------------------------------------------------ *)
+(* Resume: any boundary, any engine of the family                       *)
+(* ------------------------------------------------------------------ *)
+
+let resume_observables ~engine sigma snap =
+  let r =
+    Chase.resume ~engine ~budget:(Generators.resil_budget ()) sigma snap
+  in
+  let stats =
+    cut_at_histograms
+      (Obs.Json.to_string (Obs.Report.to_json (Chase.report ~name:"store" r)))
+  in
+  ( List.sort Stdlib.compare (Generators.facts_levels r),
+    Chase.saturated r,
+    Chase.max_level r,
+    Chase.outcome r,
+    stats )
+
+let arb_resume_case =
+  QCheck.make
+    ~print:(fun (case, pick) -> Fmt.str "%s pick=%d" (print_case case) pick)
+    QCheck.Gen.(
+      let* case = QCheck.gen arb_case and* pick = int_range 0 1000 in
+      return (case, pick))
+
+let prop_resume_byte_identical =
+  QCheck.Test.make
+    ~name:"store: resume from any boundary byte-identical across the family"
+    ~count:40 arb_resume_case (fun ((sigma, db, policy), pick) ->
+      let snaps = Generators.chase_snapshots ~engine:`Indexed ~policy sigma db in
+      let snap = List.nth snaps (pick mod List.length snaps) in
+      let base = resume_observables ~engine:`Indexed sigma snap in
+      List.for_all
+        (fun engine -> resume_observables ~engine sigma snap = base)
+        (List.tl family))
+
+(* ------------------------------------------------------------------ *)
+(* Serve: a maintained store under a mutation log                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Weakly-acyclic guarded sigma with existentials: the oblivious chase
+   always terminates, so the maintained store accepts mutations, and
+   nulls exercise the delete cascade. *)
+let wa_sigma =
+  [
+    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "T" [ v "y"; v "x" ] ];
+    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "B" [ v "x" ] ];
+    tgd [ atom "B" [ v "x" ] ] [ atom "U" [ v "x"; v "z" ] ];
+  ]
+
+let gen_wa_fact =
+  QCheck.Gen.(
+    let gc = map (List.nth [ "a"; "b"; "c" ]) (int_range 0 2) in
+    let* p = int_range 0 3 in
+    match p with
+    | 0 ->
+        let* a = gc in
+        return (fact "A" [ a ])
+    | 1 ->
+        let* a = gc in
+        return (fact "B" [ a ])
+    | 2 ->
+        let* a = gc and* b = gc in
+        return (fact "S" [ a; b ])
+    | _ ->
+        let* a = gc and* b = gc in
+        return (fact "T" [ a; b ]))
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 0 6)
+      (map
+         (fun (add, f) -> if add then Incr.Insert f else Incr.Delete f)
+         (pair bool gen_wa_fact)))
+
+let print_op = function
+  | Incr.Insert f -> Fmt.str "+%a" Fact.pp f
+  | Incr.Delete f -> Fmt.str "-%a" Fact.pp f
+
+let serve_observables ~engine db ops =
+  Term.reset_nulls ();
+  let t = Incr.create ~engine wa_sigma db in
+  let effects = List.map (fun op -> Incr.apply t op) ops in
+  let facts = List.sort Stdlib.compare (Instance.facts (Incr.instance t)) in
+  let ck = Obs.Json.to_string (Resil.Checkpoint.to_json (Incr.checkpoint t)) in
+  let counters =
+    List.sort Stdlib.compare (Obs.Metrics.counters (Incr.metrics t))
+  in
+  (facts, effects, ck, counters)
+
+let arb_serve_case =
+  QCheck.make
+    ~print:(fun (db, ops) ->
+      Fmt.str "D=%a ops=[%s]" Instance.pp db
+        (String.concat "; " (List.map print_op ops)))
+    QCheck.Gen.(
+      let* db = Generators.gen_db and* ops = gen_ops in
+      return (db, ops))
+
+let prop_serve_byte_identical =
+  QCheck.Test.make
+    ~name:
+      "store: serve (maintained store) byte-identical across the family \
+       (facts, effects, checkpoint, counters)"
+    ~count:40 arb_serve_case (fun (db, ops) ->
+      let base = serve_observables ~engine:`Indexed db ops in
+      List.for_all
+        (fun engine -> serve_observables ~engine db ops = base)
+        (List.tl family))
+
+(* ------------------------------------------------------------------ *)
+(* Fixed oracles: literals pinned against the pre-columnar store        *)
+(* ------------------------------------------------------------------ *)
+
+(* Σ = {A(x) → ∃y S(x,y); S(x,y) → A(y)}: non-terminating, cut by the
+   level budget — exercises null invention at every level. *)
+let unit_sigma =
+  [
+    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+    tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ];
+  ]
+
+let unit_db = Instance.of_facts [ fact "A" [ "a" ] ]
+
+let render_facts fl =
+  String.concat "\n"
+    (List.map (fun (f, l) -> Fmt.str "%d %a" l Fact.pp f) fl)
+
+let pinned ~engine ~policy sigma db =
+  let fl, saturated, max_level, _, stats, trace, _ =
+    chase_observables ~engine ~policy sigma db
+  in
+  ( Fmt.str "saturated=%b max_level=%d\n%s" saturated max_level
+      (render_facts fl),
+    (match List.rev trace with last :: _ -> last | [] -> ""),
+    stats )
+
+(* The expected literals below were produced by the hash-of-lists store
+   (PR 6 tree) and must never drift: null ids, levels, checkpoint bytes
+   and counters are all representation-observable. *)
+let test_pinned_oblivious () =
+  let got_facts, got_ck, got_stats =
+    pinned ~engine:`Indexed ~policy:Chase.Oblivious unit_sigma unit_db
+  in
+  Alcotest.(check string) "facts/levels literal"
+    "saturated=false max_level=6\n\
+     0 A(a)\n\
+     2 A(_:n1)\n\
+     4 A(_:n2)\n\
+     6 A(_:n3)\n\
+     1 S(a,_:n1)\n\
+     3 S(_:n1,_:n2)\n\
+     5 S(_:n2,_:n3)"
+    got_facts;
+  Alcotest.(check string) "final checkpoint literal"
+    {|{"schema":"guarded-chase-checkpoint","version":1,"engine":"indexed","policy":"oblivious","level":6,"saturated":false,"null_count":3,"triggers_fired":6,"triggers_dismissed":0,"counters":{"index.duplicates":0,"index.inserts":7,"index.probes":0,"index.removes":0,"joiner.backtracks":0,"joiner.candidates":6},"facts":[{"p":"A","l":0,"a":["a"]},{"p":"S","l":1,"a":["a",{"n":1}]},{"p":"A","l":2,"a":[{"n":1}]},{"p":"S","l":3,"a":[{"n":1},{"n":2}]},{"p":"A","l":4,"a":[{"n":2}]},{"p":"S","l":5,"a":[{"n":2},{"n":3}]},{"p":"A","l":6,"a":[{"n":3}]}]}|}
+    got_ck;
+  Alcotest.(check string) "stats literal"
+    {|{"name":"store","outcome":{"status":"partial","reason":"max_levels","limit":6},"saturated":false,"max_level":6,"facts":7,"facts_per_level":[1,1,1,1,1,1],"triggers_fired":6,"triggers_dismissed":0,"counters":{"index.duplicates":0,"index.inserts":7,"index.probes":0,"index.removes":0,"joiner.backtracks":0,"joiner.candidates":6}|}
+    got_stats
+
+let guarded_sigma =
+  [
+    tgd [ atom "A" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+    tgd
+      [ atom "S" [ v "x"; v "y" ]; atom "A" [ v "x" ] ]
+      [ atom "B" [ v "x" ] ];
+    tgd [ atom "B" [ v "x" ] ] [ atom "T" [ v "x"; v "z" ] ];
+  ]
+
+let guarded_db = Instance.of_facts [ fact "A" [ "a" ]; fact "S" [ "a"; "b" ] ]
+
+let test_pinned_restricted () =
+  let got_facts, got_ck, got_stats =
+    pinned ~engine:`Indexed ~policy:Chase.Restricted guarded_sigma guarded_db
+  in
+  Alcotest.(check string) "facts/levels literal"
+    "saturated=true max_level=2\n0 A(a)\n1 B(a)\n0 S(a,b)\n2 T(a,_:n1)"
+    got_facts;
+  Alcotest.(check string) "final checkpoint literal"
+    {|{"schema":"guarded-chase-checkpoint","version":1,"engine":"indexed","policy":"restricted","level":2,"saturated":true,"null_count":1,"triggers_fired":2,"triggers_dismissed":1,"counters":{"index.duplicates":0,"index.inserts":4,"index.probes":5,"index.removes":0,"joiner.backtracks":0,"joiner.candidates":7},"facts":[{"p":"A","l":0,"a":["a"]},{"p":"S","l":0,"a":["a","b"]},{"p":"B","l":1,"a":["a"]},{"p":"T","l":2,"a":["a",{"n":1}]}]}|}
+    got_ck;
+  Alcotest.(check string) "stats literal"
+    {|{"name":"store","outcome":{"status":"complete"},"saturated":true,"max_level":2,"facts":4,"facts_per_level":[1,1],"triggers_fired":2,"triggers_dismissed":1,"counters":{"index.duplicates":0,"index.inserts":4,"index.probes":5,"index.removes":0,"joiner.backtracks":0,"joiner.candidates":7}|}
+    got_stats
+
+(* ------------------------------------------------------------------ *)
+(* Store-level semantics the consumers rely on                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Posting lists are most-recently-inserted-first, and [Index.remove]
+   prunes them in place preserving that order — the discovery order of
+   the chase (hence null ids) hangs off this. *)
+let test_posting_order_and_remove () =
+  let open Engine in
+  let f cs = Fact.make "S" (List.map (fun c -> Term.Named c) cs) in
+  let idx = Index.create () in
+  List.iter
+    (fun t -> ignore (Index.insert (f t) idx))
+    [ [ "a"; "b" ]; [ "c"; "b" ]; [ "d"; "b" ]; [ "d"; "e" ] ];
+  let tuples l =
+    List.map (List.map (function Term.Named s -> s | _ -> "?")) l
+  in
+  Alcotest.(check (list (list string)))
+    "posting (S,1,b) most-recent-first"
+    [ [ "d"; "b" ]; [ "c"; "b" ]; [ "a"; "b" ] ]
+    (tuples (Index.tuples_at idx "S" 1 (Term.Named "b")));
+  Alcotest.(check (list (list string)))
+    "relation scan most-recent-first"
+    [ [ "d"; "e" ]; [ "d"; "b" ]; [ "c"; "b" ]; [ "a"; "b" ] ]
+    (tuples (Index.tuples_of idx "S"));
+  check "remove present" true (Index.remove (f [ "c"; "b" ]) idx);
+  check "remove absent" false (Index.remove (f [ "c"; "b" ]) idx);
+  Alcotest.(check (list (list string)))
+    "posting pruned in place, order kept"
+    [ [ "d"; "b" ]; [ "a"; "b" ] ]
+    (tuples (Index.tuples_at idx "S" 1 (Term.Named "b")));
+  Alcotest.(check int)
+    "count follows" 2
+    (Index.count_at idx "S" 1 (Term.Named "b"));
+  (* re-insert lands at the front again *)
+  ignore (Index.insert (f [ "c"; "b" ]) idx);
+  Alcotest.(check (list (list string)))
+    "re-insert is most recent"
+    [ [ "c"; "b" ]; [ "d"; "b" ]; [ "a"; "b" ] ]
+    (tuples (Index.tuples_at idx "S" 1 (Term.Named "b")));
+  Alcotest.(check int) "size" 4 (Index.size idx)
+
+(* Regression (mirrors the PR 5 Homomorphism memory-stability shape):
+   repeated insert/delete cycles over a fixed fact set in a maintained
+   store must not grow the store's capacity — posting lists and any
+   future columnar backing have to reclaim or reuse the slots. The
+   sigma is existential-free so the churn is pure store traffic (the
+   global null supply is out of scope here). *)
+let test_serve_capacity_stable () =
+  let sigma =
+    [
+      tgd [ atom "S" [ v "x"; v "y" ] ] [ atom "A" [ v "y" ] ];
+      tgd [ atom "A" [ v "x" ] ] [ atom "B" [ v "x" ] ];
+    ]
+  in
+  let db = Instance.of_facts [ fact "S" [ "a"; "b" ] ] in
+  Term.reset_nulls ();
+  let t = Incr.create sigma db in
+  let churn =
+    [ fact "S" [ "b"; "c" ]; fact "S" [ "c"; "a" ]; fact "A" [ "c" ] ]
+  in
+  let cycle () =
+    List.iter (fun f -> ignore (Incr.insert t f)) churn;
+    List.iter (fun f -> ignore (Incr.delete t f)) churn
+  in
+  for _ = 1 to 200 do
+    cycle ()
+  done;
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  for _ = 1 to 2000 do
+    cycle ()
+  done;
+  Gc.compact ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  (* 2000 further cycles insert and retract the same 3 base facts (and
+     their consequences); a store that fails to reclaim slots retains
+     thousands of words per 1000 cycles *)
+  check "insert/delete churn leaves no residue" true (live1 - live0 < 8_000)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_fresh_chase_byte_identical;
+      prop_naive_equivalent;
+      prop_resume_byte_identical;
+      prop_serve_byte_identical;
+    ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "pinned oblivious chase" `Quick
+            test_pinned_oblivious;
+          Alcotest.test_case "pinned restricted chase" `Quick
+            test_pinned_restricted;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "posting order and remove" `Quick
+            test_posting_order_and_remove;
+          Alcotest.test_case "serve capacity stable" `Quick
+            test_serve_capacity_stable;
+        ] );
+      ("equivalence", qcheck_tests);
+    ]
