@@ -613,24 +613,38 @@ let e16 ~full () =
   row "  machine: %d recommended domain(s)@.@." cores;
   let domain_counts = [ 1; 2; 4; 8 ] in
   let rows = ref [] in
+  (* wall-clock and allocation of one run: words allocated on the minor
+     and major heaps (Gc deltas around the run), so the "lower
+     allocation rate" claim of the interned store is checkable per
+     engine/domain row *)
+  let timed_alloc f =
+    let s0 = Gc.quick_stat () in
+    let t = measure ~repeat:1 f in
+    let s1 = Gc.quick_stat () in
+    ( t,
+      s1.Gc.minor_words -. s0.Gc.minor_words,
+      s1.Gc.major_words -. s0.Gc.major_words )
+  in
   let bench_case ~workload ~sigma ~db ~max_level =
     let run engine () =
       ignore (Tgds.Chase.run ~engine ~max_level sigma db)
     in
-    let t_seq = measure ~repeat:1 (run `Indexed) in
+    let t_seq, mw_seq, mj_seq = timed_alloc (run `Indexed) in
     let r = Tgds.Chase.run ~engine:`Indexed ~max_level sigma db in
     let chased = Instance.size (Tgds.Chase.instance r) in
     let times =
-      List.map
-        (fun n -> (n, measure ~repeat:1 (run (`Parallel n))))
-        domain_counts
+      List.map (fun n -> (n, timed_alloc (run (`Parallel n)))) domain_counts
     in
-    rows := (workload, Instance.size db, chased, t_seq, times) :: !rows;
-    row "  %-18s %8d %10d %11.4f" workload (Instance.size db) chased t_seq;
-    List.iter (fun (_, t) -> row " %10.4f" t) times;
+    rows :=
+      (workload, Instance.size db, chased, (t_seq, mw_seq, mj_seq), times)
+      :: !rows;
+    row "  %-18s %8d %10d %11.4f %9.1f" workload (Instance.size db) chased
+      t_seq (mj_seq /. 1e6);
+    List.iter (fun (_, (t, _, _)) -> row " %10.4f" t) times;
     row "@."
   in
-  row "  %-18s %8s %10s %11s" "workload" "||D||" "chased" "indexed(s)";
+  row "  %-18s %8s %10s %11s %9s" "workload" "||D||" "chased" "indexed(s)"
+    "maj(Mw)";
   List.iter (fun n -> row " %9d-d" n) domain_counts;
   row "@.";
   (* the join-heavy E15 workloads: LUBM-style ontology chases and the
@@ -654,22 +668,26 @@ let e16 ~full () =
         ( "workloads",
           Obs.Json.List
             (List.rev_map
-               (fun (w, d, c, ts, times) ->
+               (fun (w, d, c, (ts, mw, mj), times) ->
                  Obs.Json.Obj
                    [
                      ("workload", Obs.Json.String w);
                      ("db_facts", Obs.Json.Int d);
                      ("chase_facts", Obs.Json.Int c);
                      ("indexed_s", Obs.Json.Float ts);
+                     ("indexed_minor_words", Obs.Json.Float mw);
+                     ("indexed_major_words", Obs.Json.Float mj);
                      ( "domains",
                        Obs.Json.List
                          (List.map
-                            (fun (n, t) ->
+                            (fun (n, (t, dmw, dmj)) ->
                               Obs.Json.Obj
                                 [
                                   ("domains", Obs.Json.Int n);
                                   ("s", Obs.Json.Float t);
                                   ("speedup", Obs.Json.Float (ts /. t));
+                                  ("minor_words", Obs.Json.Float dmw);
+                                  ("major_words", Obs.Json.Float dmj);
                                 ])
                             times) );
                    ])

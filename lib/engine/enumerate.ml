@@ -85,13 +85,11 @@ let enum_cq budget st ~universe idx (q : Cq.t) =
           assert false
       | Some (i, a, _) ->
           let rest = List.filteri (fun j _ -> j <> i) pending in
-          List.iter
-            (fun tuple ->
-              st.candidates <- st.candidates + 1;
-              match Homomorphism.match_atom ~injective:false b a tuple with
-              | Some b' -> search b' rest
-              | None -> ())
-            (Index.candidates idx a b)
+          Index.fold_matches idx a b ~injective:false
+            ~on_candidate:(fun () -> st.candidates <- st.candidates + 1)
+            ~on_fail:(fun () -> ())
+            (fun b' () -> search b' rest)
+            ()
     end
     else begin
       (* every atom-constrained answer variable is bound: the subtree

@@ -73,8 +73,39 @@ val candidates : t -> Atom.t -> Homomorphism.binding -> const list list
     for cheapest-first atom ordering). *)
 val candidate_count : t -> Atom.t -> Homomorphism.binding -> int
 
+(** [fold_matches idx atom binding ~injective ~on_candidate ~on_fail f acc]
+    — fold [f] over the extensions of [binding] that match [atom]
+    against a stored fact, without materializing candidate tuples: the
+    atom is compiled to an interned int pattern and compared against the
+    store's columns cell by cell. Candidates come from the same posting
+    list {!candidates} would pick, in the same (most recently added
+    first) order; [on_candidate] fires once per candidate considered and
+    [on_fail] once per candidate that does not match, so callers keep
+    exact [joiner.candidates]/[joiner.backtracks] accounting. Counts one
+    [index.probes] probe, like the list retrieval it replaces.
+    [~injective] refuses extensions whose new values collide with the
+    binding's range (or each other). *)
+val fold_matches :
+  t ->
+  Atom.t ->
+  Homomorphism.binding ->
+  injective:bool ->
+  on_candidate:(unit -> unit) ->
+  on_fail:(unit -> unit) ->
+  (Homomorphism.binding -> 'a -> 'a) ->
+  'a ->
+  'a
+
 (** Number of posting-list probes performed so far (statistics). *)
 val probes : t -> int
+
+(** The store's symbol table (shared with {!reader} views). *)
+val symtab : t -> Symtab.t
+
+(** Allocated capacity of the store's flat vectors, in words; stable
+    under insert/delete churn thanks to free-list row reuse (asserted by
+    the capacity-leak regression tests). *)
+val capacity_words : t -> int
 
 (** The store's metrics registry: [index.probes], [index.inserts],
     [index.duplicates], [index.removes], plus the [joiner.*] counters the

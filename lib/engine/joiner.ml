@@ -28,16 +28,14 @@ let fold ?(probe = true) ?(injective = false) ?(init = VarMap.empty) ?delta
             (List.mapi (fun i a -> (i, a)) pending)
         in
         let rest = List.filteri (fun i _ -> i <> best_i) pending in
-        List.fold_left
-          (fun acc tuple ->
-            Obs.Metrics.incr c_candidates;
-            match Homomorphism.match_atom ~injective b best_a tuple with
-            | Some b' -> search b' rest acc
-            | None ->
-                Obs.Metrics.incr c_backtracks;
-                acc)
+        (* interned candidate walk: same posting list, order and
+           counter accounting as matching decoded tuples, minus the
+           tuple materialization *)
+        Index.fold_matches idx best_a b ~injective
+          ~on_candidate:(fun () -> Obs.Metrics.incr c_candidates)
+          ~on_fail:(fun () -> Obs.Metrics.incr c_backtracks)
+          (fun b' acc -> search b' rest acc)
           acc
-          (Index.candidates idx best_a b)
   in
   match (delta, atoms) with
   | None, _ | _, [] -> search init atoms acc

@@ -1,9 +1,15 @@
 (** Deterministic parallel trigger collection; see the interface for the
     determinism argument. Workers only ever {e read} the index (through
-    per-shard {!Index.reader} views) and never touch the probe hook; all
-    observable effects — probe hits, dedup, policy checks, firing — happen
-    on the calling domain during the merge walk, in the exact order the
-    sequential indexed engine would produce them. *)
+    per-shard {!Index.reader} views) and never touch the probe hook. The
+    work that used to replay sequentially on the calling domain — trigger
+    dedup and [Restricted] policy checks — now happens shard-locally:
+    each worker dedups the keys of its own slice (plus the frozen
+    pre-pass [fired] table) and runs the policy check for its locally
+    first occurrence of a key, recording the verdict together with the
+    check's counter increments. The merge walk is then a concatenation in
+    shard order that replays only cheap, canonical effects: a hash-table
+    dedup per binding and, for a surviving key, the recorded verdict's
+    probe hit and counter deltas. *)
 
 open Relational
 
@@ -16,9 +22,18 @@ type job =
       (** [atoms] is the pivot-first reordered body; [delta] the facts the
           pivot is matched against, in canonical (firing) order *)
 
+type verdict = {
+  v_active : bool;
+  v_probes : int;
+  v_candidates : int;
+  v_backtracks : int;
+}
+
+type key = int * Term.const option list
+
 let now = Unix.gettimeofday
 
-let collect ~pool ~index jobs ~consider =
+let collect ~pool ~index ~fired ~key_of ~check jobs ~consider =
   let n = Shard.size pool in
   let joins =
     Array.of_list
@@ -26,13 +41,50 @@ let collect ~pool ~index jobs ~consider =
   in
   let m = Array.length joins in
   let deltas = Array.map (fun j -> Array.of_list j.delta) joins in
-  (* results.(s).(k): bindings shard [s] found on its slice of join [k],
-     in discovery order *)
-  let results = Array.make_matrix n m [] in
+  (* results.(s).(k): bindings shard [s] found on its slice of join [k]
+     in discovery order, each with the verdict of the policy check when
+     this shard ran it (its locally-first sighting of the key) *)
+  let results : (Homomorphism.binding * verdict option) list array array =
+    Array.make_matrix n m []
+  in
   let readers = Array.init n (fun _ -> Index.reader index) in
+  (* separate readers for policy checks: their counters must not be
+     absorbed wholesale — a check's increments only count if its key
+     survives the canonical dedup, so they are carried on the verdict
+     and replayed selectively during the merge walk *)
+  let checkers = Array.init n (fun _ -> Index.reader index) in
   let t0 = now () in
   let slice_task s () =
     let rdr = readers.(s) in
+    let crdr = checkers.(s) in
+    let cm = Index.metrics crdr in
+    let cp = Obs.Metrics.counter cm "index.probes" in
+    let cc = Obs.Metrics.counter cm "joiner.candidates" in
+    let cb = Obs.Metrics.counter cm "joiner.backtracks" in
+    (* keys this shard has already judged this pass; [fired] is frozen
+       during collection, so reading it from worker domains is safe *)
+    let memo : (key, unit) Hashtbl.t = Hashtbl.create 64 in
+    let judge rule b =
+      match check with
+      | None -> None
+      | Some chk ->
+          let key = key_of rule b in
+          if Hashtbl.mem fired key || Hashtbl.mem memo key then None
+          else begin
+            Hashtbl.replace memo key ();
+            let p0 = Obs.Metrics.value cp
+            and c0 = Obs.Metrics.value cc
+            and b0 = Obs.Metrics.value cb in
+            let active = chk rule b crdr in
+            Some
+              {
+                v_active = active;
+                v_probes = Obs.Metrics.value cp - p0;
+                v_candidates = Obs.Metrics.value cc - c0;
+                v_backtracks = Obs.Metrics.value cb - b0;
+              }
+          end
+    in
     for k = 0 to m - 1 do
       let d = deltas.(k) in
       let len = Array.length d in
@@ -44,7 +96,7 @@ let collect ~pool ~index jobs ~consider =
         results.(s).(k) <-
           List.rev
             (Joiner.fold ~probe:false ~delta:slice joins.(k).atoms rdr
-               (fun b acc -> b :: acc)
+               (fun b acc -> (b, judge joins.(k).rule b) :: acc)
                [])
       end
     done
@@ -52,9 +104,10 @@ let collect ~pool ~index jobs ~consider =
   Shard.run pool (Array.init n slice_task);
   let t1 = now () in
   let main_m = Index.metrics index in
-  (* shard-local counters merge in shard order; the totals equal the
-     sequential engine's because slicing partitions each join's per-fact
-     work exactly *)
+  (* shard-local matching counters merge in shard order; the totals equal
+     the sequential engine's because slicing partitions each join's
+     per-fact work exactly. Checker registries are deliberately not
+     absorbed (see above). *)
   Array.iter
     (fun rdr -> Obs.Metrics.absorb ~into:main_m (Index.metrics rdr))
     readers;
@@ -65,18 +118,18 @@ let collect ~pool ~index jobs ~consider =
     results;
   (* canonical merge: jobs in rule-major order; within a join, shard 0's
      bindings first, then shard 1's, … — i.e. the sequential engine's
-     discovery order, so dedup, policy checks and fresh-null assignment
-     downstream are byte-identical for every domain count *)
+     discovery order, so dedup, replayed policy verdicts and fresh-null
+     assignment downstream are byte-identical for every domain count *)
   let k = ref 0 in
   List.iter
     (function
-      | Bodiless i -> consider i Term.VarMap.empty
+      | Bodiless i -> consider i Term.VarMap.empty None
       | Join { rule; _ } ->
           (* one probe hit per join, mirroring the sequential engine's
              single [Joiner.fold] call for this (rule, pivot) pair *)
           Obs.Probe.hit "engine.join";
           for s = 0 to n - 1 do
-            List.iter (fun b -> consider rule b) results.(s).(!k)
+            List.iter (fun (b, v) -> consider rule b v) results.(s).(!k)
           done;
           incr k)
     jobs;

@@ -7,27 +7,45 @@
     slice [s] of {e every} job against a frozen, read-only view of the
     index ({!Index.reader}), collecting bindings in discovery order.
 
+    Beyond matching, each shard also does its share of the pass's
+    {e sequential} bookkeeping locally, against the same frozen state:
+
+    - {b dedup}: the shard computes each binding's trigger key
+      ([key_of]) and skips keys already in the pass-start [fired] table
+      (frozen during collection) or already judged by this shard;
+    - {b policy checks}: for the shard's first sighting of a surviving
+      key, the [Restricted] witness check ([check]) runs on a private
+      reader, and its verdict is recorded together with the check's
+      [index.probes] / [joiner.candidates] / [joiner.backtracks]
+      increments (measured on the private registry, which is never
+      absorbed).
+
     {b Determinism argument.} The sequential indexed engine considers
     bindings in the order: jobs rule-major, within a job delta facts in
     canonical order, per fact the backtracking search's order. Slicing
     partitions each job's delta into contiguous runs, the per-fact search
     is a pure function of (fact, atoms, index), and the merge walk
     replays shard 0's bindings, then shard 1's, … per job — which is the
-    concatenation of the slices, i.e. exactly the sequential order. All
-    stateful steps (dedup against fired/pending, [Restricted] witness
-    checks, probe hits, firing, fresh-null assignment) happen downstream
-    of the merge on the calling domain, so every observable output —
-    instance, s-levels, counters, checkpoint JSON — is byte-identical for
-    every domain count, including [n = 1] vs the sequential engine.
+    concatenation of the slices, i.e. exactly the sequential order. A
+    check verdict is a pure function of (rule, binding, frozen index),
+    so precomputing it on a worker cannot change it; the merge walk
+    replays its observable effects — one [engine.join] probe hit and the
+    recorded counter deltas — only for a key's canonical first
+    occurrence that survives the global dedup, exactly when the
+    sequential engine would have run the check. Everything else that is
+    stateful (the fired/pending tables, firing, fresh-null assignment)
+    stays downstream on the calling domain, so every observable output —
+    instance, s-levels, counters, checkpoint JSON — is byte-identical
+    for every domain count, including [n = 1] vs the sequential engine.
 
-    Worker shards never hit {!Obs.Probe} (a process-global hook) and file
-    their [joiner.*]/[index.*] counters into shard-local registries that
-    are absorbed in shard order after the join; the merged totals equal
-    the sequential engine's. Per-pass wall-clock of the two stages lands
-    in the [parallel.match_s] / [parallel.merge_s] histograms and the
-    per-shard matched-binding counts in [parallel.shard_matched]
-    (histograms only — never part of checkpoint or counter output, which
-    keeps those byte-comparable across engines). *)
+    Worker shards never hit {!Obs.Probe} (a process-global hook). Their
+    {e matching} counters file into shard-local registries absorbed in
+    shard order after the join; the merged totals equal the sequential
+    engine's. Per-pass wall-clock of the two stages lands in the
+    [parallel.match_s] / [parallel.merge_s] histograms and the per-shard
+    matched-binding counts in [parallel.shard_matched] (histograms only —
+    never part of checkpoint or counter output, which keeps those
+    byte-comparable across engines). *)
 
 open Relational
 
@@ -41,12 +59,33 @@ type job =
           only — the caller filters) *)
   | Join of join
 
-(** [collect ~pool ~index jobs ~consider] — run the jobs' matching in
-    parallel, then replay [consider rule binding] sequentially in the
-    canonical order. [index] must not be mutated while this runs. *)
+type verdict = {
+  v_active : bool;  (** the policy check's result for this trigger *)
+  v_probes : int;  (** [index.probes] the check cost *)
+  v_candidates : int;  (** [joiner.candidates] the check cost *)
+  v_backtracks : int;  (** [joiner.backtracks] the check cost *)
+}
+(** A policy check precomputed on a worker shard, with the counter
+    increments to replay if the trigger's key survives canonical dedup. *)
+
+type key = int * Term.const option list
+(** Trigger key: rule index + body-variable image (the engine's dedup
+    identity). *)
+
+(** [collect ~pool ~index ~fired ~key_of ~check jobs ~consider] — run
+    the jobs' matching, key dedup and policy checks in parallel, then
+    replay [consider rule binding verdict] sequentially in the canonical
+    order. [verdict] is [Some _] when this binding was the emitting
+    shard's first sighting of a key absent from [fired], and [check] was
+    [Some _]; the caller replays its effects iff the key also survives
+    the global (cross-shard) dedup. [index] and [fired] must not be
+    mutated while the collection stage runs. *)
 val collect :
   pool:Shard.t ->
   index:Index.t ->
+  fired:(key, unit) Hashtbl.t ->
+  key_of:(int -> Homomorphism.binding -> key) ->
+  check:(int -> Homomorphism.binding -> Index.t -> bool) option ->
   job list ->
-  consider:(int -> Homomorphism.binding -> unit) ->
+  consider:(int -> Homomorphism.binding -> verdict option -> unit) ->
   unit

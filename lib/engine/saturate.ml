@@ -146,16 +146,41 @@ let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
         let delta_by_pred = group_by_pred !delta in
         let pending = Hashtbl.create 64 in
         let new_triggers = ref [] in
-        let consider i b =
+        (* main-registry handles for replaying worker-precomputed check
+           verdicts; resolved lazily so engines that never replay (or
+           runs with no checks at all) register exactly the counters the
+           sequential engine would *)
+        let replay_counters =
+          lazy
+            (let m = Index.metrics idx in
+             ( Obs.Metrics.counter m "index.probes",
+               Obs.Metrics.counter m "joiner.candidates",
+               Obs.Metrics.counter m "joiner.backtracks" ))
+        in
+        let consider i b pre =
           let body_vars, _, frontier, _ = info.(i) in
           let key = trigger_key i b body_vars in
           if not (Hashtbl.mem fired key || Hashtbl.mem pending key) then begin
             let active =
               match policy with
               | Oblivious -> true
-              | Restricted ->
-                  let init = VarMap.filter (fun x _ -> VarSet.mem x frontier) b in
-                  not (Joiner.exists ~init rules.(i).head idx)
+              | Restricted -> (
+                  match (pre : Parallel.verdict option) with
+                  | Some v ->
+                      (* the check already ran shard-locally against the
+                         frozen index; replay its observable effects at
+                         the canonical point *)
+                      Obs.Probe.hit "engine.join";
+                      let cp, cc, cb = Lazy.force replay_counters in
+                      Obs.Metrics.add cp v.Parallel.v_probes;
+                      Obs.Metrics.add cc v.Parallel.v_candidates;
+                      Obs.Metrics.add cb v.Parallel.v_backtracks;
+                      v.Parallel.v_active
+                  | None ->
+                      let init =
+                        VarMap.filter (fun x _ -> VarSet.mem x frontier) b
+                      in
+                      not (Joiner.exists ~init rules.(i).head idx))
             in
             if active then begin
               Hashtbl.replace pending key ();
@@ -176,7 +201,7 @@ let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
                   (* bodiless rules have a single (empty) trigger; it exists
                      from the start, so only the first pass needs to consider
                      it *)
-                  if !first_pass then consider i VarMap.empty
+                  if !first_pass then consider i VarMap.empty None
                 end
                 else
                   let _, _, _, pvs = info.(i) in
@@ -188,7 +213,7 @@ let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
                       | None -> ()
                       | Some dfacts ->
                           Joiner.fold ~delta:dfacts reordered idx
-                            (fun b () -> consider i b)
+                            (fun b () -> consider i b None)
                             ())
                     pvs)
               rules
@@ -217,7 +242,27 @@ let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
                             :: !jobs)
                     pvs)
               rules;
-            Parallel.collect ~pool ~index:idx (List.rev !jobs) ~consider);
+            let key_of i b =
+              let body_vars, _, _, _ = info.(i) in
+              trigger_key i b body_vars
+            in
+            (* run shard-locally, against a private frozen reader, with
+               probes silenced: the merge walk replays the probe hit and
+               counter deltas at the canonical point instead *)
+            let check =
+              match policy with
+              | Oblivious -> None
+              | Restricted ->
+                  Some
+                    (fun i b rdr ->
+                      let _, _, frontier, _ = info.(i) in
+                      let init =
+                        VarMap.filter (fun x _ -> VarSet.mem x frontier) b
+                      in
+                      not (Joiner.exists ~probe:false ~init rules.(i).head rdr))
+            in
+            Parallel.collect ~pool ~index:idx ~fired ~key_of ~check
+              (List.rev !jobs) ~consider);
         first_pass := false;
         if !new_triggers = [] then saturated := true
         else begin

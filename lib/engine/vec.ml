@@ -1,0 +1,59 @@
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mutable data : ba; mutable len : int }
+
+let alloc n : ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let create ?(capacity = 8) () =
+  let capacity = if capacity < 1 then 1 else capacity in
+  { data = alloc capacity; len = 0 }
+
+let length v = v.len
+let capacity v = Bigarray.Array1.dim v.data
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  Bigarray.Array1.unsafe_get v.data i
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  Bigarray.Array1.unsafe_set v.data i x
+
+let grow v =
+  let d = alloc (2 * Bigarray.Array1.dim v.data) in
+  Bigarray.Array1.blit v.data (Bigarray.Array1.sub d 0 v.len);
+  v.data <- d
+
+let push v x =
+  if v.len = Bigarray.Array1.dim v.data then grow v;
+  Bigarray.Array1.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop";
+  v.len <- v.len - 1;
+  Bigarray.Array1.unsafe_get v.data v.len
+
+let remove_value v x =
+  let rec find i = if i >= v.len then -1 else if Bigarray.Array1.unsafe_get v.data i = x then i else find (i + 1) in
+  let i = find 0 in
+  if i < 0 then false
+  else begin
+    let tail = v.len - i - 1 in
+    if tail > 0 then
+      (* Array1.blit is a memmove: overlapping ranges are fine *)
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub v.data (i + 1) tail)
+        (Bigarray.Array1.sub v.data i tail);
+    v.len <- v.len - 1;
+    true
+  end
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Bigarray.Array1.unsafe_get v.data i)
+  done
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (Bigarray.Array1.unsafe_get v.data i :: acc) in
+  go (v.len - 1) []

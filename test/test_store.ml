@@ -398,6 +398,7 @@ let test_serve_capacity_stable () =
   done;
   Gc.compact ();
   let live0 = (Gc.stat ()).Gc.live_words in
+  let cap0 = Engine.Index.capacity_words (Incr.index t) in
   for _ = 1 to 2000 do
     cycle ()
   done;
@@ -406,7 +407,113 @@ let test_serve_capacity_stable () =
   (* 2000 further cycles insert and retract the same 3 base facts (and
      their consequences); a store that fails to reclaim slots retains
      thousands of words per 1000 cycles *)
-  check "insert/delete churn leaves no residue" true (live1 - live0 < 8_000)
+  check "insert/delete churn leaves no residue" true (live1 - live0 < 8_000);
+  (* and the columnar backing itself must not grow: freed row slots are
+     reused, emptied posting vectors dropped *)
+  Alcotest.(check int)
+    "store capacity unchanged" cap0
+    (Engine.Index.capacity_words (Incr.index t))
+
+(* ------------------------------------------------------------------ *)
+(* Symtab / Vec units                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Regrow corner: push across several doublings of the Bigarray backing
+   (starting from the minimum capacity), then exercise the order-
+   preserving remove and pop at the boundary. *)
+let test_vec_regrow () =
+  let open Engine in
+  let v = Vec.create ~capacity:1 () in
+  for i = 0 to 9999 do
+    Vec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 10_000 (Vec.length v);
+  check "capacity >= length" true (Vec.capacity v >= 10_000);
+  check "values survive regrow" true
+    (Vec.get v 0 = 0 && Vec.get v 4095 = 4095 * 3 && Vec.get v 4096 = 4096 * 3
+   && Vec.get v 9999 = 9999 * 3);
+  (* remove exactly at the last-doubling boundary *)
+  check "remove boundary value" true (Vec.remove_value v (4096 * 3));
+  check "remove absent value" false (Vec.remove_value v (4096 * 3));
+  Alcotest.(check int) "shifted left" (4097 * 3) (Vec.get v 4096);
+  Alcotest.(check int) "pop returns last" (9999 * 3) (Vec.pop v);
+  Alcotest.(check int) "length after" 9_998 (Vec.length v)
+
+(* Interning round-trips, and batch seeding assigns ids independent of
+   how the batch was interleaved. *)
+let test_symtab_roundtrip () =
+  let open Engine in
+  let named = List.init 50 (fun i -> Term.Named (Printf.sprintf "c%02d" i)) in
+  let nulls = List.init 50 (fun i -> Term.Null (i + 1)) in
+  let everything = named @ nulls in
+  let t = Symtab.create () in
+  List.iter (fun c -> ignore (Symtab.intern t c)) everything;
+  check "round-trip" true
+    (List.for_all (fun c -> Symtab.extern t (Symtab.intern t c) = c) everything);
+  check "find agrees with intern" true
+    (List.for_all (fun c -> Symtab.find t c = Some (Symtab.intern t c)) everything);
+  Alcotest.(check int) "dense ids" 100 (Symtab.size t);
+  check "unknown symbol" true (Symtab.find t (Term.Named "zzz") = None);
+  (* null payloads far beyond the dense range force the null-table regrow *)
+  let far = Term.Null 100_000 in
+  let id = Symtab.intern t far in
+  check "null regrow round-trip" true
+    (Symtab.extern t id = far && Symtab.find t far = Some id);
+  (* seeding: two tables fed the same batch in opposite orders agree *)
+  let t1 = Symtab.create () and t2 = Symtab.create () in
+  Symtab.seed t1 everything;
+  Symtab.seed t2 (List.rev everything);
+  check "seeded ids interleaving-independent" true
+    (List.for_all (fun c -> Symtab.find t1 c = Symtab.find t2 c) everything);
+  (* predicates intern in their own id space *)
+  let p = Symtab.intern_pred t "Edge" in
+  Alcotest.(check string) "pred round-trip" "Edge" (Symtab.extern_pred t p)
+
+(* Provisional ranges: overlays hand out negative ids disjoint across
+   shards, and reconciliation assigns the same canonical ids whatever
+   the shard count was. *)
+let test_symtab_reconcile () =
+  let open Engine in
+  let base_syms = List.init 10 (fun i -> Term.Named (Printf.sprintf "b%d" i)) in
+  let news =
+    List.init 40 (fun i ->
+        if i mod 2 = 0 then Term.Named (Printf.sprintf "n%02d" i)
+        else Term.Null (i + 500))
+  in
+  let run shards =
+    let t = Symtab.create () in
+    Symtab.seed t base_syms;
+    let os = Array.init shards (fun s -> Symtab.overlay t ~shard:s ~shards) in
+    (* deal the stream round-robin: different shard counts see the same
+       symbols in different local orders *)
+    let provisional =
+      List.mapi (fun i c -> Symtab.overlay_intern os.(i mod shards) c) news
+    in
+    check "base symbols resolve to base ids" true
+      (List.for_all
+         (fun c ->
+           Symtab.overlay_intern os.(0) c = Option.get (Symtab.find t c))
+         base_syms);
+    check "provisional ids negative" true (List.for_all (fun i -> i < 0) provisional);
+    check "provisional ids disjoint" true
+      (List.length (List.sort_uniq compare provisional) = List.length provisional);
+    check "overlay extern round-trips provisional ids" true
+      (List.for_all2
+         (fun pid i -> Symtab.overlay_extern os.(i mod shards) pid = List.nth news i)
+         provisional
+         (List.init (List.length news) Fun.id));
+    Symtab.reconcile t os;
+    (news, List.map (fun c -> Option.get (Symtab.find t c)) news, t)
+  in
+  let _, ids1, _ = run 1 in
+  let _, ids2, _ = run 2 in
+  let _, ids4, _ = run 4 in
+  check "canonical ids independent of shard count (1 vs 2)" true (ids1 = ids2);
+  check "canonical ids independent of shard count (2 vs 4)" true (ids2 = ids4);
+  (* reconciled symbols extern back to themselves *)
+  let _, ids, t = run 3 in
+  check "reconciled round-trip" true
+    (List.for_all2 (fun c id -> Symtab.extern t id = c) news ids)
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
@@ -433,6 +540,14 @@ let () =
             test_posting_order_and_remove;
           Alcotest.test_case "serve capacity stable" `Quick
             test_serve_capacity_stable;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "vec regrow boundary" `Quick test_vec_regrow;
+          Alcotest.test_case "symtab intern/extern round-trip" `Quick
+            test_symtab_roundtrip;
+          Alcotest.test_case "symtab shard-range reconciliation" `Quick
+            test_symtab_reconcile;
         ] );
       ("equivalence", qcheck_tests);
     ]
