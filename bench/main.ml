@@ -499,10 +499,11 @@ let e14 ~full () =
 (* ------------------------------------------------------------------ *)
 
 (* BENCH_engine.json is shared between E15 (chase workloads), E17
-   (answer-enumeration workloads, names prefixed "answers-") and E18
-   (incremental-maintenance workloads, names prefixed "incr-"). Each
-   experiment replaces only its own entries and keeps the others', so
-   regenerating one never drops another's baselines. *)
+   (answer-enumeration workloads, names prefixed "answers-"), E18
+   (incremental-maintenance workloads, names prefixed "incr-") and E20
+   (WAL-recovery workloads, names prefixed "recover-"). Each experiment
+   replaces only its own entries and keeps the others', so regenerating
+   one never drops another's baselines. *)
 let update_bench_engine ~owns entries =
   let existing =
     match open_in_bin "BENCH_engine.json" with
@@ -530,6 +531,7 @@ let update_bench_engine ~owns entries =
 
 let answers_workload w = String.starts_with ~prefix:"answers-" w
 let incr_workload w = String.starts_with ~prefix:"incr-" w
+let recover_workload w = String.starts_with ~prefix:"recover-" w
 
 let e15 ~full () =
   header "E15: semi-naive indexed chase vs naive re-enumeration"
@@ -598,7 +600,10 @@ let e15 ~full () =
       !rows
   in
   update_bench_engine
-    ~owns:(fun w -> not (answers_workload w) && not (incr_workload w))
+    ~owns:(fun w ->
+      (not (answers_workload w))
+      && (not (incr_workload w))
+      && not (recover_workload w))
     entries
 
 (* ------------------------------------------------------------------ *)
@@ -907,6 +912,137 @@ let e18 ~full () =
   update_bench_engine ~owns:incr_workload entries
 
 (* ------------------------------------------------------------------ *)
+(* E20 — WAL recovery cost vs tail length (lib/resil, DESIGN.md §2.14)  *)
+(* ------------------------------------------------------------------ *)
+
+let with_wal_dir f =
+  let dir = Filename.temp_file "guarded-bench-wal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* A WAL whose final segment holds [n] un-rotated mutations: recovery
+   loads the seq-0 image and replays all [n]. [plan] injects faults into
+   the producing run through the supervisor, so its degradation count
+   lands in the row — the WAL itself is identical either way (append
+   happens before the supervised apply). *)
+let e20_build_wal ~sigma ~db ~dir ~plan n =
+  Relational.Term.reset_nulls ();
+  let store = ref (Incr.create ~max_level:6 sigma db) in
+  let wal = Resil.Wal.create ~dir (Incr.image !store) in
+  let anchor = Incr.image !store in
+  let applied = ref [] in
+  let restore () =
+    let st = Incr.of_image sigma anchor in
+    List.iter (fun op -> ignore (Incr.apply st op)) (List.rev !applied);
+    st
+  in
+  let rechase st =
+    Incr.create ~engine:`Indexed ~max_level:6 sigma (Incr.base st)
+  in
+  let degradations = ref 0 in
+  Resil.Fault.arm_seq plan;
+  Fun.protect ~finally:Resil.Fault.disarm (fun () ->
+      for i = 1 to n do
+        let op =
+          Incr.Insert (fact "Prof" [ Printf.sprintf "prof_wal_%d" i ])
+        in
+        Resil.Wal.append wal (Resil.Wal.Op (i, op));
+        (if plan = [] then ignore (Incr.apply !store op)
+         else
+           match
+             Resil.Serve_supervisor.apply ~retries:3 ~backoff_ms:0.
+               ~sleep:(fun _ -> ())
+               ~restore ~rechase ~store op
+           with
+           | Resil.Serve_supervisor.Applied (_, steps) ->
+               degradations :=
+                 !degradations
+                 + List.length
+                     (List.filter
+                        (fun s ->
+                          s.Resil.Serve_supervisor.st_rung
+                          <> Resil.Serve_supervisor.Repair)
+                        steps)
+           | Resil.Serve_supervisor.Quarantined _ -> ());
+        applied := op :: !applied
+      done);
+  Resil.Wal.close wal;
+  !degradations
+
+let e20 ~full () =
+  header "E20: WAL recovery cost vs tail length"
+    "not a paper claim — the durable serve runtime (DESIGN.md §2.14)"
+    "recovery = newest image + tail replay; cost grows ~linearly with the \
+     replayed tail";
+  let sigma, db = Workload.lubm ~universities:10 () in
+  let rows = ref [] in
+  let emit workload tail recover_s replayed truncated degradations =
+    rows :=
+      (workload, tail, recover_s, replayed, truncated, degradations) :: !rows;
+    row "  %-22s %8d %12.4f %10d %10d %13d@." workload tail recover_s replayed
+      truncated degradations
+  in
+  row "  %-22s %8s %12s %10s %10s %13s@." "workload" "tail" "recover(s)"
+    "replayed" "truncated" "degradations";
+  let bench_case ~workload ~plan n =
+    with_wal_dir (fun dir ->
+        let degradations = e20_build_wal ~sigma ~db ~dir ~plan n in
+        let rec_info =
+          match Resil.Wal.recover ~dir with
+          | Ok r -> r
+          | Error e -> failwith ("e20: recovery failed: " ^ e)
+        in
+        let t =
+          measure ~repeat:3 (fun () ->
+              match Resil.Wal.recover ~dir with
+              | Error e -> failwith e
+              | Ok r ->
+                  let st = Incr.of_image sigma r.Resil.Wal.rec_image in
+                  List.iter
+                    (fun (_, op) -> ignore (Incr.apply st op))
+                    r.Resil.Wal.rec_ops)
+        in
+        emit workload n t
+          (List.length rec_info.Resil.Wal.rec_ops)
+          rec_info.Resil.Wal.rec_truncated degradations)
+  in
+  List.iter
+    (fun n -> bench_case ~workload:(Printf.sprintf "recover-tail-%d" n) ~plan:[] n)
+    (if full then [ 50; 200; 800; 3200 ] else [ 50; 200; 800 ]);
+  (* same tail, but the producing run climbed the ladder: three injected
+     [incr.insert] faults, each retried one rung up *)
+  bench_case ~workload:"recover-faulted-200"
+    ~plan:
+      [
+        Resil.Fault.At_point ("incr.insert", 50);
+        Resil.Fault.At_point ("incr.insert", 50);
+        Resil.Fault.At_point ("incr.insert", 50);
+      ]
+    200;
+  let entries =
+    List.rev_map
+      (fun (w, tail, t, replayed, truncated, degradations) ->
+        Obs.Json.Obj
+          [
+            ("workload", Obs.Json.String w);
+            ("tail", Obs.Json.Int tail);
+            ("recover_s", Obs.Json.Float t);
+            ("records_replayed", Obs.Json.Int replayed);
+            ("records_truncated", Obs.Json.Int truncated);
+            ("degradations", Obs.Json.Int degradations);
+          ])
+      !rows
+  in
+  update_bench_engine ~owns:recover_workload entries
+
+(* ------------------------------------------------------------------ *)
 (* gate — bench-regression gate against BENCH_engine.json (CI)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -930,7 +1066,7 @@ let gate () =
       Fmt.pr
         "  warning: BENCH_engine.json missing — gate skipped (not a \
          failure,@.  even under BENCH_GATE=strict; regenerate with 'dune \
-         exec bench/main.exe@.  -- e15 e17 e18')@."
+         exec bench/main.exe@.  -- e15 e17 e18 e20')@."
   | ic ->
       let s =
         Fun.protect
@@ -1072,6 +1208,44 @@ let gate () =
             then fail "%s: maintained store differs from a fresh re-chase" name;
             against name t base "maintain_s"
       in
+      (* E20: recovery of a short WAL tail must stay fast *)
+      let check_recover name ~tail =
+        match find_baseline name with
+        | None -> Fmt.pr "  %-22s no baseline entry — skipped@." name
+        | Some base ->
+            let sigma, db = Workload.lubm ~universities:10 () in
+            with_wal_dir (fun dir ->
+                ignore (e20_build_wal ~sigma ~db ~dir ~plan:[] tail);
+                let t =
+                  measure ~repeat:3 (fun () ->
+                      match Resil.Wal.recover ~dir with
+                      | Error e -> failwith e
+                      | Ok r ->
+                          let st = Incr.of_image sigma r.Resil.Wal.rec_image in
+                          List.iter
+                            (fun (_, op) -> ignore (Incr.apply st op))
+                            r.Resil.Wal.rec_ops)
+                in
+                against name t base "recover_s")
+      in
+      (* Rows from a newer (or older) snapshot whose owner this binary
+         does not know are skipped with a warning, never a failure: an
+         old gate comparing against a newer BENCH_engine.json must not
+         reject the file. *)
+      List.iter
+        (fun e ->
+          match Obs.Json.member "workload" e with
+          | Some (Obs.Json.String w) ->
+              let known =
+                answers_workload w || incr_workload w || recover_workload w
+                || String.starts_with ~prefix:"lubm-" w
+                || String.starts_with ~prefix:"full-chain-" w
+              in
+              if not known then
+                Fmt.pr "  warning: unknown workload owner %S — row skipped@." w
+          | _ ->
+              Fmt.pr "  warning: baseline row without a workload — skipped@.")
+        baseline;
       let lubm_sigma, lubm_db = Workload.lubm ~universities:10 () in
       check_workload "lubm-10" lubm_sigma lubm_db 6;
       let gf = Workload.guarded_full_chain ~depth:4 in
@@ -1081,6 +1255,7 @@ let gate () =
       check_answers "answers-adom200-ar2" ~arity:2 ~n:200;
       check_incr "incr-lubm-10-insert" `Insert;
       check_incr "incr-lubm-10-delete" `Delete;
+      check_recover "recover-tail-50" ~tail:50;
       if !failed then
         if strict then (
           Fmt.epr "gate: bench regression detected (BENCH_GATE=strict)@.";
@@ -1229,7 +1404,7 @@ let all_experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18);
+    ("e18", e18); ("e20", e20);
   ]
 
 let () =

@@ -23,6 +23,10 @@ let guard f =
   | Invalid_argument msg ->
       Fmt.epr "error: %s@." msg;
       2
+  | Resil.Fault.Injected (point, hit) ->
+      (* an unsupervised injected fault is a simulated crash *)
+      Fmt.epr "error: injected fault at %s (hit %d)@." point hit;
+      1
   | Sys_error msg ->
       Fmt.epr "error: %s@." msg;
       1
@@ -194,9 +198,10 @@ let resilient_chase ~engine ~max_level ~stats ~budget ~checkpoint ~ck_every
         | Some path -> Result.map Option.some (Resil.Checkpoint.load path)
       in
       match resume_from with
-      | Error msg ->
-          Fmt.epr "error: %s@." msg;
-          2
+      | Error e ->
+          Fmt.epr "error: %s@." (Resil.Checkpoint.error_message e);
+          (* unreadable checkpoint = input error; corrupt = runtime fault *)
+          (match e with Resil.Checkpoint.Io _ -> 2 | Resil.Checkpoint.Corrupt _ -> 1)
       | Ok resume_from -> (
           (* the supervisor takes a single budget: fold the CLI's level
              bound in, as [Chase.run ~max_level] would *)
@@ -266,108 +271,398 @@ let chase_cmd =
 (* ------------------------------------------------------------------ *)
 
 (* Apply a mutation log against a maintained store (lib/incr): chase the
-   program's database once (or resume a maintained checkpoint), then
-   repair incrementally per mutation. Output: one `%` comment per
-   mutation with the repair counts, a summary, the final instance, and —
-   like `chase` — optional --stats / --checkpoint artifacts. Everything
-   printed is byte-identical across indexed/parallel engines and domain
-   counts. *)
+   program's database once (or resume a maintained checkpoint / recover
+   a WAL directory), then repair incrementally per mutation. Output: one
+   `%` comment per mutation with the repair counts, a summary, the final
+   instance, and — like `chase` — optional --stats / --checkpoint
+   artifacts. Everything printed is byte-identical across
+   indexed/parallel engines and domain counts.
+
+   Durability and supervision (--wal/--recover/--retries/--fault-plan)
+   route the loop through Resil: every mutation is appended and fsync'd
+   to the WAL before it applies, and each apply runs under the
+   Serve_supervisor degradation ladder (repair → re-derive → re-chase,
+   then quarantine). A bare `serve` keeps the direct path. *)
 let serve_cmd =
-  let read_log path =
-    try Ok (Syntax.Parser.parse_mutations_file path) with
-    | Syntax.Lexer.Error (msg, l, c) ->
-        Error (Fmt.str "%s:%d:%d: %s" path l c msg)
-    | Syntax.Parser.Error (msg, l, c) ->
-        Error (Fmt.str "%s:%d:%d: %s" path l c msg)
-    | Sys_error e -> Error e
+  (* Read the mutation log line by line so a malformed entry is reported
+     with its line number and offending content; --strict-log=false
+     skips such lines (counted in serve.rejected_lines) instead of
+     aborting. Mutation statements are line-oriented. *)
+  let read_log ~strict path =
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> ());
+          List.rev !lines)
+    with
+    | exception Sys_error e -> Error (`Io e)
+    | lines ->
+        let muts = ref [] and rejected = ref [] and bad = ref None in
+        List.iteri
+          (fun i line ->
+            if !bad = None then
+              let lineno = i + 1 in
+              match Syntax.Parser.parse_mutations line with
+              | ms -> muts := List.rev_append ms !muts
+              | exception
+                  ( Syntax.Lexer.Error (msg, _, c)
+                  | Syntax.Parser.Error (msg, _, c) ) ->
+                  if strict then bad := Some (lineno, c, msg, line)
+                  else rejected := (lineno, line) :: !rejected)
+          lines;
+        (match !bad with
+        | Some b -> Error (`Parse b)
+        | None -> Ok (List.rev !muts, List.rev !rejected))
   in
-  let run file log max_level engine_tag domains stats checkpoint resume =
+  let run file log max_level engine_tag domains stats checkpoint ck_every
+      resume wal_dir recover retries fault_plan strict_log =
     with_program file (fun p ->
-        match read_log log with
-        | Error e ->
-            Fmt.epr "error: %s@." e;
+        let plan =
+          match fault_plan with
+          | None -> Ok Resil.Fault.none
+          | Some spec -> Resil.Fault.parse spec
+        in
+        match plan with
+        | Error msg ->
+            Fmt.epr "error: %s@." msg;
             2
-        | Ok muts -> (
-            let engine = resolve_engine engine_tag domains in
-            let sigma = p.Syntax.Parser.tgds in
-            let span = Obs.Span.root "serve" in
-            let store =
-              match resume with
-              | None ->
-                  Ok
-                    (Incr.create ~engine ~max_level ~obs:span sigma
-                       (Syntax.Parser.database p))
-              | Some path ->
-                  Result.map
-                    (fun ck -> Incr.of_checkpoint ~engine ~obs:span sigma ck)
-                    (Resil.Checkpoint.load path)
-            in
-            match store with
-            | Error e ->
+        | Ok _ when recover && wal_dir = None ->
+            Fmt.epr "error: --recover requires --wal DIR@.";
+            2
+        | Ok plan -> (
+            match read_log ~strict:strict_log log with
+            | Error (`Io e) ->
                 Fmt.epr "error: %s@." e;
                 2
-            | Ok store ->
-                if not (Incr.saturated store) then begin
-                  Fmt.epr
-                    "error: store did not saturate within %d levels — cannot \
-                     maintain a truncated chase@."
-                    max_level;
-                  1
-                end
-                else begin
+            | Error (`Parse (l, c, msg, content)) ->
+                Fmt.epr "error: %s:%d:%d: %s (offending line: %s)@." log l c
+                  msg content;
+                2
+            | Ok (muts, rejected) ->
+                List.iter
+                  (fun (l, content) ->
+                    Fmt.epr "%% warning: %s:%d: skipping malformed log line: \
+                             %s@."
+                      log l content)
+                  rejected;
+                let muts = Array.of_list muts in
+                let n = Array.length muts in
+                let engine = resolve_engine engine_tag domains in
+                let sigma = p.Syntax.Parser.tgds in
+                let span = Obs.Span.root "serve" in
+                let resilient =
+                  wal_dir <> None || recover || retries <> None
+                  || fault_plan <> None
+                in
+                let op_of = function
+                  | Syntax.Parser.Add f -> Incr.Insert f
+                  | Syntax.Parser.Del f -> Incr.Delete f
+                in
+                let op_eq a b =
+                  match (a, b) with
+                  | Incr.Insert f, Incr.Insert g | Incr.Delete f, Incr.Delete g
+                    ->
+                      Fact.compare f g = 0
+                  | _ -> false
+                in
+                let op_str = function
+                  | Incr.Insert f -> Fmt.str "+%a" Fact.pp f
+                  | Incr.Delete f -> Fmt.str "-%a" Fact.pp f
+                in
+                (* The maintenance loop, shared by the direct and the
+                   supervised paths. [start_seq] is the 1-based position of
+                   the first mutation still to apply (recovery already
+                   replayed the WAL tail up to start_seq - 1). *)
+                let serve_loop store0 start_seq wal =
                   Fmt.pr "%% serve: store saturated, %d facts@."
-                    (Incr.size store);
+                    (Incr.size store0);
+                  let store = ref store0 in
                   let inserts = ref 0 and deletes = ref 0 and noops = ref 0 in
-                  List.iter
-                    (fun m ->
-                      let op =
-                        match m with
-                        | Syntax.Parser.Add f -> Incr.Insert f
-                        | Syntax.Parser.Del f -> Incr.Delete f
-                      in
-                      let eff = Incr.apply ~obs:span store op in
-                      (match (op, eff.Incr.e_noop) with
-                      | Incr.Insert f, true ->
-                          incr noops;
-                          Fmt.pr "%% +%a: no-op (already in the base)@." Fact.pp f
-                      | Incr.Delete f, true ->
-                          incr noops;
-                          Fmt.pr "%% -%a: no-op (not in the base)@." Fact.pp f
-                      | Incr.Insert f, false ->
-                          incr inserts;
-                          Fmt.pr "%% +%a: %d facts added@." Fact.pp f
-                            eff.Incr.e_repaired
-                      | Incr.Delete f, false ->
-                          incr deletes;
-                          Fmt.pr
-                            "%% -%a: overdeleted %d, rederived %d, repaired \
-                             %d, deleted %d@."
-                            Fact.pp f eff.Incr.e_overdeleted
-                            eff.Incr.e_rederived eff.Incr.e_repaired
-                            eff.Incr.e_deleted))
-                    muts;
+                  let quarantined = ref 0 and degradations = ref 0 in
+                  (* the supervisor's restore anchor: the last image plus
+                     the mutations applied since (newest first) *)
+                  let base_image = ref None in
+                  let ops_since = ref [] in
+                  let since_rotate = ref 0 in
+                  let anchor () =
+                    base_image := Some (Incr.image !store);
+                    ops_since := [];
+                    since_rotate := 0
+                  in
+                  let restore () =
+                    match !base_image with
+                    | None -> assert false
+                    | Some im ->
+                        let st = Incr.of_image sigma im in
+                        List.iter
+                          (fun op -> ignore (Incr.apply st op))
+                          (List.rev !ops_since);
+                        st
+                  in
+                  (* last rung: a fresh chase of the current base —
+                     always sequential indexed, so ladder transcripts are
+                     engine-independent *)
+                  let rechase st =
+                    Incr.create ~engine:`Indexed sigma (Incr.base st)
+                  in
+                  let print_effect op (eff : Incr.effect) =
+                    match (op, eff.Incr.e_noop) with
+                    | Incr.Insert f, true ->
+                        incr noops;
+                        Fmt.pr "%% +%a: no-op (already in the base)@." Fact.pp f
+                    | Incr.Delete f, true ->
+                        incr noops;
+                        Fmt.pr "%% -%a: no-op (not in the base)@." Fact.pp f
+                    | Incr.Insert f, false ->
+                        incr inserts;
+                        Fmt.pr "%% +%a: %d facts added@." Fact.pp f
+                          eff.Incr.e_repaired
+                    | Incr.Delete f, false ->
+                        incr deletes;
+                        Fmt.pr
+                          "%% -%a: overdeleted %d, rederived %d, repaired %d, \
+                           deleted %d@."
+                          Fact.pp f eff.Incr.e_overdeleted eff.Incr.e_rederived
+                          eff.Incr.e_repaired eff.Incr.e_deleted
+                  in
+                  let module Sup = Resil.Serve_supervisor in
+                  let pp_rungs steps =
+                    String.concat " -> "
+                      (List.map
+                         (fun (s : Sup.step) ->
+                           Sup.rung_to_string s.st_rung
+                           ^
+                           match s.st_outcome with
+                           | `Ok -> ":ok"
+                           | `Fault _ -> ":fault")
+                         steps)
+                  in
+                  (* the typed transcript, one entry per attempt, for the
+                     stats span tree *)
+                  let note_ladder seq steps =
+                    degradations :=
+                      !degradations
+                      + List.length
+                          (List.filter
+                             (fun (s : Sup.step) -> s.st_rung <> Sup.Repair)
+                             steps);
+                    Fmt.pr "%% ladder: %s@." (pp_rungs steps);
+                    let lspan = Obs.Span.enter span "ladder" in
+                    Obs.Span.set lspan "mutation" (Obs.Json.Int seq);
+                    Obs.Span.set lspan "transcript"
+                      (Obs.Json.String
+                         (String.concat "; "
+                            (List.map
+                               (fun (s : Sup.step) ->
+                                 Fmt.str "%d:%s:%s" s.st_attempt
+                                   (Sup.rung_to_string s.st_rung)
+                                   (match s.st_outcome with
+                                   | `Ok -> "ok"
+                                   | `Fault f -> f))
+                               steps)));
+                    Obs.Span.exit lspan
+                  in
+                  let re_anchor seq =
+                    anchor ();
+                    Option.iter
+                      (fun w ->
+                        Resil.Wal.rotate w ~seq (Option.get !base_image))
+                      wal
+                  in
+                  if resilient then anchor ();
+                  Resil.Fault.arm_seq plan;
+                  Fun.protect ~finally:Resil.Fault.disarm (fun () ->
+                      for seq = start_seq to n do
+                        let op = op_of muts.(seq - 1) in
+                        (* append-before-apply; a fault injected inside
+                           append simulates a crash mid-record and
+                           terminates the run (recover truncates the torn
+                           line) *)
+                        Option.iter
+                          (fun w -> Resil.Wal.append w (Resil.Wal.Op (seq, op)))
+                          wal;
+                        if not resilient then
+                          print_effect op (Incr.apply ~obs:span !store op)
+                        else
+                          match
+                            Sup.apply ?retries ~obs:span ~restore ~rechase
+                              ~store op
+                          with
+                          | Sup.Applied (eff, steps) ->
+                              print_effect op eff;
+                              ops_since := op :: !ops_since;
+                              incr since_rotate;
+                              if
+                                List.exists
+                                  (fun (s : Sup.step) -> s.st_outcome <> `Ok)
+                                  steps
+                              then begin
+                                note_ladder seq steps;
+                                (* the surviving store may sit on a
+                                   re-chased trajectory: re-anchor the WAL
+                                   to it so replay stays exact *)
+                                re_anchor seq
+                              end
+                              else if !since_rotate >= ck_every then
+                                re_anchor seq
+                          | Sup.Quarantined (steps, msg) ->
+                              incr quarantined;
+                              note_ladder seq steps;
+                              Option.iter
+                                (fun w ->
+                                  Resil.Wal.append w (Resil.Wal.Quarantine seq))
+                                wal;
+                              Fmt.pr "%% %s: %s@." (op_str op) msg;
+                              Fmt.epr "error: mutation %d (%s) %s@." seq
+                                (op_str op) msg
+                          | exception Sup.Fatal msg ->
+                              raise (Invalid_argument msg)
+                      done);
                   Fmt.pr
                     "%% serve: %d mutations applied (%d inserts, %d deletes, \
                      %d no-ops), %d facts@."
-                    (List.length muts) !inserts !deletes !noops
-                    (Incr.size store);
+                    n !inserts !deletes !noops (Incr.size !store);
+                  if !quarantined > 0 then
+                    Fmt.pr "%% serve: %d mutation(s) quarantined@." !quarantined;
+                  (* set-style so a recovered run (whose image may already
+                     carry the counter) converges to the same value *)
+                  if rejected <> [] then begin
+                    let c =
+                      Obs.Metrics.counter
+                        (Incr.metrics !store)
+                        "serve.rejected_lines"
+                    in
+                    Obs.Metrics.add c (List.length rejected - Obs.Metrics.value c)
+                  end;
                   Instance.iter
                     (fun f -> Fmt.pr "%a.@." Fact.pp f)
-                    (Incr.instance store);
+                    (Incr.instance !store);
                   (match checkpoint with
                   | Some path ->
-                      Resil.Checkpoint.save path (Incr.checkpoint store)
+                      Resil.Checkpoint.save path (Incr.checkpoint !store)
                   | None -> ());
+                  Option.iter Resil.Wal.close wal;
                   Obs.Span.exit span;
                   (match stats with
                   | Some path ->
-                      let rep = Incr.report ~name:"serve" ~span store in
-                      Obs.Report.add_field rep "mutations"
-                        (Obs.Json.Int (List.length muts));
+                      let rep = Incr.report ~name:"serve" ~span !store in
+                      Obs.Report.add_field rep "mutations" (Obs.Json.Int n);
+                      if !quarantined > 0 then
+                        Obs.Report.add_field rep "quarantined"
+                          (Obs.Json.Int !quarantined);
+                      if !degradations > 0 then
+                        Obs.Report.add_field rep "degradations"
+                          (Obs.Json.Int !degradations);
                       Obs.Report.write path rep
                   | None -> ());
-                  0
-                end))
+                  if !quarantined > 0 then 1 else 0
+                in
+                let prep =
+                  match wal_dir with
+                  | Some dir when recover && not (Resil.Wal.is_empty ~dir) -> (
+                      match Resil.Wal.recover ~dir with
+                      | Error msg -> Error (`Fault msg)
+                      | Ok r ->
+                          let ok (s, op) =
+                            s >= 1 && s <= n && op_eq (op_of muts.(s - 1)) op
+                          in
+                          if
+                            r.Resil.Wal.rec_last_seq > n
+                            || not (List.for_all ok r.Resil.Wal.rec_ops)
+                          then
+                            Error
+                              (`Input
+                                 (Fmt.str
+                                    "WAL %s does not match the mutation log %s"
+                                    dir log))
+                          else begin
+                            let rspan = Obs.Span.enter span "recover" in
+                            let store =
+                              Incr.of_image sigma r.Resil.Wal.rec_image
+                            in
+                            List.iter
+                              (fun (_, op) -> ignore (Incr.apply store op))
+                              r.Resil.Wal.rec_ops;
+                            let replayed = List.length r.Resil.Wal.rec_ops in
+                            Obs.Span.set rspan "image_seq"
+                              (Obs.Json.Int r.Resil.Wal.rec_image_seq);
+                            Obs.Span.set rspan "records_replayed"
+                              (Obs.Json.Int replayed);
+                            Obs.Span.set rspan "records_truncated"
+                              (Obs.Json.Int r.Resil.Wal.rec_truncated);
+                            if r.Resil.Wal.rec_skipped_images > 0 then
+                              Obs.Span.set rspan "skipped_images"
+                                (Obs.Json.Int r.Resil.Wal.rec_skipped_images);
+                            if r.Resil.Wal.rec_quarantined <> [] then
+                              Obs.Span.set rspan "quarantined"
+                                (Obs.Json.Int
+                                   (List.length r.Resil.Wal.rec_quarantined));
+                            Obs.Span.exit rspan;
+                            Fmt.pr
+                              "%% recover: image at seq %d, %d record(s) \
+                               replayed, %d truncated@."
+                              r.Resil.Wal.rec_image_seq replayed
+                              r.Resil.Wal.rec_truncated;
+                            Ok
+                              ( store,
+                                r.Resil.Wal.rec_last_seq + 1,
+                                Some (Resil.Wal.reopen ~dir) )
+                          end)
+                  | _ -> (
+                      let fresh =
+                        match resume with
+                        | None ->
+                            Ok
+                              (Incr.create ~engine ~max_level ~obs:span sigma
+                                 (Syntax.Parser.database p))
+                        | Some path -> (
+                            match Resil.Checkpoint.load path with
+                            | Ok ck ->
+                                Ok (Incr.of_checkpoint ~engine ~obs:span sigma ck)
+                            | Error (Resil.Checkpoint.Io _ as e) ->
+                                Error
+                                  (`Input (Resil.Checkpoint.error_message e))
+                            | Error (Resil.Checkpoint.Corrupt _ as e) ->
+                                Error
+                                  (`Fault (Resil.Checkpoint.error_message e)))
+                      in
+                      match fresh with
+                      | Error _ as e -> e
+                      | Ok store ->
+                          if not (Incr.saturated store) then Error `Unsat
+                          else begin
+                            if recover then
+                              Fmt.pr "%% recover: empty WAL — starting fresh@.";
+                            let wal =
+                              Option.map
+                                (fun dir ->
+                                  Resil.Wal.create ~dir (Incr.image store))
+                                wal_dir
+                            in
+                            Ok (store, 1, wal)
+                          end)
+                in
+                match prep with
+                | Error (`Input msg) ->
+                    Fmt.epr "error: %s@." msg;
+                    2
+                | Error (`Fault msg) ->
+                    Fmt.epr "error: %s@." msg;
+                    1
+                | Error `Unsat ->
+                    Fmt.epr
+                      "error: store did not saturate within %d levels — \
+                       cannot maintain a truncated chase@."
+                      max_level;
+                    1
+                | Ok (store, start_seq, wal) -> serve_loop store start_seq wal))
   in
   let log_arg =
     Arg.(
@@ -377,13 +672,60 @@ let serve_cmd =
           ~doc:"Mutation log: ground $(b,+fact(...).) / $(b,-fact(...).) \
                 statements applied in order.")
   in
+  let wal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:"Write-ahead log: every mutation is appended and fsync'd to \
+                $(docv) before it applies, so a killed run recovers with \
+                $(b,--recover). $(b,--checkpoint-every) sets the image \
+                rotation cadence.")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:"Recover the store from the $(b,--wal) directory (newest \
+                intact image plus WAL tail replay, truncating a torn final \
+                record), then continue the mutation log where it left off. \
+                An empty WAL directory falls back to a fresh start.")
+  in
+  let serve_retries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Supervise each mutation: $(docv) total attempts on the \
+                degradation ladder (incremental repair, then bounded \
+                re-derive, then full re-chase) before the mutation is \
+                quarantined (default 3).")
+  in
+  let serve_ck_every_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Rotate the WAL (write a fresh store image, start a new \
+                segment, prune the old ones) every $(docv) applied \
+                mutations (default 25).")
+  in
+  let strict_log_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "strict-log" ] ~docv:"BOOL"
+          ~doc:"Abort on a malformed mutation-log line (default). \
+                $(b,--strict-log=false) skips such lines with a warning and \
+                counts them in the $(b,serve.rejected_lines) counter.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Maintain a chased store under a base-fact mutation log \
-             (incremental insert/delete repair, no re-chase).")
+             (incremental insert/delete repair, no re-chase), optionally \
+             write-ahead logged and supervised.")
     Term.(
       const run $ file_arg $ log_arg $ level_arg $ engine_arg $ domains_arg
-      $ stats_arg $ checkpoint_arg $ resume_arg)
+      $ stats_arg $ checkpoint_arg $ serve_ck_every_arg $ resume_arg $ wal_arg
+      $ recover_arg $ serve_retries_arg $ fault_plan_arg $ strict_log_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                             *)

@@ -98,4 +98,7 @@ done
 echo "== parallel determinism (--domains 1 vs --domains 4)"
 sh ci/determinism.sh
 
+echo "== crash recovery (WAL kill loop + torn-record truncation)"
+sh ci/crash_recovery.sh
+
 echo "== OK"

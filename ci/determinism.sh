@@ -176,3 +176,65 @@ for d in 1 4; do
   done
 done
 echo "determinism: OK (serve matches goldens across engines and domains)"
+
+# A recovered store must pass the same golden sweep: crash the WAL-backed
+# serve with an injected fsync fault (torn final record), recover, and
+# compare the recovered checkpoint byte-for-byte against the serve golden
+# plus the recovered fact listing against the golden's. Stdout is not
+# compared whole — a recovered run does not re-print mutations the WAL
+# already applied, by design.
+rm -rf "$TMP/serve.wal"
+set +e
+"$CLI" serve examples/programs/university.gd \
+  --log examples/programs/university.mut \
+  --wal "$TMP/serve.wal" --checkpoint-every 2 \
+  --fault-plan point:wal.fsync:3 \
+  > "$TMP/serve.crash.out" 2> "$TMP/serve.crash.err"
+code=$?
+set -e
+[ "$code" = 1 ] || {
+  echo "determinism: injected serve crash expected exit 1, got $code"
+  exit 1
+}
+run_serve serve.rec --wal "$TMP/serve.wal" --recover
+[ "$(cat "$TMP/serve.rec.code")" = 0 ] || {
+  echo "determinism: serve recovery failed (exit $(cat "$TMP/serve.rec.code"))"
+  exit 1
+}
+expect "$TMP/serve.rec.ck" serve.ck "serve: recovered checkpoint"
+grep -v '^%' "$TMP/serve.rec.out" > "$TMP/serve.rec.facts"
+grep -v '^%' "$GOLD/serve.out" > "$TMP/serve.golden.facts"
+cmp -s "$TMP/serve.rec.facts" "$TMP/serve.golden.facts" || {
+  echo "determinism: recovered serve fact listing drifted from golden"
+  exit 1
+}
+echo "determinism: OK (recovered store matches the serve goldens)"
+
+# Degradation-ladder determinism: the same fault plan and retry budget
+# must produce the identical ladder transcript on every engine — the
+# maintenance loop is always sequential indexed maintenance, so stdout
+# (including the `%% ladder:` lines) is engine-invariant and pinned as a
+# golden.
+run_serve serve.ladder.seq --engine indexed \
+  --retries 2 --fault-plan point:incr.delete:1
+[ "$(cat "$TMP/serve.ladder.seq.code")" = 0 ] || {
+  echo "determinism: ladder serve failed (exit $(cat "$TMP/serve.ladder.seq.code"))"
+  exit 1
+}
+grep -q "ladder:" "$TMP/serve.ladder.seq.out" || {
+  echo "determinism: fault plan produced no ladder transcript"
+  exit 1
+}
+for aspect in code out; do
+  expect "$TMP/serve.ladder.seq.$aspect" "serve.ladder.$aspect" \
+    "serve ladder: indexed $aspect"
+done
+for d in 1 4; do
+  run_serve "serve.ladder.d$d" --engine parallel --domains "$d" \
+    --retries 2 --fault-plan point:incr.delete:1
+  for aspect in code out; do
+    expect "$TMP/serve.ladder.d$d.$aspect" "serve.ladder.$aspect" \
+      "serve ladder: parallel --domains $d $aspect"
+  done
+done
+echo "determinism: OK (ladder transcript identical across engines)"

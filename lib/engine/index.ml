@@ -271,6 +271,34 @@ let decode_key idx key =
   Fact.make (Symtab.extern_pred st key.(0))
     (List.init (Array.length key - 1) (fun i -> Symtab.extern st key.(i + 1)))
 
+(* Storage order: pid-ascending over the entry table, each entry's
+   [e_order] in append order. [e_order] only ever sees order-preserving
+   removals, so replaying the returned facts into a fresh store rebuilds
+   every posting list in the same relative order this store presents. *)
+let ordered_facts idx =
+  let st = idx.symtab in
+  let out = ref [] in
+  Array.iteri
+    (fun pid e ->
+      match e with
+      | None -> ()
+      | Some e ->
+          let p = Symtab.extern_pred st pid in
+          Vec.iter
+            (fun packed ->
+              let arity = arity_of_packed packed and row = row_of_packed packed in
+              let r =
+                match rel_find e arity with Some r -> r | None -> assert false
+              in
+              out :=
+                Fact.make p
+                  (List.init arity (fun i ->
+                       Symtab.extern st (Vec.get r.r_cols.(i) row)))
+                :: !out)
+            e.e_order)
+    idx.tabs.entries;
+  List.rev !out
+
 let to_instance idx =
   Array.fold_left
     (fun acc sh -> Hashtbl.fold (fun key _ acc -> Instance.add_fact (decode_key idx key) acc) sh acc)

@@ -27,6 +27,16 @@ val of_instance : Instance.t -> t
 (** The facts of the store, as an instance. *)
 val to_instance : t -> Instance.t
 
+(** The facts of the store in {e storage order}: predicates in intern
+    order, each relation's live rows oldest-first (append order of the
+    surviving posting entries). Inserting the returned facts into a
+    fresh store, in order, reproduces this store's iteration order
+    exactly — posting lists and relations present candidates in the same
+    sequence — which is what trajectory-faithful recovery of a
+    maintained store needs (row handles and free-list state may differ;
+    neither is observable through the matching API). *)
+val ordered_facts : t -> Fact.t list
+
 (** [add f idx] — file [f] under every argument position. No-op when the
     fact is already present. Mutates [idx] in place and returns it. *)
 val add : Fact.t -> t -> t

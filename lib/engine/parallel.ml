@@ -54,6 +54,19 @@ let collect ~pool ~index ~fired ~key_of ~check jobs ~consider =
      and replayed selectively during the merge walk *)
   let checkers = Array.init n (fun _ -> Index.reader index) in
   let t0 = now () in
+  (* Deterministic worker-death drill: the calling domain hits the
+     [parallel.worker] probe once per shard before dispatch (workers
+     themselves never touch the process-global probe hook); an armed
+     fault plan firing here marks that shard dead for this pass. The
+     containment below replays a dead shard's slice on the calling
+     domain after the join — slices are deterministic functions of the
+     frozen index, so the merge (and hence the chase output) is
+     byte-identical whether or not a worker died. *)
+  let dead = Array.make n false in
+  for s = 0 to n - 1 do
+    try Obs.Probe.hit "parallel.worker" with _ -> dead.(s) <- true
+  done;
+  let deaths = Array.fold_left (fun a d -> if d then a + 1 else a) 0 dead in
   let slice_task s () =
     let rdr = readers.(s) in
     let crdr = checkers.(s) in
@@ -101,9 +114,17 @@ let collect ~pool ~index ~fired ~key_of ~check jobs ~consider =
       end
     done
   in
-  Shard.run pool (Array.init n slice_task);
+  Shard.run pool
+    (Array.init n (fun s -> if dead.(s) then fun () -> () else slice_task s));
+  (* containment: dead shards' slices replay sequentially on the calling
+     domain, filling the same results rows they would have filled *)
+  for s = 0 to n - 1 do
+    if dead.(s) then slice_task s ()
+  done;
   let t1 = now () in
   let main_m = Index.metrics index in
+  if deaths > 0 then
+    Obs.Metrics.add (Obs.Metrics.counter main_m "parallel.worker_deaths") deaths;
   (* shard-local matching counters merge in shard order; the totals equal
      the sequential engine's because slicing partitions each join's
      per-fact work exactly. Checker registries are deliberately not
@@ -134,4 +155,5 @@ let collect ~pool ~index ~fired ~key_of ~check jobs ~consider =
           incr k)
     jobs;
   Obs.Metrics.observe main_m "parallel.match_s" (t1 -. t0);
-  Obs.Metrics.observe main_m "parallel.merge_s" (now () -. t1)
+  Obs.Metrics.observe main_m "parallel.merge_s" (now () -. t1);
+  deaths

@@ -79,7 +79,17 @@ type key = int * Term.const option list
     shard's first sighting of a key absent from [fired], and [check] was
     [Some _]; the caller replays its effects iff the key also survives
     the global (cross-shard) dedup. [index] and [fired] must not be
-    mutated while the collection stage runs. *)
+    mutated while the collection stage runs.
+
+    Worker-death containment: before dispatch the calling domain hits
+    the [parallel.worker] probe once per shard; a shard whose hit raises
+    (an armed fault plan) is marked dead and its slice of every job is
+    replayed on the calling domain after the join. Slices are pure
+    functions of the frozen index, so the merge — and the chase output —
+    is byte-identical whether or not a worker died. Returns the number
+    of dead workers contained this pass (0 on a clean pass); when
+    positive it is also added to the [parallel.worker_deaths] counter,
+    which is registered lazily so clean runs stay byte-comparable. *)
 val collect :
   pool:Shard.t ->
   index:Index.t ->
@@ -88,4 +98,4 @@ val collect :
   check:(int -> Homomorphism.binding -> Index.t -> bool) option ->
   job list ->
   consider:(int -> Homomorphism.binding -> verdict option -> unit) ->
-  unit
+  int

@@ -95,6 +95,13 @@ type init = {
 
 let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
   let rules = Array.of_list rules in
+  (* Worker-death containment: [Parallel.collect] replays a dead shard's
+     slice on the calling domain, so a single death is absorbed without
+     observable effect; after repeated deaths the pool is dropped and the
+     remaining passes run the sequential traversal (same output — the
+     parallel path is byte-equivalent by construction). *)
+  let pool = ref pool in
+  let worker_deaths = ref 0 in
   let info =
     Array.map
       (fun r ->
@@ -193,7 +200,7 @@ let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
             end
           end
         in
-        (match pool with
+        (match !pool with
         | None ->
             Array.iteri
               (fun i r ->
@@ -217,7 +224,7 @@ let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
                             ())
                     pvs)
               rules
-        | Some pool ->
+        | Some p ->
             (* same traversal, decomposed into jobs: the matching fans out
                over the pool, [consider] replays in the sequential order
                (see Parallel's determinism argument) *)
@@ -261,8 +268,21 @@ let exec ~policy ~budget ~span ~on_pass ~on_fire ~pool init rules =
                       in
                       not (Joiner.exists ~probe:false ~init rules.(i).head rdr))
             in
-            Parallel.collect ~pool ~index:idx ~fired ~key_of ~check
-              (List.rev !jobs) ~consider);
+            let deaths =
+              Parallel.collect ~pool:p ~index:idx ~fired ~key_of ~check
+                (List.rev !jobs) ~consider
+            in
+            if deaths > 0 then begin
+              worker_deaths := !worker_deaths + deaths;
+              if !worker_deaths >= 2 then begin
+                (* repeated deaths: drop to the sequential traversal for
+                   the rest of the run (the pool itself is torn down by
+                   [with_pool]'s finaliser as usual) *)
+                pool := None;
+                Obs.Metrics.incr
+                  (Obs.Metrics.counter (Index.metrics idx) "parallel.degraded")
+              end
+            end);
         first_pass := false;
         if !new_triggers = [] then saturated := true
         else begin

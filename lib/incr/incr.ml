@@ -48,6 +48,7 @@ type t = {
   fired : (key, derivation) Hashtbl.t;
   mutable level : int;  (* highest pass number handed to [continue] *)
   mutable sat : bool;
+  mutable dirty : bool;  (* a mutation started changing state and died *)
   (* maintenance counters, registered on the index's metrics registry so
      they travel with the usual report plumbing *)
   c_inserts : Obs.Metrics.counter;
@@ -60,9 +61,16 @@ type t = {
 }
 
 let saturated t = t.sat
+let dirty t = t.dirty
 
 let ensure_saturated t =
   if not t.sat then invalid_arg "Incr: store is not saturated"
+
+(* A mutation that raised after its first state change leaves the store
+   between consistent states; retrying on it is unsound. Callers must
+   rebuild (e.g. {!of_checkpoint}) instead. *)
+let ensure_clean t =
+  if t.dirty then invalid_arg "Incr: store is dirty (interrupted mutation)"
 
 (* ---- ledger primitives ------------------------------------------------ *)
 
@@ -135,6 +143,7 @@ let create ?(engine = `Indexed) ?max_level ?obs sigma db =
     fired;
     level = Tgds.Chase.max_level r;
     sat = Tgds.Chase.saturated r;
+    dirty = false;
     c_inserts = Obs.Metrics.counter m "incr.inserts";
     c_deletes = Obs.Metrics.counter m "incr.deletes";
     c_noops = Obs.Metrics.counter m "incr.noops";
@@ -168,6 +177,10 @@ let fact_attr f = Obs.Json.String (Fmt.str "%a" Fact.pp f)
 
 let insert ?obs t f =
   ensure_saturated t;
+  ensure_clean t;
+  (* probe before the first state change: an injected fault here leaves
+     the store clean, so retrying the mutation is sound *)
+  Obs.Probe.hit "incr.insert";
   let span = Option.map (fun p -> Obs.Span.enter p "insert") obs in
   Option.iter (fun s -> Obs.Span.set s "fact" (fact_attr f)) span;
   let eff =
@@ -178,6 +191,7 @@ let insert ?obs t f =
     end
     else begin
       Obs.Metrics.incr t.c_inserts;
+      t.dirty <- true;
       Hashtbl.replace t.base f ();
       let repaired =
         if Engine.Index.mem f t.idx then 0
@@ -190,6 +204,7 @@ let insert ?obs t f =
         end
       in
       Obs.Metrics.add t.c_repaired repaired;
+      t.dirty <- false;
       { e_op = Insert f; e_noop = false; e_repaired = repaired;
         e_overdeleted = 0; e_rederived = 0; e_deleted = 0 }
     end
@@ -220,6 +235,8 @@ let relevel t f =
 
 let delete ?obs t f =
   ensure_saturated t;
+  ensure_clean t;
+  Obs.Probe.hit "incr.delete";
   let span = Option.map (fun p -> Obs.Span.enter p "delete") obs in
   Option.iter (fun s -> Obs.Span.set s "fact" (fact_attr f)) span;
   let eff =
@@ -230,6 +247,7 @@ let delete ?obs t f =
     end
     else begin
       Obs.Metrics.incr t.c_deletes;
+      t.dirty <- true;
       Hashtbl.remove t.base f;
       (* Phase 1: over-delete. Retract [f] and, transitively, every fact
          produced by a derivation that consumed a retracted fact. The
@@ -286,6 +304,7 @@ let delete ?obs t f =
       Obs.Metrics.add t.c_rederived (List.length red);
       Obs.Metrics.add t.c_repaired repaired;
       Obs.Metrics.add t.c_deleted deleted;
+      t.dirty <- false;
       { e_op = Delete f; e_noop = false; e_repaired = repaired;
         e_overdeleted = overdeleted; e_rederived = List.length red;
         e_deleted = deleted }
@@ -387,6 +406,134 @@ let of_checkpoint ?engine ?obs sigma (s : Tgds.Chase.snapshot) =
       Instance.empty s.Tgds.Chase.snap_facts
   in
   create ?engine ?obs sigma db
+
+(* ---- exact images ----------------------------------------------------- *)
+
+type image = {
+  im_facts : (Fact.t * int) list;
+  im_base : Fact.t list;
+  im_ledger : ((int * Term.const option list) * Fact.t list * Fact.t list) list;
+  im_syms : Term.const list;
+  im_preds : string list;
+  im_level : int;
+  im_null_count : int;
+  im_counters : (string * int) list;
+}
+
+(* Exactness argument: the only store state observable through the
+   mutation/checkpoint API is (a) the facts and their index iteration
+   order (candidate order during joins — determines firing order and
+   hence fresh-null assignment of future propagation), (b) the s-levels,
+   (c) the base set, (d) the live ledger (support counts, over-delete
+   cascades), (e) [level], the global null counter and the metrics.
+   [ordered_facts] captures (a) only together with the symbol table's
+   interning order: facts are stored grouped by predicate id, so a
+   predicate interned early whose facts were all later deleted still
+   holds its low pid, and a rebuild that re-interned symbols from the
+   surviving facts alone would assign different ids and a different
+   storage order. [im_syms]/[im_preds] record the full id-order
+   enumeration of both spaces; [of_image] re-interns them first, after
+   which re-inserting [im_facts] in order reproduces (a) exactly (row
+   handles and free-list state differ but are not observable). Every
+   live derivation sits in [fired] (a killed record leaves [fired] at
+   death), so folding [fired] captures (d) entirely.
+   Ledger list order inside [derivs]/[uses] is not observable: every
+   reader either folds associatively (relevel, support_count) or
+   computes an order-independent closure (over-delete). *)
+let image t =
+  ensure_saturated t;
+  ensure_clean t;
+  let facts =
+    List.map
+      (fun f ->
+        ( f,
+          match Hashtbl.find_opt t.level_of f with Some l -> l | None -> 0 ))
+      (Engine.Index.ordered_facts t.idx)
+  in
+  let base =
+    List.sort Fact.compare (Hashtbl.fold (fun f () acc -> f :: acc) t.base [])
+  in
+  let ledger =
+    List.sort
+      (fun (k1, _, _) (k2, _, _) -> compare k1 k2)
+      (Hashtbl.fold (fun k d acc -> (k, d.d_body, d.d_outs) :: acc) t.fired [])
+  in
+  let st = Engine.Index.symtab t.idx in
+  let syms = List.init (Engine.Symtab.size st) (Engine.Symtab.extern st) in
+  let preds =
+    List.init (Engine.Symtab.pred_count st) (Engine.Symtab.extern_pred st)
+  in
+  {
+    im_facts = facts;
+    im_base = base;
+    im_ledger = ledger;
+    im_syms = syms;
+    im_preds = preds;
+    im_level = t.level;
+    im_null_count = Term.null_count ();
+    im_counters = Obs.Metrics.counters (metrics t);
+  }
+
+let of_image sigma (im : image) =
+  let idx = Engine.Index.create () in
+  let st = Engine.Index.symtab idx in
+  List.iter (fun c -> ignore (Engine.Symtab.intern st c)) im.im_syms;
+  List.iter (fun p -> ignore (Engine.Symtab.intern_pred st p)) im.im_preds;
+  List.iter (fun (f, _) -> ignore (Engine.Index.insert f idx)) im.im_facts;
+  let level_of = Hashtbl.create (max 16 (List.length im.im_facts)) in
+  List.iter (fun (f, l) -> Hashtbl.replace level_of f l) im.im_facts;
+  let base = Hashtbl.create (max 16 (List.length im.im_base)) in
+  List.iter (fun f -> Hashtbl.replace base f ()) im.im_base;
+  let derivs = Hashtbl.create 1024
+  and uses = Hashtbl.create 1024
+  and fired = Hashtbl.create 1024 in
+  List.iter
+    (fun (k, body, outs) ->
+      let d = { d_key = k; d_body = body; d_outs = outs; d_live = true } in
+      Hashtbl.replace fired k d;
+      List.iter (fun f -> push uses f d) body;
+      List.iter (fun f -> push derivs f d) outs)
+    im.im_ledger;
+  Term.set_null_count im.im_null_count;
+  let m = Engine.Index.metrics idx in
+  (* re-seed every counter to the image's total, cancelling the rebuild's
+     own increments (the inserts above bumped [index.inserts] etc.) —
+     same trick as [Saturate.resume] *)
+  let names =
+    List.sort_uniq String.compare
+      (List.map fst im.im_counters @ List.map fst (Obs.Metrics.counters m))
+  in
+  List.iter
+    (fun name ->
+      let saved =
+        match List.assoc_opt name im.im_counters with Some v -> v | None -> 0
+      in
+      let c = Obs.Metrics.counter m name in
+      Obs.Metrics.add c (saved - Obs.Metrics.value c))
+    names;
+  {
+    rules =
+      List.map
+        (fun t ->
+          Engine.Saturate.{ body = Tgds.Tgd.body t; head = Tgds.Tgd.head t })
+        sigma;
+    idx;
+    level_of;
+    base;
+    derivs;
+    uses;
+    fired;
+    level = im.im_level;
+    sat = true;
+    dirty = false;
+    c_inserts = Obs.Metrics.counter m "incr.inserts";
+    c_deletes = Obs.Metrics.counter m "incr.deletes";
+    c_noops = Obs.Metrics.counter m "incr.noops";
+    c_repaired = Obs.Metrics.counter m "incr.repaired";
+    c_overdeleted = Obs.Metrics.counter m "incr.overdeleted";
+    c_rederived = Obs.Metrics.counter m "incr.rederived";
+    c_deleted = Obs.Metrics.counter m "incr.deleted";
+  }
 
 let report ?(name = "incr") ?span t =
   let rep = Obs.Report.create ~metrics:(metrics t) ?span name in

@@ -72,6 +72,14 @@ val create :
 (** The store is saturated — mutations are accepted. *)
 val saturated : t -> bool
 
+(** A mutation started changing state and died (an exception escaped
+    between the first state change and completion). A dirty store is
+    between consistent states: {!insert}/{!delete} refuse it — rebuild
+    from an {!image} or {!of_checkpoint} instead. A fault injected at
+    the [incr.insert]/[incr.delete] probe points fires {e before} the
+    first state change, so it leaves the store clean and retryable. *)
+val dirty : t -> bool
+
 (** [insert ?obs t f] — add base fact [f]. Raises [Invalid_argument] on
     an unsaturated store. *)
 val insert : ?obs:Obs.Span.t -> t -> Fact.t -> effect
@@ -126,6 +134,40 @@ val checkpoint : t -> Tgds.Chase.snapshot
     checkpoint up to null renaming. *)
 val of_checkpoint :
   ?engine:Tgds.Chase.engine -> ?obs:Obs.Span.t -> Tgds.Tgd.t list -> Tgds.Chase.snapshot -> t
+
+type image = {
+  im_facts : (Fact.t * int) list;
+      (** every fact with its s-level, in index {e storage order} (see
+          {!Engine.Index.ordered_facts}) *)
+  im_base : Fact.t list;  (** the base database, sorted *)
+  im_ledger : ((int * Term.const option list) * Fact.t list * Fact.t list) list;
+      (** live derivations [(trigger key, body, outs)], sorted by key *)
+  im_syms : Term.const list;
+      (** every interned constant and null, in id order — including
+          symbols whose facts have since been deleted, which still hold
+          their ids and keep the index layout aligned *)
+  im_preds : string list;  (** every interned predicate, in id order *)
+  im_level : int;
+  im_null_count : int;  (** the global labelled-null counter *)
+  im_counters : (string * int) list;
+}
+(** An {e exact} serialisation of a maintained store — unlike
+    {!checkpoint}/{!of_checkpoint}, which round-trip only up to null
+    renaming, [of_image (image t)] reproduces [t] trajectory-faithfully:
+    same facts with the {e same} null ids, same index iteration order,
+    same ledger, same null counter and metrics. Replaying a mutation log
+    suffix against the rebuilt store therefore yields output
+    byte-identical to the uninterrupted run — the invariant crash
+    recovery of a WAL-backed [serve] is built on. *)
+
+(** [image t] — capture the store. Raises [Invalid_argument] on an
+    unsaturated or dirty store. *)
+val image : t -> image
+
+(** [of_image sigma im] — rebuild the captured store exactly. Resets the
+    global null counter to [im_null_count], so facts derived after the
+    rebuild reuse the ids the original run would have assigned. *)
+val of_image : Tgds.Tgd.t list -> image -> t
 
 (** [report ?name t] — a run report over the store's metrics (counters
     above, no span tree unless the caller kept one). *)

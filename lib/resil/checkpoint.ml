@@ -165,6 +165,10 @@ let save path (s : t) =
     (fun () -> J.to_channel oc (to_json s));
   Sys.rename tmp path
 
+type error = Io of string | Corrupt of string
+
+let error_message = function Io msg -> msg | Corrupt msg -> msg
+
 let load path =
   match
     let ic = open_in_bin path in
@@ -172,5 +176,14 @@ let load path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error msg -> Error (Printf.sprintf "checkpoint: %s" msg)
-  | contents -> Result.bind (J.parse contents) of_json
+  | exception Sys_error msg -> Error (Io (Printf.sprintf "checkpoint: %s" msg))
+  | contents -> (
+      match Result.bind (J.parse contents) of_json with
+      | Ok s -> Ok s
+      | Error msg ->
+          let msg =
+            if String.length msg >= 11 && String.sub msg 0 11 = "checkpoint:"
+            then msg
+            else Printf.sprintf "checkpoint: %s" msg
+          in
+          Error (Corrupt (Printf.sprintf "%s (%s)" msg path)))

@@ -22,6 +22,16 @@ type t = Tgds.Chase.snapshot
 val schema : string
 val version : int
 
+(** Shared constant/fact codecs: a named constant is a JSON string, a
+    labelled null [{"n": id}]; a fact with its s-level is
+    [{"p": pred, "l": level, "a": [const, …]}]. The WAL's record and
+    image files reuse these, so every durable artifact spells constants
+    the same way. *)
+val const_to_json : Relational.Term.const -> Obs.Json.t
+
+val const_of_json : Obs.Json.t -> (Relational.Term.const, string) result
+val fact_to_json : Relational.Fact.t * int -> Obs.Json.t
+val fact_of_json : Obs.Json.t -> (Relational.Fact.t * int, string) result
 val to_json : t -> Obs.Json.t
 
 (** [of_json j] — inverse of {!to_json}; [Error] on an unknown schema or
@@ -32,5 +42,15 @@ val of_json : Obs.Json.t -> (t, string) result
     atomically via a temporary file next to [path]. *)
 val save : string -> t -> unit
 
-(** [load path] — read and decode; [Error] on IO or decode failure. *)
-val load : string -> (t, string) result
+(** Why a checkpoint failed to load. [Io] — the file could not be read
+    (missing, permissions): an input error, exit code 2 at the CLI.
+    [Corrupt] — the file was read but is not a valid checkpoint
+    (truncated JSON, bad schema, malformed field): a runtime fault, exit
+    code 1. Both carry a one-line diagnostic naming the file. *)
+type error = Io of string | Corrupt of string
+
+(** The diagnostic line of an {!error}. *)
+val error_message : error -> string
+
+(** [load path] — read and decode; see {!error} for the failure split. *)
+val load : string -> (t, error) result

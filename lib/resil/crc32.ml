@@ -1,0 +1,32 @@
+(** CRC-32 (IEEE 802.3); see the interface. Plain OCaml ints carry the
+    32-bit state — [lsr] never widens it and the final mask keeps the
+    result in [0, 2^32) on 64-bit hosts. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let string s =
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let to_hex v = Printf.sprintf "%08x" (v land 0xFFFFFFFF)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    let ok =
+      String.for_all
+        (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+        s
+    in
+    if ok then int_of_string_opt ("0x" ^ s) else None

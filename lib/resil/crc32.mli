@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    The WAL checksums every record line with this before it is fsync'd,
+    so recovery can tell a torn tail from a complete record without
+    trusting file lengths. Self-contained (no zlib binding): the
+    256-entry table is computed once, lazily. *)
+
+(** [string s] — the CRC-32 of the whole string, as a non-negative int
+    in [0, 2^32). [string "123456789" = 0xCBF43926] (the standard check
+    value). *)
+val string : string -> int
+
+(** Eight lowercase hex digits, zero-padded. *)
+val to_hex : int -> string
+
+(** [of_hex s] — inverse of {!to_hex}; [None] unless [s] is exactly
+    eight hex digits. *)
+val of_hex : string -> int option

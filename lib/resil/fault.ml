@@ -15,16 +15,24 @@ let none : plan = []
 let trigger_for plan ~attempt =
   if attempt < 1 then None else List.nth_opt plan (attempt - 1)
 
+(* The hook Fault itself installed, remembered so {!suspended} can lift
+   and re-install it (with its counters intact) around recovery code. *)
+let installed : (string -> unit) option ref = ref None
+
+let install_hook f =
+  installed := Some f;
+  Obs.Probe.install f
+
 let arm ?(clock = Unix.gettimeofday) trig =
   match trig with
   | At_hit n ->
       let hits = ref 0 in
-      Obs.Probe.install (fun point ->
+      install_hook (fun point ->
           incr hits;
           if !hits >= n then raise (Injected (point, !hits)))
   | At_point (name, n) ->
       let total = ref 0 and named = ref 0 in
-      Obs.Probe.install (fun point ->
+      install_hook (fun point ->
           incr total;
           if String.equal point name then begin
             incr named;
@@ -33,11 +41,53 @@ let arm ?(clock = Unix.gettimeofday) trig =
   | After_ms ms ->
       let t0 = clock () in
       let hits = ref 0 in
-      Obs.Probe.install (fun point ->
+      install_hook (fun point ->
           incr hits;
           if (clock () -. t0) *. 1000. >= ms then raise (Injected (point, !hits)))
 
-let disarm () = Obs.Probe.clear ()
+let disarm () =
+  installed := None;
+  Obs.Probe.clear ()
+
+let arm_seq ?(clock = Unix.gettimeofday) (plan : plan) =
+  match plan with
+  | [] -> disarm ()
+  | _ ->
+      let plan = Array.of_list plan in
+      let idx = ref 0 and total = ref 0 in
+      (* per-trigger counters, reset each time the sequence advances so
+         every trigger counts relative to its own arming moment, exactly
+         like a fresh {!arm} *)
+      let hits = ref 0 and named = ref 0 in
+      let t0 = ref (clock ()) in
+      install_hook (fun point ->
+          incr total;
+          if !idx < Array.length plan then begin
+            incr hits;
+            let fire () =
+              incr idx;
+              hits := 0;
+              named := 0;
+              t0 := clock ();
+              raise (Injected (point, !total))
+            in
+            match plan.(!idx) with
+            | At_hit n -> if !hits >= n then fire ()
+            | At_point (name, n) ->
+                if String.equal point name then begin
+                  incr named;
+                  if !named >= n then fire ()
+                end
+            | After_ms ms ->
+                if (clock () -. !t0) *. 1000. >= ms then fire ()
+          end)
+
+let suspended f =
+  match !installed with
+  | None -> f ()
+  | Some h ->
+      Obs.Probe.clear ();
+      Fun.protect ~finally:(fun () -> Obs.Probe.install h) f
 
 let with_trigger ?clock trig f =
   (match trig with None -> disarm () | Some t -> arm ?clock t);

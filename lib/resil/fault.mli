@@ -41,6 +41,22 @@ val arm : ?clock:(unit -> float) -> trigger -> unit
 (** Remove the armed trigger (idempotent). *)
 val disarm : unit -> unit
 
+(** [arm_seq ?clock plan] — arm the {e whole} plan over one long-running
+    computation (a [serve] mutation loop), instead of one trigger per
+    supervised attempt: trigger 1 is live first; when it fires, trigger 2
+    becomes live (its hit/point/clock counters restart at the moment of
+    advancement), and so on. A plan of length [n] injects exactly [n]
+    faults, then the computation runs fault-free. [arm_seq []] disarms. *)
+val arm_seq : ?clock:(unit -> float) -> plan -> unit
+
+(** [suspended f] — run [f ()] with the currently armed trigger (or
+    sequence) lifted, re-installing it afterwards with its counters
+    intact. Recovery machinery (state restoration, replay of
+    previously-successful mutations) runs under [suspended] so a plan's
+    triggers fire on the supervised path itself, not on the repair of an
+    earlier firing. No-op when nothing is armed. *)
+val suspended : (unit -> 'a) -> 'a
+
 (** [with_trigger ?clock trig f] — run [f ()] with [trig] armed ([None]
     arms nothing), disarming afterwards even if [f] raises. *)
 val with_trigger : ?clock:(unit -> float) -> trigger option -> (unit -> 'a) -> 'a

@@ -560,6 +560,136 @@ let test_serve_checkpoint_resumes () =
   Alcotest.(check (list string))
     "resumed instance equals the maintained one" (facts out) (facts out2)
 
+let facts_of s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.length l > 0 && l.[0] <> '%')
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "guarded_wal" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+(* A crash mid-WAL-append (a fault injected at the fsync boundary leaves
+   a torn record) recovers to a final state byte-identical to the
+   uninterrupted run: same checkpoint bytes, same fact lines. *)
+let test_serve_wal_crash_recovery () =
+  with_tmpdir (fun dir ->
+      let ck_ref = Filename.temp_file "guarded_ckref" ".json" in
+      let ck_rec = Filename.temp_file "guarded_ckrec" ".json" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove ck_ref;
+          Sys.remove ck_rec)
+        (fun () ->
+          let status, out_ref, _ =
+            run_cli
+              [
+                "serve"; prog "university.gd"; "--log"; prog "university.mut";
+                "--checkpoint"; ck_ref;
+              ]
+          in
+          check "reference run exits 0" true (status = 0);
+          let wal = Filename.concat dir "wal" in
+          let status1, _, err1 =
+            run_cli
+              [
+                "serve"; prog "university.gd"; "--log"; prog "university.mut";
+                "--wal"; wal; "--checkpoint-every"; "2"; "--fault-plan";
+                "point:wal.fsync:3";
+              ]
+          in
+          check (Fmt.str "crashed run exits 1 (err=%S)" err1) true
+            (status1 = 1);
+          check "crash is diagnosed" true (contains err1 "wal.fsync");
+          let status2, out_rec, err2 =
+            run_cli
+              [
+                "serve"; prog "university.gd"; "--log"; prog "university.mut";
+                "--wal"; wal; "--recover"; "--checkpoint-every"; "2";
+                "--checkpoint"; ck_rec;
+              ]
+          in
+          check (Fmt.str "recovered run exits 0 (err=%S)" err2) true
+            (status2 = 0);
+          check "recovery is reported" true (contains out_rec "recover:");
+          check "torn record was truncated" true (contains out_rec "1 truncated");
+          Alcotest.(check (list string))
+            "recovered instance equals the uninterrupted one"
+            (facts_of out_ref) (facts_of out_rec);
+          check "recovered checkpoint is byte-identical" true
+            (slurp ck_ref = slurp ck_rec)))
+
+(* --recover needs a WAL directory to recover from. *)
+let test_serve_recover_requires_wal () =
+  let status, _, err =
+    run_cli
+      [ "serve"; prog "university.gd"; "--log"; prog "university.mut";
+        "--recover" ]
+  in
+  check "exits 2" true (status = 2);
+  check "names the missing flag" true (contains err "--wal")
+
+(* Malformed log lines: strict mode (default) aborts naming the line and
+   its content; --strict-log=false skips them with a warning and applies
+   the rest. *)
+let test_serve_strict_log () =
+  let log = Filename.temp_file "guarded_badlog" ".mut" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log)
+    (fun () ->
+      let oc = open_out log in
+      output_string oc "+prof(turing).\nthis is not a mutation\n-prof(hopper).\n";
+      close_out oc;
+      let status, _, err =
+        run_cli [ "serve"; prog "university.gd"; "--log"; log ]
+      in
+      check "strict mode exits 2" true (status = 2);
+      check "diagnostic names the line" true (contains err ":2:");
+      check "diagnostic shows the content" true
+        (contains err "this is not a mutation");
+      let status2, out2, err2 =
+        run_cli
+          [
+            "serve"; prog "university.gd"; "--log"; log; "--strict-log";
+            "false";
+          ]
+      in
+      check (Fmt.str "lenient mode exits 0 (err=%S)" err2) true (status2 = 0);
+      check "warning names the line" true (contains err2 ":2:");
+      check "good mutations still applied" true
+        (contains out2 "+prof(turing): "))
+
+(* A poisoned mutation (faults on every rung of the ladder) is
+   quarantined: the run keeps serving, later mutations apply, and the
+   exit code reports the quarantine. *)
+let test_serve_quarantine () =
+  let status, out, err =
+    run_cli
+      [
+        "serve"; prog "university.gd"; "--log"; prog "university.mut";
+        "--retries"; "2"; "--fault-plan";
+        "point:incr.delete:1,point:incr.delete:1";
+      ]
+  in
+  check "quarantine exits 1" true (status = 1);
+  check "ladder transcript printed" true (contains out "ladder:");
+  check "mutation reported quarantined" true (contains out "quarantined");
+  check "stderr diagnostic names the mutation" true
+    (contains err "-prof(ada)");
+  check "later mutations still apply" true
+    (contains out "-teaches(ada,logic): overdeleted");
+  check "summary counts the quarantine" true
+    (contains out "1 mutation(s) quarantined")
+
 (* A transient injected fault is absorbed by the supervisor: same exit
    code and facts as a clean run, plus a recovery note. *)
 let test_fault_recovery_note () =
@@ -606,5 +736,13 @@ let () =
             test_fault_kill_and_resume;
           Alcotest.test_case "fault recovery note" `Quick
             test_fault_recovery_note;
+          Alcotest.test_case "serve WAL crash recovery" `Quick
+            test_serve_wal_crash_recovery;
+          Alcotest.test_case "serve --recover requires --wal" `Quick
+            test_serve_recover_requires_wal;
+          Alcotest.test_case "serve strict-log modes" `Quick
+            test_serve_strict_log;
+          Alcotest.test_case "serve quarantines poison mutations" `Quick
+            test_serve_quarantine;
         ] );
     ]

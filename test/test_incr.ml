@@ -137,6 +137,39 @@ let prop_checkpoint (sigma, db, ops) =
   Tgds.Chase.saturated r
   && Instance.equal (Tgds.Chase.instance r) (Incr.instance store)
 
+(* the crash-recovery invariant behind the WAL: capture an exact image at
+   any cut of the log, rebuild from it, replay the suffix — the result
+   must equal the uninterrupted run *exactly* (facts with the same null
+   ids in the same storage order, s-levels, ledger liveness, counters),
+   not merely up to renaming. [Incr.image] equality covers storage order,
+   levels, the live ledger, the null counter, and the metrics in one
+   comparison; instance equality and per-fact support counts pin the
+   observable side independently. *)
+let prop_image_split (sigma, db, ops, cut) =
+  Term.reset_nulls ();
+  let full = Incr.create sigma db in
+  apply_log full ops;
+  let full_image = Incr.image full in
+  Term.reset_nulls ();
+  let k = cut mod (List.length ops + 1) in
+  let prefix = List.filteri (fun i _ -> i < k) ops in
+  let suffix = List.filteri (fun i _ -> i >= k) ops in
+  let store = Incr.create sigma db in
+  apply_log store prefix;
+  let rebuilt = Incr.of_image sigma (Incr.image store) in
+  apply_log rebuilt suffix;
+  Incr.image rebuilt = full_image
+  && Instance.equal (Incr.instance rebuilt) (Incr.instance full)
+  && List.for_all
+       (fun (f, _) -> Incr.support_count rebuilt f = Incr.support_count full f)
+       full_image.Incr.im_facts
+
+let arb_split_case =
+  QCheck.make
+    ~print:(fun (sigma, db, ops, cut) ->
+      Fmt.str "%s cut=%d" (print_case (sigma, db, ops)) cut)
+    QCheck.Gen.(quad gen_sigma gen_db gen_log (int_range 0 1000))
+
 let qcheck ?(count = 200) name prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb_case prop)
 
@@ -262,6 +295,10 @@ let () =
             prop_engine_parity;
           qcheck ~count:100 "maintained checkpoint resumes as a no-op"
             prop_checkpoint;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~count:200
+               ~name:"image at any cut + suffix replay = uninterrupted run"
+               arb_split_case prop_image_split);
         ] );
       ( "corners",
         [

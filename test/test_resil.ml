@@ -62,7 +62,8 @@ let test_checkpoint_disk_roundtrip () =
       in
       let first = read () in
       (match Resil.Checkpoint.load path with
-      | Error e -> Alcotest.failf "load failed: %s" e
+      | Error e ->
+          Alcotest.failf "load failed: %s" (Resil.Checkpoint.error_message e)
       | Ok s' -> Resil.Checkpoint.save path s');
       check "save → load → save is byte-identical" true (read () = first))
 
@@ -300,7 +301,9 @@ let test_supervisor_checkpoints_to_disk () =
             ((List.hd log).Resil.Supervisor.resumed_from = None)
       | _ -> Alcotest.fail "expected Recovered");
       match Resil.Checkpoint.load path with
-      | Error e -> Alcotest.failf "final checkpoint unreadable: %s" e
+      | Error e ->
+          Alcotest.failf "final checkpoint unreadable: %s"
+            (Resil.Checkpoint.error_message e)
       | Ok s ->
           check "final checkpoint is at the run's last boundary" true
             (s.Chase.snap_level > 0))
@@ -358,6 +361,360 @@ let test_fault_arm_determinism () =
   check "same trigger, same failure point" true (a = b && a <> None);
   check "probes disarmed afterwards" true (not (Obs.Probe.armed ()))
 
+(* ------------------------------------------------------------------ *)
+(* Typed checkpoint errors                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_checkpoint_typed_errors () =
+  (match Resil.Checkpoint.load "/no/such/checkpoint.json" with
+  | Error (Resil.Checkpoint.Io msg) ->
+      check "Io message is one line" true (not (String.contains msg '\n'))
+  | Error (Resil.Checkpoint.Corrupt _) ->
+      Alcotest.fail "a missing file is Io, not Corrupt"
+  | Ok _ -> Alcotest.fail "load of a missing file succeeded");
+  let path = Filename.temp_file "resil_bad_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"schema\": \"guarded-chase-checkpoint\", \"ver";
+      close_out oc;
+      match Resil.Checkpoint.load path with
+      | Error (Resil.Checkpoint.Corrupt msg) ->
+          check "Corrupt names the file" true
+            (contains_sub msg (Filename.basename path));
+          check "Corrupt message is one line" true
+            (not (String.contains msg '\n'))
+      | Error (Resil.Checkpoint.Io _) ->
+          Alcotest.fail "unparseable JSON is Corrupt, not Io"
+      | Ok _ -> Alcotest.fail "load of truncated JSON succeeded")
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 and the WAL                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32 () =
+  (* the standard CRC-32 check value *)
+  check_int "check value" 0xCBF43926 (Resil.Crc32.string "123456789");
+  check_int "empty string" 0 (Resil.Crc32.string "");
+  let c = Resil.Crc32.string "a WAL record payload" in
+  check "hex round-trip" true (Resil.Crc32.of_hex (Resil.Crc32.to_hex c) = Some c);
+  check "rejects short hex" true (Resil.Crc32.of_hex "abc" = None);
+  check "rejects non-hex" true (Resil.Crc32.of_hex "zzzzzzzz" = None)
+
+(* Σ terminates: A(x) → B(x); B(x) → ∃y S(x,y). Inserts/deletes of A
+   facts cascade through both rules, inventing one null per chain. *)
+let serve_sigma =
+  [
+    tgd [ atom "A" [ v "x" ] ] [ atom "B" [ v "x" ] ];
+    tgd [ atom "B" [ v "x" ] ] [ atom "S" [ v "x"; v "y" ] ];
+  ]
+
+let serve_db = Instance.of_facts [ fact "A" [ "a" ]; fact "A" [ "b" ] ]
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "resil_wal" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let test_wal_roundtrip () =
+  Term.reset_nulls ();
+  let store = Incr.create serve_sigma serve_db in
+  with_tmpdir (fun dir ->
+      let w = Resil.Wal.create ~dir (Incr.image store) in
+      let ops =
+        [
+          Incr.Insert (fact "A" [ "c" ]);
+          Incr.Delete (fact "A" [ "a" ]);
+          Incr.Insert (fact "A" [ "d" ]);
+        ]
+      in
+      List.iteri
+        (fun i op ->
+          Resil.Wal.append w (Resil.Wal.Op (i + 1, op));
+          ignore (Incr.apply store op))
+        ops;
+      Resil.Wal.close w;
+      match Resil.Wal.recover ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          check_int "image at seq 0" 0 r.Resil.Wal.rec_image_seq;
+          check_int "three tail records" 3 (List.length r.Resil.Wal.rec_ops);
+          check_int "last seq" 3 r.Resil.Wal.rec_last_seq;
+          check_int "nothing truncated" 0 r.Resil.Wal.rec_truncated;
+          (* image + tail replay reproduces the store exactly — same
+             facts, same null ids *)
+          let rebuilt = Incr.of_image serve_sigma r.Resil.Wal.rec_image in
+          List.iter
+            (fun (_, op) -> ignore (Incr.apply rebuilt op))
+            r.Resil.Wal.rec_ops;
+          check "replayed store is identical" true
+            (Instance.equal (Incr.instance rebuilt) (Incr.instance store)))
+
+let test_wal_rotation_prunes () =
+  Term.reset_nulls ();
+  let store = Incr.create serve_sigma serve_db in
+  with_tmpdir (fun dir ->
+      let w = Resil.Wal.create ~dir (Incr.image store) in
+      let op1 = Incr.Insert (fact "A" [ "c" ]) in
+      Resil.Wal.append w (Resil.Wal.Op (1, op1));
+      ignore (Incr.apply store op1);
+      Resil.Wal.rotate w ~seq:1 (Incr.image store);
+      let op2 = Incr.Delete (fact "A" [ "b" ]) in
+      Resil.Wal.append w (Resil.Wal.Op (2, op2));
+      ignore (Incr.apply store op2);
+      Resil.Wal.close w;
+      check "old image pruned" false
+        (Sys.file_exists (Filename.concat dir "image-0.json"));
+      check "old segment pruned" false
+        (Sys.file_exists (Filename.concat dir "wal-0.log"));
+      match Resil.Wal.recover ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          check_int "recovers from the rotated image" 1
+            r.Resil.Wal.rec_image_seq;
+          check_int "one tail record" 1 (List.length r.Resil.Wal.rec_ops);
+          let rebuilt = Incr.of_image serve_sigma r.Resil.Wal.rec_image in
+          List.iter
+            (fun (_, op) -> ignore (Incr.apply rebuilt op))
+            r.Resil.Wal.rec_ops;
+          check "replay from rotated image is identical" true
+            (Instance.equal (Incr.instance rebuilt) (Incr.instance store)))
+
+let append_raw dir seg bytes =
+  let path = Filename.concat dir (Printf.sprintf "wal-%d.log" seg) in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc bytes;
+  close_out oc;
+  path
+
+let test_wal_truncates_torn_tail () =
+  Term.reset_nulls ();
+  let store = Incr.create serve_sigma serve_db in
+  with_tmpdir (fun dir ->
+      let w = Resil.Wal.create ~dir (Incr.image store) in
+      Resil.Wal.append w (Resil.Wal.Op (1, Incr.Insert (fact "A" [ "c" ])));
+      Resil.Wal.close w;
+      (* a crash mid-append: record body without its newline *)
+      let path = append_raw dir 0 "deadbeef {\"s\":2,\"k\":\"+\"" in
+      (match Resil.Wal.recover ~dir with
+      | Error e -> Alcotest.failf "torn tail should recover: %s" e
+      | Ok r ->
+          check_int "torn record truncated" 1 r.Resil.Wal.rec_truncated;
+          check_int "surviving record kept" 1 (List.length r.Resil.Wal.rec_ops);
+          check_int "last seq ignores the torn record" 1
+            r.Resil.Wal.rec_last_seq);
+      (* the torn bytes are physically gone: recovery is idempotent *)
+      (match Resil.Wal.recover ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok r -> check_int "second recovery sees a clean tail" 0
+            r.Resil.Wal.rec_truncated);
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      close_in ic;
+      let reopened = Resil.Wal.reopen ~dir in
+      Resil.Wal.append reopened
+        (Resil.Wal.Op (2, Incr.Insert (fact "A" [ "d" ])));
+      Resil.Wal.close reopened;
+      let ic = open_in_bin path in
+      let len' = in_channel_length ic in
+      close_in ic;
+      check "appends resume on the clean boundary" true (len' > len);
+      match Resil.Wal.recover ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok r -> check_int "both records readable" 2 (List.length r.Resil.Wal.rec_ops))
+
+let test_wal_rejects_interior_corruption () =
+  Term.reset_nulls ();
+  let store = Incr.create serve_sigma serve_db in
+  with_tmpdir (fun dir ->
+      let w = Resil.Wal.create ~dir (Incr.image store) in
+      Resil.Wal.append w (Resil.Wal.Op (1, Incr.Insert (fact "A" [ "c" ])));
+      Resil.Wal.close w;
+      (* a corrupt line with a valid record after it is not a torn tail *)
+      ignore (append_raw dir 0 "00000000 {\"garbage\":true}\n");
+      let payload = "{\"s\":2,\"k\":\"-\",\"p\":\"A\",\"a\":[\"c\"]}" in
+      ignore
+        (append_raw dir 0
+           (Resil.Crc32.to_hex (Resil.Crc32.string payload) ^ " " ^ payload
+          ^ "\n"));
+      match Resil.Wal.recover ~dir with
+      | Error msg ->
+          check "diagnostic names the record" true
+            (contains_sub msg "corrupt record")
+      | Ok _ -> Alcotest.fail "interior corruption must not recover")
+
+let test_wal_image_codec_roundtrip () =
+  Term.reset_nulls ();
+  let store = Incr.create serve_sigma serve_db in
+  ignore (Incr.apply store (Incr.Delete (fact "A" [ "a" ])));
+  let im = Incr.image store in
+  let j = Resil.Wal.image_to_json ~seq:7 im in
+  let str = Obs.Json.to_string j in
+  match Result.bind (Obs.Json.parse str) Resil.Wal.image_of_json with
+  | Error e -> Alcotest.fail e
+  | Ok (seq, im') ->
+      check_int "seq preserved" 7 seq;
+      check "image round-trips" true (im' = im);
+      check "serialisation is stable" true
+        (Obs.Json.to_string (Resil.Wal.image_to_json ~seq:7 im') = str)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential fault plans                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fire name =
+  try
+    Obs.Probe.hit name;
+    None
+  with Resil.Fault.Injected (pt, _) -> Some pt
+
+let test_fault_arm_seq () =
+  Resil.Fault.arm_seq
+    [ Resil.Fault.At_point ("p", 2); Resil.Fault.At_hit 1 ];
+  check "first hit of p passes" true (fire "p" = None);
+  check "other points do not advance At_point" true (fire "q" = None);
+  check "second hit of p fires trigger 1" true (fire "p" = Some "p");
+  (* trigger 2 is now live with fresh counters: the next hit anywhere
+     fires *)
+  check "trigger 2 fires on its first hit" true (fire "q" = Some "q");
+  check "exhausted plan runs fault-free" true
+    (fire "p" = None && fire "q" = None && fire "r" = None);
+  Resil.Fault.disarm ();
+  check "disarmed" true (not (Obs.Probe.armed ()))
+
+let test_fault_suspended () =
+  Resil.Fault.arm_seq [ Resil.Fault.At_hit 2 ];
+  check "one hit consumed" true (fire "x" = None);
+  let inside =
+    Resil.Fault.suspended (fun () ->
+        fire "x" = None && fire "x" = None && fire "x" = None)
+  in
+  check "no injection while suspended" true inside;
+  (* re-installed with its counter intact: one more hit fires *)
+  check "trigger fires after resumption" true (fire "x" = Some "x");
+  Resil.Fault.disarm ()
+
+(* ------------------------------------------------------------------ *)
+(* Serve supervisor: the degradation ladder                             *)
+(* ------------------------------------------------------------------ *)
+
+let ladder_fixture () =
+  Term.reset_nulls ();
+  let store = ref (Incr.create serve_sigma serve_db) in
+  let image = ref (Incr.image !store) in
+  let restore () = Incr.of_image serve_sigma !image in
+  let rechase st = Incr.create serve_sigma (Incr.base st) in
+  (store, restore, rechase)
+
+let test_ladder_clean_apply () =
+  let store, restore, rechase = ladder_fixture () in
+  match
+    Resil.Serve_supervisor.apply ~sleep:(fun _ -> ()) ~restore ~rechase ~store
+      (Incr.Insert (fact "A" [ "c" ]))
+  with
+  | Resil.Serve_supervisor.Applied (eff, [ s ]) ->
+      check "applied" true (not eff.Incr.e_noop);
+      check "single clean attempt on the repair rung" true
+        (s.Resil.Serve_supervisor.st_rung = Resil.Serve_supervisor.Repair
+        && s.Resil.Serve_supervisor.st_outcome = `Ok)
+  | _ -> Alcotest.fail "expected a one-step Applied"
+
+let test_ladder_retries_clean_fault () =
+  let store, restore, rechase = ladder_fixture () in
+  (* the incr.delete probe fires before any state change: the store is
+     left clean and attempt 2 repairs in place *)
+  Resil.Fault.arm_seq [ Resil.Fault.At_point ("incr.delete", 1) ];
+  let outcome =
+    Fun.protect ~finally:Resil.Fault.disarm (fun () ->
+        Resil.Serve_supervisor.apply ~retries:3 ~sleep:(fun _ -> ()) ~restore
+          ~rechase ~store
+          (Incr.Delete (fact "A" [ "a" ])))
+  in
+  match outcome with
+  | Resil.Serve_supervisor.Applied (eff, steps) ->
+      check "mutation landed" true (not eff.Incr.e_noop);
+      check "transcript: repair faulted, rederive succeeded" true
+        (List.map
+           (fun (s : Resil.Serve_supervisor.step) ->
+             ( s.st_rung,
+               match s.st_outcome with `Ok -> true | `Fault _ -> false ))
+           steps
+        = [
+            (Resil.Serve_supervisor.Repair, false);
+            (Resil.Serve_supervisor.Rederive, true);
+          ]);
+      check "deleted from the store" true
+        (not (Instance.mem (fact "A" [ "a" ]) (Incr.instance !store)))
+  | _ -> Alcotest.fail "expected Applied after one retry"
+
+let test_ladder_restores_dirty_store () =
+  let store, restore, rechase = ladder_fixture () in
+  (* a fault mid-insert (inside the delta fixpoint) leaves the store
+     dirty; the rederive rung must restore before retrying *)
+  Resil.Fault.arm_seq [ Resil.Fault.At_point ("engine.pass", 1) ];
+  let outcome =
+    Fun.protect ~finally:Resil.Fault.disarm (fun () ->
+        Resil.Serve_supervisor.apply ~retries:3 ~sleep:(fun _ -> ()) ~restore
+          ~rechase ~store
+          (Incr.Insert (fact "A" [ "z" ])))
+  in
+  match outcome with
+  | Resil.Serve_supervisor.Applied (_, steps) ->
+      check_int "two attempts" 2 (List.length steps);
+      check "store is clean afterwards" true (not (Incr.dirty !store));
+      check "inserted chain present" true
+        (Instance.mem (fact "B" [ "z" ]) (Incr.instance !store))
+  | _ -> Alcotest.fail "expected Applied after restoring the dirty store"
+
+let test_ladder_quarantines_poison () =
+  let store, restore, rechase = ladder_fixture () in
+  let before = Incr.instance !store in
+  Resil.Fault.arm_seq
+    [
+      Resil.Fault.At_point ("incr.delete", 1);
+      Resil.Fault.At_point ("incr.delete", 1);
+      Resil.Fault.At_point ("incr.delete", 1);
+    ];
+  let outcome =
+    Fun.protect ~finally:Resil.Fault.disarm (fun () ->
+        Resil.Serve_supervisor.apply ~retries:3 ~sleep:(fun _ -> ()) ~restore
+          ~rechase ~store
+          (Incr.Delete (fact "A" [ "a" ])))
+  in
+  (match outcome with
+  | Resil.Serve_supervisor.Quarantined (steps, msg) ->
+      check "transcript climbs the whole ladder" true
+        (List.map
+           (fun (s : Resil.Serve_supervisor.step) -> s.st_rung)
+           steps
+        = [
+            Resil.Serve_supervisor.Repair;
+            Resil.Serve_supervisor.Rederive;
+            Resil.Serve_supervisor.Rechase;
+          ]);
+      check "diagnostic names the fault" true
+        (contains_sub msg "incr.delete")
+  | _ -> Alcotest.fail "expected Quarantined");
+  check "pre-mutation store restored" true
+    (Instance.equal before (Incr.instance !store));
+  (* the poison is contained: the next mutation applies cleanly *)
+  match
+    Resil.Serve_supervisor.apply ~sleep:(fun _ -> ()) ~restore ~rechase ~store
+      (Incr.Insert (fact "A" [ "c" ]))
+  with
+  | Resil.Serve_supervisor.Applied (eff, _) ->
+      check "later mutations still apply" true (not eff.Incr.e_noop)
+  | _ -> Alcotest.fail "store unusable after quarantine"
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -387,6 +744,35 @@ let () =
           Alcotest.test_case "fault plan parsing" `Quick test_fault_parse;
           Alcotest.test_case "fault arming is deterministic" `Quick
             test_fault_arm_determinism;
+          Alcotest.test_case "checkpoint errors are typed" `Quick
+            test_checkpoint_typed_errors;
+          Alcotest.test_case "crc32" `Quick test_crc32;
+          Alcotest.test_case "fault sequential plans" `Quick test_fault_arm_seq;
+          Alcotest.test_case "fault suspension" `Quick test_fault_suspended;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "append and recover round-trip" `Quick
+            test_wal_roundtrip;
+          Alcotest.test_case "rotation prunes and stays recoverable" `Quick
+            test_wal_rotation_prunes;
+          Alcotest.test_case "torn tail is truncated" `Quick
+            test_wal_truncates_torn_tail;
+          Alcotest.test_case "interior corruption is an error" `Quick
+            test_wal_rejects_interior_corruption;
+          Alcotest.test_case "image codec round-trip" `Quick
+            test_wal_image_codec_roundtrip;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "clean apply is one repair step" `Quick
+            test_ladder_clean_apply;
+          Alcotest.test_case "clean fault retries in place" `Quick
+            test_ladder_retries_clean_fault;
+          Alcotest.test_case "dirty store is restored" `Quick
+            test_ladder_restores_dirty_store;
+          Alcotest.test_case "poison mutation is quarantined" `Quick
+            test_ladder_quarantines_poison;
         ] );
       ("properties", qcheck_tests);
     ]
