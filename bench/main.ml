@@ -500,8 +500,9 @@ let e14 ~full () =
 
 (* BENCH_engine.json is shared between E15 (chase workloads), E17
    (answer-enumeration workloads, names prefixed "answers-"), E18
-   (incremental-maintenance workloads, names prefixed "incr-") and E20
-   (WAL-recovery workloads, names prefixed "recover-"). Each experiment
+   (incremental-maintenance workloads, names prefixed "incr-"), E20
+   (WAL-recovery workloads, names prefixed "recover-") and E21
+   (query-server workloads, names prefixed "server-"). Each experiment
    replaces only its own entries and keeps the others', so regenerating
    one never drops another's baselines. *)
 let update_bench_engine ~owns entries =
@@ -532,6 +533,7 @@ let update_bench_engine ~owns entries =
 let answers_workload w = String.starts_with ~prefix:"answers-" w
 let incr_workload w = String.starts_with ~prefix:"incr-" w
 let recover_workload w = String.starts_with ~prefix:"recover-" w
+let server_workload w = String.starts_with ~prefix:"server-" w
 
 let e15 ~full () =
   header "E15: semi-naive indexed chase vs naive re-enumeration"
@@ -603,7 +605,8 @@ let e15 ~full () =
     ~owns:(fun w ->
       (not (answers_workload w))
       && (not (incr_workload w))
-      && not (recover_workload w))
+      && (not (recover_workload w))
+      && not (server_workload w))
     entries
 
 (* ------------------------------------------------------------------ *)
@@ -1043,6 +1046,158 @@ let e20 ~full () =
   update_bench_engine ~owns:recover_workload entries
 
 (* ------------------------------------------------------------------ *)
+(* E21 — sustained qps / latency of the concurrent query server         *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole pipeline end-to-end: emit a lubm-scale program in surface
+   syntax (the parser wants lowercase predicates, so the generated
+   predicates are lowercased), parse it, saturate once, freeze the
+   snapshot and drive Server.Daemon.run over a file of mixed
+   answers/count request lines at several worker counts. *)
+let e21_program ~universities =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    "prof(X) -> teaches(X,C).\n\
+     teaches(X,C) -> course(C).\n\
+     course(C) -> offeredby(C,D).\n\
+     offeredby(C,D) -> dept(D).\n\
+     teaches(X,C) -> faculty(X).\n\
+     student(S) -> takes(S,C).\n\
+     takes(S,C) -> course(C).\n\
+     student(S) -> advisedby(S,A).\n\
+     advisedby(S,A) -> faculty(A).\n\
+     memberof(X,D) -> dept(D).\n";
+  let _, db = Workload.lubm ~universities () in
+  Instance.iter
+    (fun f ->
+      Buffer.add_string buf (String.lowercase_ascii (Fact.pred f));
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Fmt.str "%a" Term.pp_const c))
+        (Fact.args f);
+      Buffer.add_string buf ").\n")
+    db;
+  Buffer.contents buf
+
+(* the mixed request set: point lookups, wide scans, a union, a join and
+   a count, cycled in a fixed order so every run issues the same lines *)
+let e21_requests n =
+  let templates =
+    [|
+      "answers q(X) :- prof(X).";
+      "count q(X) :- faculty(X).";
+      "answers q(X,C) :- teaches(X,C).";
+      "count q(S) :- student(S). q(S) :- prof(S).";
+      "answers q(S,C) :- takes(S,C), course(C).";
+      "count q(D) :- dept(D).";
+      "answers q(P,D) :- prof(P), memberof(P,D).";
+      "count q(S,A) :- advisedby(S,A), faculty(A).";
+    |]
+  in
+  List.init n (fun i -> templates.(i mod Array.length templates))
+
+(* one serving run: feed [requests] through a request file, return the
+   daemon summary plus the report carrying the latency histogram *)
+let e21_serve ~workers ~requests snap =
+  let req_path = Filename.temp_file "e21_requests" ".txt" in
+  let out_path = Filename.temp_file "e21_replies" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove req_path;
+      Sys.remove out_path)
+    (fun () ->
+      let oc = open_out req_path in
+      List.iter
+        (fun r ->
+          output_string oc r;
+          output_char oc '\n')
+        requests;
+      close_out oc;
+      let report = Obs.Report.create "e21" in
+      let ic = open_in req_path and oc = open_out out_path in
+      let summary =
+        Fun.protect
+          ~finally:(fun () ->
+            close_in_noerr ic;
+            close_out_noerr oc)
+          (fun () ->
+            Server.Daemon.run ~report
+              {
+                Server.Daemon.workers;
+                max_facts = None;
+                max_ms = None;
+                fault_plan = [];
+              }
+              snap ic oc)
+      in
+      (summary, report))
+
+let e21_snapshot ~universities =
+  let p = Syntax.Parser.parse (e21_program ~universities) in
+  let db = Syntax.Parser.database p in
+  let r =
+    Tgds.Chase.run
+      ~engine:(`Parallel (Domain.recommended_domain_count ()))
+      ~max_level:6 p.Syntax.Parser.tgds db
+  in
+  Engine.Snapshot.freeze
+    ~saturated:(Tgds.Chase.saturated r)
+    ~universe:(Instance.dom db) (Tgds.Chase.index r)
+
+let e21 ~full () =
+  header "E21: concurrent query server over the shared saturated store"
+    "not a paper claim — the serving runtime (DESIGN.md §2.15)"
+    "sustained qps with p50 flat across worker counts: workers share one \
+     frozen index with no locks on the read path, while p99 absorbs the \
+     runtime's global minor-GC barriers (allocation in any domain pauses \
+     all of them)";
+  let universities = if full then 40 else 10 in
+  let n_requests = if full then 2000 else 400 in
+  let snap = e21_snapshot ~universities in
+  let requests = e21_requests n_requests in
+  row "  %-20s %8s %8s %10s %10s %10s %10s@." "workload" "workers" "requests"
+    "serve(s)" "qps" "p50(ms)" "p99(ms)";
+  let entries =
+    List.map
+      (fun workers ->
+        let summary, report = e21_serve ~workers ~requests snap in
+        if summary.Server.Daemon.errors > 0 then
+          failwith "e21: request errors against a healthy snapshot";
+        let quant q =
+          match
+            Obs.Metrics.quantile
+              (Obs.Report.metrics report)
+              "server.request_s" q
+          with
+          | Some v -> v *. 1e3
+          | None -> 0.
+        in
+        let serve_s = summary.Server.Daemon.wall_s in
+        let qps = float_of_int summary.Server.Daemon.served /. serve_s in
+        let p50 = quant 0.5 and p99 = quant 0.99 in
+        let workload =
+          Printf.sprintf "server-lubm-%d-w%d" universities workers
+        in
+        row "  %-20s %8d %8d %10.4f %10.1f %10.4f %10.4f@." workload workers
+          summary.Server.Daemon.served serve_s qps p50 p99;
+        Obs.Json.Obj
+          [
+            ("workload", Obs.Json.String workload);
+            ("universities", Obs.Json.Int universities);
+            ("workers", Obs.Json.Int workers);
+            ("requests", Obs.Json.Int summary.Server.Daemon.served);
+            ("serve_s", Obs.Json.Float serve_s);
+            ("qps", Obs.Json.Float qps);
+            ("p50_ms", Obs.Json.Float p50);
+            ("p99_ms", Obs.Json.Float p99);
+          ])
+      [ 1; 2; 4 ]
+  in
+  update_bench_engine ~owns:server_workload entries
+
+(* ------------------------------------------------------------------ *)
 (* gate — bench-regression gate against BENCH_engine.json (CI)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1228,6 +1383,31 @@ let gate () =
                 in
                 against name t base "recover_s")
       in
+      (* E21: replay the baseline row's own request volume at its own
+         worker count, so serve_s compares like for like *)
+      let check_server name =
+        match find_baseline name with
+        | None -> Fmt.pr "  %-22s no baseline entry — skipped@." name
+        | Some base ->
+            let int_field k d =
+              match Obs.Json.member k base with
+              | Some (Obs.Json.Int i) -> i
+              | _ -> d
+            in
+            let universities = int_field "universities" 10 in
+            let workers = int_field "workers" 1 in
+            let n = int_field "requests" 400 in
+            let snap = e21_snapshot ~universities in
+            let t =
+              measure ~repeat:3 (fun () ->
+                  let summary, _ =
+                    e21_serve ~workers ~requests:(e21_requests n) snap
+                  in
+                  if summary.Server.Daemon.errors > 0 then
+                    failwith "gate: server request errors")
+            in
+            against name t base "serve_s"
+      in
       (* Rows from a newer (or older) snapshot whose owner this binary
          does not know are skipped with a warning, never a failure: an
          old gate comparing against a newer BENCH_engine.json must not
@@ -1238,6 +1418,7 @@ let gate () =
           | Some (Obs.Json.String w) ->
               let known =
                 answers_workload w || incr_workload w || recover_workload w
+                || server_workload w
                 || String.starts_with ~prefix:"lubm-" w
                 || String.starts_with ~prefix:"full-chain-" w
               in
@@ -1256,6 +1437,7 @@ let gate () =
       check_incr "incr-lubm-10-insert" `Insert;
       check_incr "incr-lubm-10-delete" `Delete;
       check_recover "recover-tail-50" ~tail:50;
+      check_server "server-lubm-10-w1";
       if !failed then
         if strict then (
           Fmt.epr "gate: bench regression detected (BENCH_GATE=strict)@.";
@@ -1404,11 +1586,45 @@ let all_experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e20", e20);
+    ("e18", e18); ("e20", e20); ("e21", e21);
   ]
+
+(* `rows PREFIX` — print the BENCH_engine.json rows owned by PREFIX as a
+   JSON list on stdout (CI extracts the E21 rows into a workflow
+   artifact with `rows server-`). An empty prefix prints every row. *)
+let rows_cmd prefix =
+  match open_in_bin "BENCH_engine.json" with
+  | exception Sys_error _ ->
+      Fmt.epr "rows: BENCH_engine.json missing@.";
+      exit 1
+  | ic -> (
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse s with
+      | Ok (Obs.Json.List entries) ->
+          let selected =
+            List.filter
+              (fun e ->
+                match Obs.Json.member "workload" e with
+                | Some (Obs.Json.String w) ->
+                    String.starts_with ~prefix w
+                | _ -> false)
+              entries
+          in
+          print_string (Obs.Json.to_string (Obs.Json.List selected));
+          print_newline ()
+      | Ok _ | Error _ ->
+          Fmt.epr "rows: BENCH_engine.json does not parse as a JSON list@.";
+          exit 1)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | "rows" :: rest -> rows_cmd (match rest with p :: _ -> p | [] -> "")
+  | _ ->
   let full = List.mem "--full" args in
   let special = [ "micro"; "smoke"; "gate" ] in
   let wanted =

@@ -728,6 +728,146 @@ let serve_cmd =
       $ recover_arg $ serve_retries_arg $ fault_plan_arg $ strict_log_arg)
 
 (* ------------------------------------------------------------------ *)
+(* server                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Daemon mode: saturate once, freeze the store behind an immutable
+   snapshot, then serve `answers`/`count` request lines from stdin
+   through a pool of worker domains (Server.run). Each reply is one
+   line carrying the request id, so a transcript sorted by id is
+   byte-identical under any --workers value. SIGTERM drains: in-flight
+   requests complete, further input is ignored, and a clean drain exits
+   0; request errors or quarantined queries exit 1. *)
+let server_cmd =
+  let run file max_level engine_tag domains workers stats budget_facts
+      budget_ms fault_plan =
+    with_program file (fun p ->
+        let plan =
+          match fault_plan with
+          | None -> Ok Resil.Fault.none
+          | Some spec -> Resil.Fault.parse spec
+        in
+        match plan with
+        | Error msg ->
+            Fmt.epr "error: %s@." msg;
+            2
+        | Ok _ when workers < 1 ->
+            Fmt.epr "error: --workers must be >= 1@.";
+            2
+        | Ok plan when plan <> [] && workers > 1 ->
+            Fmt.epr
+              "error: --fault-plan requires --workers 1 (the probe hook is \
+               process-global)@.";
+            2
+        | Ok plan ->
+            (* the parallel engine is the default saturator here: the
+               server amortises one big chase over many requests *)
+            let engine =
+              match (engine_tag, domains) with
+              | `Parallel, None -> `Parallel (Domain.recommended_domain_count ())
+              | tag, _ -> resolve_engine tag domains
+            in
+            let sigma = p.Syntax.Parser.tgds in
+            let db = Syntax.Parser.database p in
+            let span = Obs.Span.root "server" in
+            let r =
+              Obs.Span.timed (Some span) "saturate" (fun () ->
+                  Tgds.Chase.run ~engine ~max_level sigma db)
+            in
+            let saturated = Tgds.Chase.saturated r in
+            let snap =
+              Engine.Snapshot.freeze ~saturated ~universe:(Instance.dom db)
+                (Tgds.Chase.index r)
+            in
+            Fmt.pr "%% server: store %s, %d facts (workers %d)@."
+              (if saturated then "saturated" else "truncated — replies partial")
+              (Engine.Snapshot.size snap) workers;
+            let report =
+              match stats with
+              | None -> None
+              | Some _ -> Some (Obs.Report.create ~span "server")
+            in
+            let stop = ref false in
+            let previous =
+              Sys.signal Sys.sigterm
+                (Sys.Signal_handle (fun _ -> stop := true))
+            in
+            let summary =
+              Fun.protect
+                ~finally:(fun () -> Sys.set_signal Sys.sigterm previous)
+                (fun () ->
+                  Server.Daemon.run ?report ~stop
+                    {
+                      Server.Daemon.workers;
+                      max_facts = budget_facts;
+                      max_ms = budget_ms;
+                      fault_plan = plan;
+                    }
+                    snap stdin stdout)
+            in
+            Fmt.pr
+              "%% server: %d request(s) served (%d ok, %d partial, %d \
+               error(s), %d quarantined)@."
+              summary.Server.Daemon.served summary.Server.Daemon.ok
+              summary.Server.Daemon.partial summary.Server.Daemon.errors
+              summary.Server.Daemon.quarantined;
+            if summary.Server.Daemon.drained then
+              Fmt.pr "%% server: drained on signal@.";
+            Obs.Span.exit span;
+            (match (stats, report) with
+            | Some path, Some rep -> Obs.Report.write path rep
+            | _ -> ());
+            if
+              summary.Server.Daemon.errors > 0
+              || summary.Server.Daemon.quarantined > 0
+            then 1
+            else 0)
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains serving requests from the shared snapshot \
+                (default 1). Reply transcripts sorted by request id are \
+                identical for every value.")
+  in
+  let server_engine_arg =
+    let engine_conv =
+      Arg.enum [ ("indexed", `Indexed); ("naive", `Naive); ("parallel", `Parallel) ]
+    in
+    Arg.(
+      value & opt engine_conv `Parallel
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Saturation engine for the one-time chase (default \
+                $(b,parallel): the server amortises saturation over many \
+                requests).")
+  in
+  let req_budget_facts_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-facts" ] ~docv:"N"
+          ~doc:"Per-request admission control: cap each reply at $(docv) \
+                answers (excess requests answer $(b,partial)).")
+  in
+  let req_budget_ms_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline, in milliseconds: a request over \
+                budget answers $(b,partial) with the sound prefix \
+                enumerated so far.")
+  in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:"Saturate once, then serve concurrent $(b,answers)/$(b,count) \
+             request lines from stdin over the frozen store; one reply \
+             line per request, tagged with the request id.")
+    Term.(
+      const run $ file_arg $ level_arg $ server_engine_arg $ domains_arg
+      $ workers_arg $ stats_arg $ req_budget_facts_arg $ req_budget_ms_arg
+      $ fault_plan_arg)
+
+(* ------------------------------------------------------------------ *)
 (* classify                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1072,9 +1212,10 @@ let main =
     (Cmd.info "guarded" ~version:"1.0.0"
        ~doc:"Open- and closed-world query evaluation under guarded TGDs.")
     [
-      chase_cmd; serve_cmd; classify_cmd; eval_cmd; answers_cmd; cqs_eval_cmd;
-      treewidth_cmd; rewrite_cmd; equiv_cmd; clique_cmd; terminates_cmd;
-      witness_cmd; reduce_cmd;
+      chase_cmd; serve_cmd; server_cmd; classify_cmd; eval_cmd; answers_cmd;
+      cqs_eval_cmd;
+      treewidth_cmd; rewrite_cmd; equiv_cmd; clique_cmd;
+      terminates_cmd; witness_cmd; reduce_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -95,6 +95,9 @@ for counter in '"incr.inserts":2' '"incr.deletes":2' '"incr.noops":1' \
     || { echo "serve: stats missing $counter"; exit 1; }
 done
 
+echo "== server load smoke (workers 1 vs 4, sorted transcripts identical)"
+SERVER_LOAD_REQUESTS=${SERVER_LOAD_REQUESTS:-200} sh ci/server_load.sh
+
 echo "== parallel determinism (--domains 1 vs --domains 4)"
 sh ci/determinism.sh
 

@@ -1,0 +1,108 @@
+#!/bin/sh
+# Server load/soak: saturate one generated university store, then serve
+# the same mixed request file under --workers 1 and --workers 4. The
+# replies carry request ids and each line is canonical per-request
+# bytes, so worker scheduling may permute the transcript but never
+# change a line: the sorted transcripts must be byte-identical. The run
+# must stay clean — every request answered, zero errors, zero
+# quarantine, exit 0.
+#
+# Run from the repository root:  sh ci/server_load.sh
+# Environment:
+#   SERVER_LOAD_REQUESTS=200   request count (default 2000; ci/check.sh
+#                              sets a small value as a smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLI=_build/default/bin/guarded_cli.exe
+[ -x "$CLI" ] || { echo "server_load: build first (dune build)"; exit 1; }
+
+N=${SERVER_LOAD_REQUESTS:-2000}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# A lubm-flavoured store, big enough that scans return hundreds of
+# tuples: 4 departments x 12 professors x 30 students.
+PROG="$TMP/load.gd"
+{
+  echo "prof(X) -> teaches(X,C)."
+  echo "teaches(X,C) -> course(C)."
+  echo "course(C) -> offeredby(C,D)."
+  echo "offeredby(C,D) -> dept(D)."
+  echo "teaches(X,C) -> faculty(X)."
+  echo "student(S) -> takes(S,C)."
+  echo "takes(S,C) -> course(C)."
+  echo "student(S) -> advisedby(S,A)."
+  echo "advisedby(S,A) -> faculty(A)."
+  echo "memberof(X,D) -> dept(D)."
+  d=0
+  while [ "$d" -lt 4 ]; do
+    p=0
+    while [ "$p" -lt 12 ]; do
+      echo "prof(prof_${d}_${p})."
+      echo "memberof(prof_${d}_${p},dept_${d})."
+      echo "teaches(prof_${d}_${p},course_${d}_${p})."
+      p=$((p + 1))
+    done
+    s=0
+    while [ "$s" -lt 30 ]; do
+      echo "student(stud_${d}_${s})."
+      echo "takes(stud_${d}_${s},course_${d}_0)."
+      s=$((s + 1))
+    done
+    d=$((d + 1))
+  done
+} > "$PROG"
+
+# The mixed request file: point scans, counts, a union, joins — cycled in
+# a fixed order, with comment noise that must get no reply.
+REQ="$TMP/requests.txt"
+i=0
+while [ "$i" -lt "$N" ]; do
+  case $((i % 8)) in
+    0) echo "answers q(X) :- prof(X)." ;;
+    1) echo "count q(X) :- faculty(X)." ;;
+    2) echo "answers q(X,C) :- teaches(X,C)." ;;
+    3) echo "count q(S) :- student(S). q(S) :- prof(S)." ;;
+    4) echo "answers q(S,C) :- takes(S,C), course(C)." ;;
+    5) echo "count q(D) :- dept(D)." ;;
+    6) echo "answers q(P,D) :- prof(P), memberof(P,D)." ;;
+    7) echo "% soak noise: comments get no reply" ;;
+  esac
+  i=$((i + 1))
+done > "$REQ"
+expected=$(grep -cv '^%' "$REQ")
+
+serve() {
+  workers=$1
+  "$CLI" server "$PROG" --workers "$workers" \
+    < "$REQ" > "$TMP/w$workers.out" 2> "$TMP/w$workers.err" || {
+    echo "server_load: --workers $workers exited $? ($(cat "$TMP/w$workers.err"))"
+    exit 1
+  }
+  grep -q "(.* ok, .* partial, 0 error(s), 0 quarantined)" "$TMP/w$workers.out" || {
+    echo "server_load: --workers $workers summary reports errors or quarantine"
+    tail -1 "$TMP/w$workers.out"
+    exit 1
+  }
+  grep -v '^%' "$TMP/w$workers.out" > "$TMP/w$workers.replies"
+  got=$(wc -l < "$TMP/w$workers.replies")
+  [ "$got" -eq "$expected" ] || {
+    echo "server_load: --workers $workers answered $got of $expected requests"
+    exit 1
+  }
+  sort "$TMP/w$workers.replies" > "$TMP/w$workers.sorted"
+}
+
+serve 1
+serve 4
+
+cmp -s "$TMP/w1.sorted" "$TMP/w4.sorted" || {
+  echo "server_load: sorted transcripts differ between --workers 1 and 4"
+  diff "$TMP/w1.sorted" "$TMP/w4.sorted" | head -20
+  exit 1
+}
+
+echo "server_load: OK ($expected requests, workers 1 vs 4 byte-identical sorted transcripts)"

@@ -1,0 +1,22 @@
+(** Frozen saturated store; see the interface for the sharing contract. *)
+
+open Relational.Term
+
+type t = {
+  idx : Index.t;  (* sealed: no mutating operation escapes this module *)
+  saturated : bool;
+  universe : ConstSet.t;
+}
+
+type view = { snap : t; ridx : Index.t (* Index.reader of snap.idx *) }
+
+let freeze ~saturated ~universe idx = { idx; saturated; universe }
+let saturated s = s.saturated
+let universe s = s.universe
+let size s = Index.size s.idx
+let symtab s = Index.symtab s.idx
+let view s = { snap = s; ridx = Index.reader s.idx }
+let view_metrics v = Index.metrics v.ridx
+
+let ucq ?budget ?obs v q =
+  Enumerate.ucq ?budget ?obs ~universe:v.snap.universe v.ridx q

@@ -2,9 +2,14 @@
 
 type counter = { mutable n : int }
 
-(* log-spaced upper bounds in seconds; a final overflow bucket catches the
-   rest *)
-let bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+(* log-spaced upper bounds in seconds (1–2–5 per decade, so bucket
+   quantiles stay within a factor ~2.5 of the truth); a final overflow
+   bucket catches the rest *)
+let bounds =
+  [|
+    1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+    1e-2; 2e-2; 5e-2; 1e-1; 2e-1; 5e-1; 1.; 2.; 5.; 10.;
+  |]
 
 type histo = {
   mutable hcount : int;
@@ -36,23 +41,24 @@ let value c = c.n
 let count m name =
   match Hashtbl.find_opt m.cs name with Some c -> c.n | None -> 0
 
+let histo m name =
+  match Hashtbl.find_opt m.hs name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          hcount = 0;
+          sum = 0.;
+          vmin = infinity;
+          vmax = neg_infinity;
+          hits = Array.make (Array.length bounds + 1) 0;
+        }
+      in
+      Hashtbl.replace m.hs name h;
+      h
+
 let observe m name v =
-  let h =
-    match Hashtbl.find_opt m.hs name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            hcount = 0;
-            sum = 0.;
-            vmin = infinity;
-            vmax = neg_infinity;
-            hits = Array.make (Array.length bounds + 1) 0;
-          }
-        in
-        Hashtbl.replace m.hs name h;
-        h
-  in
+  let h = histo m name in
   h.hcount <- h.hcount + 1;
   h.sum <- h.sum +. v;
   if v < h.vmin then h.vmin <- v;
@@ -68,7 +74,21 @@ let counters m =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let absorb ~into src =
-  List.iter (fun (name, v) -> add (counter into name) v) (counters src)
+  List.iter (fun (name, v) -> add (counter into name) v) (counters src);
+  (* histograms merge bucket-wise: counts and sums add, the extrema take
+     the pointwise min/max — absorbing worker registries in shard order
+     yields the same merged histogram as observing on one registry *)
+  Hashtbl.iter
+    (fun name (h : histo) ->
+      if h.hcount > 0 then begin
+        let g = histo into name in
+        g.hcount <- g.hcount + h.hcount;
+        g.sum <- g.sum +. h.sum;
+        if h.vmin < g.vmin then g.vmin <- h.vmin;
+        if h.vmax > g.vmax then g.vmax <- h.vmax;
+        Array.iteri (fun i n -> g.hits.(i) <- g.hits.(i) + n) h.hits
+      end)
+    src.hs
 
 type summary = {
   count : int;
@@ -96,6 +116,31 @@ let summarize h =
 let histograms m =
   Hashtbl.fold (fun name h acc -> (name, summarize h) :: acc) m.hs []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let quantile m name q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Metrics.quantile: q not in [0,1]";
+  match Hashtbl.find_opt m.hs name with
+  | None -> None
+  | Some h when h.hcount = 0 -> None
+  | Some h ->
+      (* rank interpolation within the first bucket whose cumulative count
+         covers q·n, clamped to the observed extrema (which are exact) *)
+      let target = q *. float_of_int h.hcount in
+      let nb = Array.length h.hits in
+      let rec go i cum =
+        if i >= nb then h.vmax
+        else if h.hits.(i) > 0 && float_of_int (cum + h.hits.(i)) >= target
+        then begin
+          let hi = if i < Array.length bounds then bounds.(i) else h.vmax in
+          let lo = if i = 0 then 0. else bounds.(i - 1) in
+          let frac =
+            (target -. float_of_int cum) /. float_of_int h.hits.(i)
+          in
+          lo +. (frac *. (hi -. lo))
+        end
+        else go (i + 1) (cum + h.hits.(i))
+      in
+      Some (Float.max h.vmin (Float.min h.vmax (go 0 0)))
 
 let to_json m =
   let counters_json =

@@ -2,8 +2,9 @@
 
     A registry holds named counters (monotonically increasing integers)
     and named histograms of durations in seconds (fixed log-spaced
-    buckets from 1µs to 10s plus an overflow bucket). Hot paths obtain a
-    {!counter} handle once and bump it without further lookups.
+    buckets, 1–2–5 per decade from 1µs to 10s plus an overflow bucket).
+    Hot paths obtain a {!counter} handle once and bump it without
+    further lookups.
 
     Serialisation is deterministic: {!to_json} sorts entries by name. *)
 
@@ -31,9 +32,10 @@ val observe : t -> string -> float -> unit
 val counters : t -> (string * int) list
 
 (** [absorb ~into src] — add every counter of [src] into [into]
-    (registering missing names; histograms are not merged). The parallel
-    engine drains shard-local registries through this, in shard order, so
-    the merged totals are reproducible. *)
+    (registering missing names) and merge [src]'s histograms bucket-wise
+    (counts and sums add; extrema combine pointwise). The parallel
+    engine and the query server drain shard-local registries through
+    this, in shard order, so the merged totals are reproducible. *)
 val absorb : into:t -> t -> unit
 
 type summary = {
@@ -46,6 +48,14 @@ type summary = {
 
 (** All histograms, sorted by name. *)
 val histograms : t -> (string * summary) list
+
+(** [quantile m name q] — the [q]-quantile ([0 ≤ q ≤ 1]) of histogram
+    [name], estimated by rank interpolation inside the covering bucket
+    and clamped to the observed extrema (so [quantile _ _ 0.] is the
+    exact min and [quantile _ _ 1.] the exact max). [None] when the
+    histogram is missing or empty.
+    @raise Invalid_argument when [q] is outside [0,1]. *)
+val quantile : t -> string -> float -> float option
 
 (** [{"counters": {...}, "histograms": {...}}], names sorted. *)
 val to_json : t -> Json.t

@@ -27,6 +27,22 @@ let add_field r key v =
     r.fields <- List.map (fun (k, v') -> if k = key then (k, v) else (k, v')) r.fields
   else r.fields <- r.fields @ [ (key, v) ]
 
+let add_rate_block r ~prefix ~histogram ~wall_s =
+  let count =
+    match List.assoc_opt histogram (Metrics.histograms r.metrics) with
+    | Some s -> s.Metrics.count
+    | None -> 0
+  in
+  let qps = if wall_s > 0. then float_of_int count /. wall_s else 0. in
+  add_field r (prefix ^ ".qps") (Json.Float qps);
+  let pct key q =
+    match Metrics.quantile r.metrics histogram q with
+    | Some v -> add_field r (prefix ^ "." ^ key) (Json.Float (v *. 1e3))
+    | None -> ()
+  in
+  pct "p50_ms" 0.5;
+  pct "p99_ms" 0.99
+
 let to_json r =
   let metrics_fields =
     match Metrics.to_json r.metrics with Json.Obj fs -> fs | _ -> []

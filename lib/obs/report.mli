@@ -20,6 +20,14 @@ val outcome : t -> Budget.outcome
 (** [add_field r key v] — append (or overwrite) a headline field. *)
 val add_field : t -> string -> Json.t -> unit
 
+(** [add_rate_block r ~prefix ~histogram ~wall_s] — the throughput stats
+    block of a request-serving run: from the named latency histogram of
+    [r]'s metrics, add ["<prefix>.qps"] (observations per wall-clock
+    second) plus ["<prefix>.p50_ms"]/["<prefix>.p99_ms"] (bucket-estimated
+    latency quantiles, {!Metrics.quantile}); the quantile fields are
+    omitted when the histogram is missing or empty. *)
+val add_rate_block : t -> prefix:string -> histogram:string -> wall_s:float -> unit
+
 val to_json : t -> Json.t
 
 (** Serialise to a file (trailing newline). *)

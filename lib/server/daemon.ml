@@ -1,0 +1,217 @@
+(** Concurrent serving loop; see the interface for the contract. *)
+
+type config = {
+  workers : int;
+  max_facts : int option;
+  max_ms : float option;
+  fault_plan : Resil.Fault.plan;
+}
+
+type summary = {
+  served : int;
+  ok : int;
+  partial : int;
+  errors : int;
+  quarantined : int;
+  drained : bool;
+  wall_s : float;
+}
+
+type counts = {
+  mutable c_ok : int;
+  mutable c_partial : int;
+  mutable c_errors : int;
+  mutable c_quarantined : int;
+}
+
+let run ?report ?(stop = ref false) cfg snap ic oc =
+  if cfg.workers < 1 then invalid_arg "Daemon.run: workers must be >= 1";
+  if cfg.fault_plan <> [] && cfg.workers > 1 then
+    invalid_arg "Daemon.run: --fault-plan requires workers = 1";
+  let t0 = Unix.gettimeofday () in
+  (* raw-line queue: the main domain only reads and enqueues; workers
+     parse as well as evaluate, so per-request work never serialises on
+     the producer *)
+  let q : (int * string) Queue.t = Queue.create () in
+  let qm = Mutex.create () and qc = Condition.create () in
+  let closed = ref false in
+  let push r =
+    Mutex.protect qm (fun () ->
+        Queue.push r q;
+        Condition.signal qc)
+  in
+  let close () =
+    Mutex.protect qm (fun () ->
+        closed := true;
+        Condition.broadcast qc)
+  in
+  (* workers drain a small batch per lock acquisition: one item when
+     the queue is short (interactive latency), up to [batch_max] under
+     load, so the per-item hand-off cost amortises across the batch *)
+  let batch_max = 32 in
+  let pop_batch () =
+    Mutex.protect qm (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty q) then begin
+            let n = min batch_max (Queue.length q) in
+            let items = ref [] in
+            for _ = 1 to n do
+              items := Queue.pop q :: !items
+            done;
+            Some (List.rev !items)
+          end
+          else if !closed then None
+          else begin
+            Condition.wait qc qm;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  (* output mutex also guards the reply counters: one lock per reply *)
+  let om = Mutex.create () in
+  let counts = { c_ok = 0; c_partial = 0; c_errors = 0; c_quarantined = 0 } in
+  let emit_all replies =
+    if replies <> [] then
+      Mutex.protect om (fun () ->
+          List.iter
+            (fun (cls, line) ->
+              (match cls with
+              | `Ok -> counts.c_ok <- counts.c_ok + 1
+              | `Partial -> counts.c_partial <- counts.c_partial + 1
+              | `Error -> counts.c_errors <- counts.c_errors + 1
+              | `Quarantined ->
+                  counts.c_quarantined <- counts.c_quarantined + 1);
+              output_string oc line;
+              output_char oc '\n')
+            replies;
+          flush oc)
+  in
+  (* quarantine table: canonical query key -> first failure message *)
+  let quarantine : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let quarantine_m = Mutex.create () in
+  let saturated = Engine.Snapshot.saturated snap in
+  let evaluate view metrics span (r : Protocol.request) =
+    let poisoned =
+      Mutex.protect quarantine_m (fun () -> Hashtbl.mem quarantine r.Protocol.key)
+    in
+    if poisoned then
+      (`Quarantined, Protocol.render_quarantined ~id:r.Protocol.id)
+    else
+      let budget =
+        match (cfg.max_facts, cfg.max_ms) with
+        | None, None -> None
+        | facts, ms -> Some (Obs.Budget.create ?max_facts:facts ?max_ms:ms ())
+      in
+      let t = Unix.gettimeofday () in
+      match
+        Obs.Span.timed span "request" (fun () ->
+            Engine.Snapshot.ucq ?budget view r.Protocol.query)
+      with
+      | res ->
+          Obs.Metrics.observe metrics "server.request_s"
+            (Unix.gettimeofday () -. t);
+          let cls =
+            match res.Engine.Enumerate.outcome with
+            | Obs.Budget.Complete when saturated -> `Ok
+            | _ -> `Partial
+          in
+          (cls, Protocol.render_ok r ~saturated res)
+      | exception e ->
+          let msg =
+            match e with
+            | Resil.Fault.Injected (point, hit) ->
+                Fmt.str "injected fault at %s (hit %d)" point hit
+            | e -> Printexc.to_string e
+          in
+          Mutex.protect quarantine_m (fun () ->
+              Hashtbl.replace quarantine r.Protocol.key msg);
+          (`Error, Protocol.render_error ~id:r.Protocol.id msg)
+  in
+  (* per-worker views and (optional) spans, created on the main domain
+     before spawning so the shared span tree is never mutated
+     concurrently: worker i only ever touches its own subtree *)
+  let views = Array.init cfg.workers (fun _ -> Engine.Snapshot.view snap) in
+  let wspans =
+    Array.init cfg.workers (fun i ->
+        Option.map
+          (fun rep ->
+            Obs.Span.enter (Obs.Report.span rep) (Fmt.str "worker-%d" i))
+          report)
+  in
+  let worker i () =
+    let view = views.(i) in
+    let metrics = Engine.Snapshot.view_metrics view in
+    let rec loop () =
+      match pop_batch () with
+      | None -> ()
+      | Some items ->
+          emit_all
+            (List.filter_map
+               (fun (id, line) ->
+                 match Protocol.parse_line ~id line with
+                 | Protocol.Empty -> None
+                 | Protocol.Malformed msg ->
+                     Some (`Error, Protocol.render_error ~id msg)
+                 | Protocol.Request r ->
+                     Some (evaluate view metrics wspans.(i) r))
+               items);
+          loop ()
+    in
+    loop ()
+  in
+  let serve () =
+    let domains = Array.init cfg.workers (fun i -> Domain.spawn (worker i)) in
+    let lineno = ref 0 in
+    (try
+       while not !stop do
+         let line = input_line ic in
+         incr lineno;
+         push (!lineno, line)
+       done
+     with End_of_file -> ());
+    let drained = !stop in
+    close ();
+    Array.iter Domain.join domains;
+    drained
+  in
+  let drained =
+    if cfg.fault_plan = [] then serve ()
+    else begin
+      Resil.Fault.arm_seq cfg.fault_plan;
+      Fun.protect ~finally:Resil.Fault.disarm serve
+    end
+  in
+  Array.iter (fun s -> Option.iter Obs.Span.exit s) wspans;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match report with
+  | None -> ()
+  | Some rep ->
+      (* worker-order absorption keeps merged counters and histogram
+         buckets identical for a given request set, any scheduling *)
+      Array.iter
+        (fun v ->
+          Obs.Metrics.absorb ~into:(Obs.Report.metrics rep)
+            (Engine.Snapshot.view_metrics v))
+        views;
+      let field k v = Obs.Report.add_field rep k (Obs.Json.Int v) in
+      field "server.workers" cfg.workers;
+      field "server.requests"
+        (counts.c_ok + counts.c_partial + counts.c_errors
+       + counts.c_quarantined);
+      field "server.ok" counts.c_ok;
+      field "server.partial" counts.c_partial;
+      field "server.errors" counts.c_errors;
+      field "server.quarantined" counts.c_quarantined;
+      Obs.Report.add_rate_block rep ~prefix:"server"
+        ~histogram:"server.request_s" ~wall_s);
+  {
+    served =
+      counts.c_ok + counts.c_partial + counts.c_errors + counts.c_quarantined;
+    ok = counts.c_ok;
+    partial = counts.c_partial;
+    errors = counts.c_errors;
+    quarantined = counts.c_quarantined;
+    drained;
+    wall_s;
+  }

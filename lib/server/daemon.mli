@@ -1,0 +1,65 @@
+(** Concurrent query server over a frozen saturated store.
+
+    {!run} reads {!Protocol} request lines from an input channel,
+    evaluates each against an {!Engine.Snapshot} through a pool of
+    worker domains, and writes one reply line per request to the output
+    channel. The main domain only reads and enqueues raw lines; workers
+    dequeue, parse, evaluate through private {!Engine.Snapshot.view}s,
+    and emit under an output mutex, so reply lines never interleave
+    mid-line and per-request work never serialises on the producer. Replies
+    appear in completion order — each line is canonical per-request
+    bytes ({!Protocol}), so sorting a transcript by leading id yields a
+    document independent of worker count and scheduling.
+
+    Resilience, threaded through the request path:
+    - {e admission control}: every request runs under a fresh
+      per-request budget ([max_facts] caps the answers emitted, [max_ms]
+      is a per-request deadline); a violated budget returns the sound
+      prefix with a [partial] reply instead of an unbounded evaluation;
+    - {e quarantine}: a request whose evaluation raises (an injected
+      fault, or any defect) gets an [error] reply and its canonical
+      query key is quarantined — later identical requests are refused
+      with [quarantined] {e without being evaluated}, and the server
+      keeps answering everything else;
+    - {e graceful drain}: when [stop] flips (the CLI's SIGTERM handler)
+      the main loop stops accepting input after the current line;
+      in-flight requests still complete and reply.
+
+    Fault injection ([fault_plan]) arms the process-global probe hook,
+    so it is only allowed with [workers = 1] — {!run} raises
+    [Invalid_argument] otherwise (concurrent workers would race the
+    trigger state and destroy the plan's determinism). *)
+
+type config = {
+  workers : int;  (** worker domains (>= 1) *)
+  max_facts : int option;  (** per-request answer cap *)
+  max_ms : float option;  (** per-request deadline, milliseconds *)
+  fault_plan : Resil.Fault.plan;  (** requires [workers = 1] unless empty *)
+}
+
+type summary = {
+  served : int;  (** replies emitted, including errors *)
+  ok : int;
+  partial : int;
+  errors : int;  (** malformed requests plus evaluation faults *)
+  quarantined : int;  (** requests refused by the quarantine table *)
+  drained : bool;  (** [stop] flipped before end of input *)
+  wall_s : float;
+}
+
+(** [run ?report ?stop cfg snap ic oc] — serve until end of input (or
+    drain). When [report] is given, each worker gets a child span
+    ([worker-]{i i}) carrying one [request] span per request served, the
+    workers' view registries (probe/join counters plus the
+    [server.request_s] latency histogram) are absorbed into the report
+    in worker order, and headline fields ([server.requests] etc.) plus
+    the [server.qps]/[server.p50_ms]/[server.p99_ms] rate block are
+    added. *)
+val run :
+  ?report:Obs.Report.t ->
+  ?stop:bool ref ->
+  config ->
+  Engine.Snapshot.t ->
+  in_channel ->
+  out_channel ->
+  summary

@@ -8,10 +8,12 @@ let cli =
   (* tests run from _build/default/test; the binary is a declared dep *)
   Filename.concat (Filename.dirname Sys.executable_name) "../bin/guarded_cli.exe"
 
-let run_cli args =
+let run_cli ?stdin args =
   let out_file = Filename.temp_file "guarded_cli" ".out" in
   let err_file = Filename.temp_file "guarded_cli" ".err" in
-  let cmd = Filename.quote_command cli args ~stdout:out_file ~stderr:err_file in
+  let cmd =
+    Filename.quote_command cli args ?stdin ~stdout:out_file ~stderr:err_file
+  in
   let status = Sys.command cmd in
   let slurp path =
     if Sys.file_exists path then (
@@ -690,6 +692,56 @@ let test_serve_quarantine () =
   check "summary counts the quarantine" true
     (contains out "1 mutation(s) quarantined")
 
+(* A lenient run over a log carrying both malformed lines and a poison
+   mutation keeps serving — and the stats report accounts for both:
+   serve.rejected_lines counts exactly the skipped lines, the
+   quarantined field the refused mutation. *)
+let test_serve_rejected_lines_counter () =
+  let log = Filename.temp_file "guarded_mixedlog" ".mut" in
+  let stats = Filename.temp_file "guarded_stats" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove log;
+      if Sys.file_exists stats then Sys.remove stats)
+    (fun () ->
+      let oc = open_out log in
+      output_string oc
+        "+prof(turing).\n\
+         garbage line one\n\
+         -prof(ada).\n\
+         &&& also not a mutation\n\
+         -prof(hopper).\n";
+      close_out oc;
+      let status, out, err =
+        run_cli
+          [
+            "serve"; prog "university.gd"; "--log"; log; "--strict-log";
+            "false"; "--retries"; "2"; "--fault-plan";
+            "point:incr.delete:1,point:incr.delete:1"; "--stats"; stats;
+          ]
+      in
+      check "quarantine still exits 1" true (status = 1);
+      check "both malformed lines warned" true
+        (contains err ":2:" && contains err ":4:");
+      check "good mutations around the noise applied" true
+        (contains out "+prof(turing): ");
+      check "poison mutation quarantined" true
+        (contains out "1 mutation(s) quarantined");
+      let ic = open_in stats in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.parse raw with
+      | Error e -> Alcotest.failf "stats file is not JSON: %s" e
+      | Ok j ->
+          check "quarantined field" true
+            (Obs.Json.member "quarantined" j = Some (Obs.Json.Int 1));
+          (match Obs.Json.member "counters" j with
+          | Some c ->
+              check "rejected lines counted exactly" true
+                (Obs.Json.member "serve.rejected_lines" c
+                = Some (Obs.Json.Int 2))
+          | None -> Alcotest.fail "counters missing"))
+
 (* A transient injected fault is absorbed by the supervisor: same exit
    code and facts as a clean run, plus a recovery note. *)
 let test_fault_recovery_note () =
@@ -701,6 +753,148 @@ let test_fault_recovery_note () =
   check "recovery note printed" true (contains out "recovered after");
   check "still saturates" true (contains out "saturated");
   check "derived course fact" true (contains out "course(")
+
+(* server: saturate once, then answer protocol requests from stdin. The
+   daemon's own behavior is unit-tested in test_server.ml; here we pin
+   the CLI wrapper — banner, summary, exit codes. *)
+let with_request_file lines f =
+  let req = Filename.temp_file "guarded_req" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove req)
+    (fun () ->
+      let oc = open_out req in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      f req)
+
+let test_server_answers () =
+  with_request_file
+    [
+      "answers q(X) :- prof(X).";
+      "count q(C) :- course(C).";
+      "gibberish";
+    ]
+    (fun req ->
+      let status, out, err =
+        run_cli ~stdin:req [ "server"; prog "university.gd" ]
+      in
+      check (Fmt.str "request errors exit 1 (err=%S)" err) true (status = 1);
+      check "banner reports the frozen store" true
+        (contains out "% server: store saturated");
+      check "profs answered" true (contains out "1 ok 1 (ada)");
+      check "count answered" true (contains out "2 ok count=");
+      check "malformed request answered in place" true
+        (contains out "3 error unknown verb");
+      check "summary counts classes" true
+        (contains out "3 request(s) served (2 ok, 0 partial, 1 error(s), 0 \
+                       quarantined)"))
+
+let test_server_clean_exit () =
+  with_request_file
+    [ "answers q(X) :- prof(X)."; "% noise"; "" ]
+    (fun req ->
+      let status, out, err =
+        run_cli ~stdin:req [ "server"; prog "university.gd"; "--workers"; "2" ]
+      in
+      check (Fmt.str "clean run exits 0 (err=%S)" err) true (status = 0);
+      check "summary" true (contains out "1 request(s) served"))
+
+let test_server_quarantine () =
+  with_request_file
+    [
+      "answers q(X) :- prof(X).";
+      "answers q(X) :- prof(X).";
+      "count q(C) :- course(C).";
+    ]
+    (fun req ->
+      let status, out, _ =
+        run_cli ~stdin:req
+          [
+            "server"; prog "university.gd"; "--fault-plan";
+            "point:engine.answer:1";
+          ]
+      in
+      check "quarantine exits 1" true (status = 1);
+      check "fault reported in the reply" true
+        (contains out "1 error injected fault");
+      check "repeat refused" true (contains out "2 quarantined");
+      check "server keeps answering" true (contains out "3 ok count="))
+
+let test_server_exit_codes () =
+  (* fault injection arms a process-global hook: concurrent workers are
+     a usage error, like any malformed flag combination *)
+  let status, _, err =
+    run_cli
+      [
+        "server"; prog "university.gd"; "--fault-plan"; "point:engine.answer:1";
+        "--workers"; "4";
+      ]
+  in
+  check "fault plan with workers exits 2" true (status = 2);
+  check "diagnostic names the conflict" true (contains err "--workers 1");
+  let status2, _, _ = run_cli [ "server"; prog "university.gd"; "--workers"; "0" ] in
+  check "zero workers exits 2" true (status2 = 2)
+
+(* SIGTERM drains: in-flight requests complete, the drain is reported,
+   and — per the exit-code contract — a drained run is a success. *)
+let test_server_sigterm_drain () =
+  let out_file = Filename.temp_file "guarded_srv" ".out" in
+  let err_file = Filename.temp_file "guarded_srv" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out_file;
+      Sys.remove err_file)
+    (fun () ->
+      let fd_out =
+        Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      let fd_err =
+        Unix.openfile err_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      let r_in, w_in = Unix.pipe ~cloexec:false () in
+      let pid =
+        Unix.create_process cli
+          [| cli; "server"; prog "university.gd" |]
+          r_in fd_out fd_err
+      in
+      Unix.close r_in;
+      Unix.close fd_out;
+      Unix.close fd_err;
+      let oc = Unix.out_channel_of_descr w_in in
+      output_string oc "answers q(X) :- prof(X).\n";
+      flush oc;
+      (* wait for the first reply: the saturation is done and the serve
+         loop is live, so the SIGTERM handler is installed *)
+      let slurp_out () =
+        let ic = open_in out_file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let rec await tries =
+        if tries = 0 then Alcotest.fail "server never replied"
+        else if contains (slurp_out ()) "1 ok" then ()
+        else (
+          Unix.sleepf 0.05;
+          await (tries - 1))
+      in
+      await 200;
+      Unix.kill pid Sys.sigterm;
+      Unix.sleepf 0.1;
+      (* one more line unblocks the reader; it is still served, then the
+         loop observes the flipped stop flag and drains *)
+      output_string oc "count q(C) :- course(C).\n";
+      flush oc;
+      let _, status = Unix.waitpid [] pid in
+      close_out_noerr oc;
+      let out = slurp_out () in
+      check "drained run exits 0" true (status = Unix.WEXITED 0);
+      check "in-flight request still answered" true (contains out "2 ok count=");
+      check "drain reported" true (contains out "% server: drained on signal"))
 
 let () =
   Alcotest.run "cli"
@@ -744,5 +938,15 @@ let () =
             test_serve_strict_log;
           Alcotest.test_case "serve quarantines poison mutations" `Quick
             test_serve_quarantine;
+          Alcotest.test_case "serve counts rejected log lines" `Quick
+            test_serve_rejected_lines_counter;
+          Alcotest.test_case "server answers requests" `Quick
+            test_server_answers;
+          Alcotest.test_case "server clean exit" `Quick test_server_clean_exit;
+          Alcotest.test_case "server quarantines poison queries" `Quick
+            test_server_quarantine;
+          Alcotest.test_case "server exit codes" `Quick test_server_exit_codes;
+          Alcotest.test_case "server drains on SIGTERM" `Quick
+            test_server_sigterm_drain;
         ] );
     ]

@@ -10,6 +10,11 @@ module Chase = Tgds.Chase
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
 let v = Term.var
 let atom p args = Atom.make p args
 let fact p args = Fact.make p (List.map (fun s -> Named s) args)
@@ -151,6 +156,65 @@ let test_metrics_histograms () =
       check "min" true (s.Obs.Metrics.min = 0.002);
       check "max" true (s.Obs.Metrics.max = 99.0)
   | _ -> Alcotest.fail "one histogram expected"
+
+let test_metrics_quantile () =
+  let m = Obs.Metrics.create () in
+  check "missing histogram" true (Obs.Metrics.quantile m "d" 0.5 = None);
+  (* 100 observations spread over two decades *)
+  for i = 1 to 100 do
+    Obs.Metrics.observe m "d" (float_of_int i *. 1e-4)
+  done;
+  check "empty q raises" true
+    (try
+       ignore (Obs.Metrics.quantile m "d" 1.5);
+       false
+     with Invalid_argument _ -> true);
+  let q p = Option.get (Obs.Metrics.quantile m "d" p) in
+  check "q0 is exact min" true (q 0. = 1e-4);
+  check "q1 is exact max" true (q 1. = 1e-2);
+  (* p50 = 5ms exactly on a bucket boundary; the estimate must land in
+     the right bucket (2ms, 10ms] within a factor of the bucket width *)
+  check (Fmt.str "p50 in-bucket (%g)" (q 0.5)) true
+    (q 0.5 >= 2e-3 && q 0.5 <= 1e-2);
+  check (Fmt.str "p99 in-bucket (%g)" (q 0.99)) true
+    (q 0.99 >= 5e-3 && q 0.99 <= 1e-2);
+  check "monotone" true (q 0.5 <= q 0.9 && q 0.9 <= q 0.99)
+
+let test_metrics_absorb_histograms () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.observe a "d" 0.001;
+  Obs.Metrics.observe a "d" 0.003;
+  Obs.Metrics.observe b "d" 0.5;
+  Obs.Metrics.observe b "e" 1.0;
+  Obs.Metrics.absorb ~into:a b;
+  (match Obs.Metrics.histograms a with
+  | [ ("d", d); ("e", e) ] ->
+      check_int "d merged count" 3 d.Obs.Metrics.count;
+      check "d merged sum" true (abs_float (d.Obs.Metrics.sum -. 0.504) < 1e-9);
+      check "d min" true (d.Obs.Metrics.min = 0.001);
+      check "d max" true (d.Obs.Metrics.max = 0.5);
+      check_int "e registered" 1 e.Obs.Metrics.count
+  | hs -> Alcotest.fail (Fmt.str "expected d+e, got %d histograms" (List.length hs)));
+  (* the merged histogram quantiles see both registries' observations *)
+  check "merged max" true (Option.get (Obs.Metrics.quantile a "d" 1.) = 0.5)
+
+let test_report_rate_block () =
+  let r = Obs.Report.create "srv" in
+  (* empty histogram: qps field present (0), quantiles omitted *)
+  Obs.Report.add_rate_block r ~prefix:"server" ~histogram:"server.latency"
+    ~wall_s:2.0;
+  let js = Obs.Json.to_string (Obs.Report.to_json r) in
+  check "qps zero" true (contains js "\"server.qps\":0");
+  check "no p50 when empty" false (contains js "p50_ms");
+  for _ = 1 to 100 do
+    Obs.Metrics.observe (Obs.Report.metrics r) "server.latency" 0.004
+  done;
+  Obs.Report.add_rate_block r ~prefix:"server" ~histogram:"server.latency"
+    ~wall_s:2.0;
+  let js = Obs.Json.to_string (Obs.Report.to_json r) in
+  check "qps 50" true (contains js "\"server.qps\":50");
+  check "p50 present" true (contains js "\"server.p50_ms\":");
+  check "p99 present" true (contains js "\"server.p99_ms\":")
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                                *)
@@ -341,6 +405,10 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histograms" `Quick test_metrics_histograms;
+          Alcotest.test_case "quantile" `Quick test_metrics_quantile;
+          Alcotest.test_case "absorb merges histograms" `Quick
+            test_metrics_absorb_histograms;
+          Alcotest.test_case "report rate block" `Quick test_report_rate_block;
         ] );
       ("spans", [ Alcotest.test_case "tree" `Quick test_span_tree ]);
       ( "budgets",

@@ -392,7 +392,21 @@ let test_checkpoint_typed_errors () =
             (not (String.contains msg '\n'))
       | Error (Resil.Checkpoint.Io _) ->
           Alcotest.fail "unparseable JSON is Corrupt, not Io"
-      | Ok _ -> Alcotest.fail "load of truncated JSON succeeded")
+      | Ok _ -> Alcotest.fail "load of truncated JSON succeeded");
+  (* readable, well-formed JSON with the wrong schema: the Io/Corrupt
+     split keys on what the bytes mean, not on whether they parse *)
+  let path = Filename.temp_file "resil_alien_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"schema\": \"some-other-artifact\", \"version\": 1}";
+      close_out oc;
+      match Resil.Checkpoint.load path with
+      | Error (Resil.Checkpoint.Corrupt _) -> ()
+      | Error (Resil.Checkpoint.Io _) ->
+          Alcotest.fail "an alien schema is Corrupt, not Io"
+      | Ok _ -> Alcotest.fail "load of an alien schema succeeded")
 
 (* ------------------------------------------------------------------ *)
 (* CRC32 and the WAL                                                    *)
