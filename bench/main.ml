@@ -501,7 +501,7 @@ let e14 ~full () =
 (* BENCH_engine.json is shared between E15 (chase workloads), E17
    (answer-enumeration workloads, names prefixed "answers-"), E18
    (incremental-maintenance workloads, names prefixed "incr-"), E20
-   (WAL-recovery workloads, names prefixed "recover-") and E21
+   (WAL-recovery workloads, names prefixed "recover-") and E22
    (query-server workloads, names prefixed "server-"). Each experiment
    replaces only its own entries and keeps the others', so regenerating
    one never drops another's baselines. *)
@@ -1046,15 +1046,20 @@ let e20 ~full () =
   update_bench_engine ~owns:recover_workload entries
 
 (* ------------------------------------------------------------------ *)
-(* E21 — sustained qps / latency of the concurrent query server         *)
+(* E22 — allocation-lean concurrent serving (supersedes E21)            *)
 (* ------------------------------------------------------------------ *)
 
 (* The whole pipeline end-to-end: emit a lubm-scale program in surface
    syntax (the parser wants lowercase predicates, so the generated
    predicates are lowercased), parse it, saturate once, freeze the
    snapshot and drive Server.Daemon.run over a file of mixed
-   answers/count request lines at several worker counts. *)
-let e21_program ~universities =
+   answers/count request lines at several worker counts.
+
+   E22 extends the old E21 rows with the worker domains' Gc word deltas:
+   minor words per served request is the multicore scaling signal (any
+   domain's minor collection stops every domain), and unlike qps it is
+   deterministic enough to regress-gate on a shared CI box. *)
+let e22_program ~universities =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf
     "prof(X) -> teaches(X,C).\n\
@@ -1083,7 +1088,7 @@ let e21_program ~universities =
 
 (* the mixed request set: point lookups, wide scans, a union, a join and
    a count, cycled in a fixed order so every run issues the same lines *)
-let e21_requests n =
+let e22_requests n =
   let templates =
     [|
       "answers q(X) :- prof(X).";
@@ -1100,9 +1105,9 @@ let e21_requests n =
 
 (* one serving run: feed [requests] through a request file, return the
    daemon summary plus the report carrying the latency histogram *)
-let e21_serve ~workers ~requests snap =
-  let req_path = Filename.temp_file "e21_requests" ".txt" in
-  let out_path = Filename.temp_file "e21_replies" ".txt" in
+let e22_serve ~workers ~requests snap =
+  let req_path = Filename.temp_file "e22_requests" ".txt" in
+  let out_path = Filename.temp_file "e22_replies" ".txt" in
   Fun.protect
     ~finally:(fun () ->
       Sys.remove req_path;
@@ -1115,7 +1120,7 @@ let e21_serve ~workers ~requests snap =
           output_char oc '\n')
         requests;
       close_out oc;
-      let report = Obs.Report.create "e21" in
+      let report = Obs.Report.create "e22" in
       let ic = open_in req_path and oc = open_out out_path in
       let summary =
         Fun.protect
@@ -1134,8 +1139,8 @@ let e21_serve ~workers ~requests snap =
       in
       (summary, report))
 
-let e21_snapshot ~universities =
-  let p = Syntax.Parser.parse (e21_program ~universities) in
+let e22_snapshot ~universities =
+  let p = Syntax.Parser.parse (e22_program ~universities) in
   let db = Syntax.Parser.database p in
   let r =
     Tgds.Chase.run
@@ -1146,25 +1151,25 @@ let e21_snapshot ~universities =
     ~saturated:(Tgds.Chase.saturated r)
     ~universe:(Instance.dom db) (Tgds.Chase.index r)
 
-let e21 ~full () =
-  header "E21: concurrent query server over the shared saturated store"
-    "not a paper claim — the serving runtime (DESIGN.md §2.15)"
-    "sustained qps with p50 flat across worker counts: workers share one \
-     frozen index with no locks on the read path, while p99 absorbs the \
-     runtime's global minor-GC barriers (allocation in any domain pauses \
-     all of them)";
+let e22 ~full () =
+  header "E22: allocation-lean concurrent serving (supersedes E21)"
+    "not a paper claim — the serving runtime (DESIGN.md §2.15-2.16)"
+    "minor words per served request flat and low across worker counts: \
+     the interned request path allocates O(answer bytes), so the global \
+     minor-GC barriers that capped E21's multicore qps fire rarely \
+     enough for added workers to help rather than hurt";
   let universities = if full then 40 else 10 in
   let n_requests = if full then 2000 else 400 in
-  let snap = e21_snapshot ~universities in
-  let requests = e21_requests n_requests in
-  row "  %-20s %8s %8s %10s %10s %10s %10s@." "workload" "workers" "requests"
-    "serve(s)" "qps" "p50(ms)" "p99(ms)";
+  let snap = e22_snapshot ~universities in
+  let requests = e22_requests n_requests in
+  row "  %-20s %8s %8s %10s %10s %10s %10s %10s %10s@." "workload" "workers"
+    "requests" "serve(s)" "qps" "p50(ms)" "p99(ms)" "minor/req" "major/req";
   let entries =
     List.map
       (fun workers ->
-        let summary, report = e21_serve ~workers ~requests snap in
+        let summary, report = e22_serve ~workers ~requests snap in
         if summary.Server.Daemon.errors > 0 then
-          failwith "e21: request errors against a healthy snapshot";
+          failwith "e22: request errors against a healthy snapshot";
         let quant q =
           match
             Obs.Metrics.quantile
@@ -1175,13 +1180,20 @@ let e21 ~full () =
           | None -> 0.
         in
         let serve_s = summary.Server.Daemon.wall_s in
-        let qps = float_of_int summary.Server.Daemon.served /. serve_s in
+        let served = float_of_int summary.Server.Daemon.served in
+        let qps = served /. serve_s in
         let p50 = quant 0.5 and p99 = quant 0.99 in
+        (* summed worker-domain Gc deltas, normalised per served request:
+           the row the gate pins (time columns are machine-dependent,
+           these are not) *)
+        let minor_req = summary.Server.Daemon.minor_words /. served in
+        let major_req = summary.Server.Daemon.major_words /. served in
         let workload =
           Printf.sprintf "server-lubm-%d-w%d" universities workers
         in
-        row "  %-20s %8d %8d %10.4f %10.1f %10.4f %10.4f@." workload workers
-          summary.Server.Daemon.served serve_s qps p50 p99;
+        row "  %-20s %8d %8d %10.4f %10.1f %10.4f %10.4f %10.0f %10.0f@."
+          workload workers summary.Server.Daemon.served serve_s qps p50 p99
+          minor_req major_req;
         Obs.Json.Obj
           [
             ("workload", Obs.Json.String workload);
@@ -1192,6 +1204,8 @@ let e21 ~full () =
             ("qps", Obs.Json.Float qps);
             ("p50_ms", Obs.Json.Float p50);
             ("p99_ms", Obs.Json.Float p99);
+            ("minor_words_per_req", Obs.Json.Float minor_req);
+            ("major_words_per_req", Obs.Json.Float major_req);
           ])
       [ 1; 2; 4 ]
   in
@@ -1383,7 +1397,7 @@ let gate () =
                 in
                 against name t base "recover_s")
       in
-      (* E21: replay the baseline row's own request volume at its own
+      (* E22: replay the baseline row's own request volume at its own
          worker count, so serve_s compares like for like *)
       let check_server name =
         match find_baseline name with
@@ -1397,16 +1411,39 @@ let gate () =
             let universities = int_field "universities" 10 in
             let workers = int_field "workers" 1 in
             let n = int_field "requests" 400 in
-            let snap = e21_snapshot ~universities in
+            let snap = e22_snapshot ~universities in
+            let minor_req = ref 0. in
             let t =
               measure ~repeat:3 (fun () ->
                   let summary, _ =
-                    e21_serve ~workers ~requests:(e21_requests n) snap
+                    e22_serve ~workers ~requests:(e22_requests n) snap
                   in
                   if summary.Server.Daemon.errors > 0 then
-                    failwith "gate: server request errors")
+                    failwith "gate: server request errors";
+                  minor_req :=
+                    summary.Server.Daemon.minor_words
+                    /. float_of_int summary.Server.Daemon.served)
             in
-            against name t base "serve_s"
+            against name t base "serve_s";
+            (* the allocation gate is tighter than the 3x wall-time one:
+               words per request depends on the request mix, not on the
+               machine, so 1.5x over baseline is already a regression
+               (the +512 absolute slack absorbs batching jitter on tiny
+               baselines) *)
+            match float_field "minor_words_per_req" base with
+            | None ->
+                Fmt.pr "  %-22s baseline has no minor_words_per_req — skipped@."
+                  name
+            | Some b ->
+                let limit = Float.max (b *. 1.5) (b +. 512.) in
+                Fmt.pr
+                  "  %-22s alloc %8.0fw/req  baseline %8.0fw/req  limit \
+                   %8.0fw/req%s@."
+                  name !minor_req b limit
+                  (if !minor_req > limit then "  <-- over" else "");
+                if !minor_req > limit then
+                  fail "%s: %.0f minor words/request > limit %.0f (baseline %.0f)"
+                    name !minor_req limit b
       in
       (* Rows from a newer (or older) snapshot whose owner this binary
          does not know are skipped with a warning, never a failure: an
@@ -1586,11 +1623,11 @@ let all_experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e20", e20); ("e21", e21);
+    ("e18", e18); ("e20", e20); ("e22", e22);
   ]
 
 (* `rows PREFIX` — print the BENCH_engine.json rows owned by PREFIX as a
-   JSON list on stdout (CI extracts the E21 rows into a workflow
+   JSON list on stdout (CI extracts the E22 rows into a workflow
    artifact with `rows server-`). An empty prefix prints every row. *)
 let rows_cmd prefix =
   match open_in_bin "BENCH_engine.json" with

@@ -754,10 +754,12 @@ let server_cmd =
         | Ok _ when workers < 1 ->
             Fmt.epr "error: --workers must be >= 1@.";
             2
-        | Ok plan when plan <> [] && workers > 1 ->
+        | Ok plan
+          when plan <> [] && workers > 1 && not (Resil.Fault.stateless plan) ->
             Fmt.epr
-              "error: --fault-plan requires --workers 1 (the probe hook is \
-               process-global)@.";
+              "error: a counted --fault-plan requires --workers 1 (the probe \
+               hook is process-global; only point:NAME:* plans are \
+               race-free)@.";
             2
         | Ok plan ->
             (* the parallel engine is the default saturator here: the

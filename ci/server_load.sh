@@ -7,10 +7,19 @@
 # must stay clean — every request answered, zero errors, zero
 # quarantine, exit 0.
 #
+# Each run also reports the worker domains' allocation (the summed
+# Gc minor/major word deltas the daemon records per worker), and the
+# run fails if minor allocation per served request regresses past the
+# gate: multicore serving throughput is bounded by minor allocation
+# (every domain's minor-GC barrier stops all domains), so words per
+# request is the scaling signal worth pinning, and it is deterministic
+# enough to gate on where qps on a shared CI box is not.
+#
 # Run from the repository root:  sh ci/server_load.sh
 # Environment:
 #   SERVER_LOAD_REQUESTS=200   request count (default 2000; ci/check.sh
 #                              sets a small value as a smoke)
+#   SERVER_LOAD_MAX_WORDS=6000 gate: max minor words per served request
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +28,7 @@ CLI=_build/default/bin/guarded_cli.exe
 [ -x "$CLI" ] || { echo "server_load: build first (dune build)"; exit 1; }
 
 N=${SERVER_LOAD_REQUESTS:-2000}
+MAXW=${SERVER_LOAD_MAX_WORDS:-6000}
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -77,7 +87,7 @@ expected=$(grep -cv '^%' "$REQ")
 
 serve() {
   workers=$1
-  "$CLI" server "$PROG" --workers "$workers" \
+  "$CLI" server "$PROG" --workers "$workers" --stats "$TMP/w$workers.stats.json" \
     < "$REQ" > "$TMP/w$workers.out" 2> "$TMP/w$workers.err" || {
     echo "server_load: --workers $workers exited $? ($(cat "$TMP/w$workers.err"))"
     exit 1
@@ -94,6 +104,22 @@ serve() {
     exit 1
   }
   sort "$TMP/w$workers.replies" > "$TMP/w$workers.sorted"
+  # allocation accounting: summed worker-domain Gc deltas from the
+  # stats report, gated per served request
+  minor=$(grep -o '"server.minor_words":[0-9]*' "$TMP/w$workers.stats.json" \
+    | head -1 | cut -d: -f2)
+  major=$(grep -o '"server.major_words":[0-9]*' "$TMP/w$workers.stats.json" \
+    | head -1 | cut -d: -f2)
+  [ -n "$minor" ] || {
+    echo "server_load: --workers $workers stats report lacks server.minor_words"
+    exit 1
+  }
+  per=$((minor / expected))
+  echo "server_load: workers $workers: $minor minor words, $major major words ($per minor words/request)"
+  [ "$per" -le "$MAXW" ] || {
+    echo "server_load: --workers $workers allocates $per minor words/request (gate: $MAXW)"
+    exit 1
+  }
 }
 
 serve 1

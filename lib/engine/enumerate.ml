@@ -1,5 +1,17 @@
 (** Streaming answer enumeration over {!Index} posting lists; see the
-    interface for the algorithm and the budget/observability contract. *)
+    interface for the algorithm and the budget/observability contract.
+
+    The search runs end-to-end on interned ints: per disjunct the query
+    compiles to a {!Index.catom} array plus a flat binding environment
+    (variable slot -> cell id), the cross-disjunct seen-set keys on int
+    tuples, and answers accumulate as id rows in a reusable arena.
+    Materialization to [const list list] is a single deferred pass —
+    callers that render or count straight from ids never pay it. The
+    observable contract (answer sets, emission order under a budget,
+    candidate/probe/joiner counters, span attributes) is bit-compatible
+    with the previous [VarMap]-based implementation; the difference is
+    that a request allocates O(query + answers) minor words instead of
+    O(search tree). *)
 
 open Relational
 open Relational.Term
@@ -13,13 +25,158 @@ type result = {
    accumulated prefix is kept. *)
 exception Cut of Obs.Budget.violation
 
-(* Shared mutable state of one [cq]/[ucq] call: the cross-disjunct dedup
-   table, the emitted-answer count the budget's fact axis meters, and the
-   per-disjunct candidate counter. *)
+(* ------------------------------------------------------------------ *)
+(* Evaluation context: per-consumer scratch, reusable across requests   *)
+(* ------------------------------------------------------------------ *)
+
+(* Universe constants unknown to the store's symbol table (possible for
+   an input-database domain wider than the stored facts) get synthetic
+   ids [cx_symsize + k] backed by [cx_extras] — the id space stays dense
+   and every answer cell externs in O(1). *)
+type ctx = {
+  cx_idx : Index.t;
+  cx_symsize : int;
+  cx_umem : (int, unit) Hashtbl.t;  (* universe membership, by cell id *)
+  cx_uni : int array;  (* universe ids in sorted-constant order, null-free *)
+  cx_extras : const array;  (* consts behind ids >= cx_symsize *)
+  cx_seen : (int array, unit) Hashtbl.t;  (* cleared per request *)
+  mutable cx_rows : int array array;  (* answer arena, reused *)
+  mutable cx_nrows : int;
+}
+
+let ctx ~universe idx =
+  let st = Index.symtab idx in
+  let symsize = Symtab.size st in
+  let universe = ConstSet.filter (fun c -> not (is_null c)) universe in
+  let umem = Hashtbl.create (max 16 (ConstSet.cardinal universe)) in
+  let extras = ref [] and nextras = ref 0 in
+  let uni = Array.make (max (ConstSet.cardinal universe) 1) 0 in
+  let k = ref 0 in
+  ConstSet.iter
+    (fun c ->
+      let id =
+        let i = Symtab.find_int st c in
+        if i >= 0 then i
+        else begin
+          let i = symsize + !nextras in
+          incr nextras;
+          extras := c :: !extras;
+          i
+        end
+      in
+      uni.(!k) <- id;
+      incr k;
+      Hashtbl.replace umem id ())
+    universe;
+  {
+    cx_idx = idx;
+    cx_symsize = symsize;
+    cx_umem = umem;
+    cx_uni = Array.sub uni 0 !k;
+    cx_extras = Array.of_list (List.rev !extras);
+    cx_seen = Hashtbl.create 64;
+    cx_rows = Array.make 64 [||];
+    cx_nrows = 0;
+  }
+
+let cx_const cx id =
+  if id < cx.cx_symsize then Symtab.extern (Index.symtab cx.cx_idx) id
+  else cx.cx_extras.(id - cx.cx_symsize)
+
+let push_row cx row =
+  let n = cx.cx_nrows in
+  let cap = Array.length cx.cx_rows in
+  if n = cap then begin
+    let a = Array.make (2 * cap) [||] in
+    Array.blit cx.cx_rows 0 a 0 cap;
+    cx.cx_rows <- a
+  end;
+  cx.cx_rows.(n) <- row;
+  cx.cx_nrows <- n + 1
+
+(* ------------------------------------------------------------------ *)
+(* Interned results                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows are kept in emission order (the budget prefix is the first
+   [icount] emitted); the canonical sorted view is computed lazily so
+   [count] consumers never pay it. *)
+type interned = {
+  irows : int array array;
+  ioutcome : Obs.Budget.outcome;
+  iconst : int -> const;
+  mutable isorted : int array array option;
+}
+
+let icount it = Array.length it.irows
+let ioutcome it = it.ioutcome
+let iconst it id = it.iconst id
+
+(* Lexicographic on externed constants, shorter-prefix-first — exactly
+   [Stdlib.compare] on the materialized [const list]s. *)
+(* top-level recursion, not an inner [let rec]: the sort calls this
+   O(n log n) times and an inner recursive closure would be allocated
+   per comparison *)
+let rec compare_cells iconst a b n i =
+  if i = n then 0
+  else
+    let c = Stdlib.compare (iconst a.(i)) (iconst b.(i)) in
+    if c <> 0 then c else compare_cells iconst a b n (i + 1)
+
+let compare_rows iconst a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = if la < lb then la else lb in
+  let c = compare_cells iconst a b n 0 in
+  if c <> 0 then c else Int.compare la lb
+
+let sorted_rows it =
+  match it.isorted with
+  | Some r -> r
+  | None ->
+      let r = Array.copy it.irows in
+      Array.sort (compare_rows it.iconst) r;
+      it.isorted <- Some r;
+      r
+
+let materialize it =
+  {
+    answers =
+      Array.fold_right
+        (fun row acc ->
+          Array.fold_right (fun id t -> it.iconst id :: t) row [] :: acc)
+        (sorted_rows it) [];
+    outcome = it.ioutcome;
+  }
+
+(* Test/render constructor: an interned result over a local symbol
+   assignment (first-seen ids). *)
+let of_answers answers outcome =
+  let tbl = Hashtbl.create 16 and syms = ref [] and n = ref 0 in
+  let id c =
+    match Hashtbl.find_opt tbl c with
+    | Some i -> i
+    | None ->
+        let i = !n in
+        incr n;
+        Hashtbl.add tbl c i;
+        syms := c :: !syms;
+        i
+  in
+  let irows =
+    Array.of_list (List.map (fun t -> Array.of_list (List.map id t)) answers)
+  in
+  let syms = Array.of_list (List.rev !syms) in
+  { irows; ioutcome = outcome; iconst = (fun i -> syms.(i)); isorted = None }
+
+(* ------------------------------------------------------------------ *)
+(* The search                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared mutable state of one [run_interned] call: the emitted-answer
+   count the budget's fact axis meters, and the per-disjunct candidate
+   counter. *)
 type state = {
-  seen : (const list, unit) Hashtbl.t;
   mutable emitted : int;
-  mutable acc : const list list;
   mutable candidates : int;
 }
 
@@ -28,105 +185,148 @@ let check_budget budget st =
   | Some v -> raise (Cut v)
   | None -> ()
 
-let emit budget st tuple =
-  if not (Hashtbl.mem st.seen tuple) then begin
-    Hashtbl.add st.seen tuple ();
-    st.acc <- tuple :: st.acc;
-    st.emitted <- st.emitted + 1;
-    Obs.Probe.hit "engine.answer";
-    check_budget budget st
-  end
+(* One disjunct, compiled: atoms as a catom array walked with in-place
+   rotation (the unselected suffix keeps its relative order, as the
+   previous List.filteri removal did), bindings in [d_benv], the answer
+   tuple staged in [d_key] ([d_slots.(j) < 0] marks an answer position
+   whose variable occurs in no atom — it ranges over the universe). *)
+type dis = {
+  d_atoms : Index.catom array;
+  d_benv : int array;
+  d_slots : int array;
+  d_key : int array;
+  d_arity : int;
+}
 
-(* Expand the answer variables of [free] (absent from every atom of the
-   disjunct) over the universe, in sorted-constant order. [prefix] holds
-   the already-fixed answer positions reversed. *)
-let rec expand_free budget st universe prefix = function
-  | [] -> emit budget st (List.rev prefix)
-  | `Free :: rest ->
-      ConstSet.iter
-        (fun c -> expand_free budget st universe (c :: prefix) rest)
-        universe
-  | `Bound c :: rest -> expand_free budget st universe (c :: prefix) rest
-
-(* One disjunct. [answer] is the CQ's answer-variable tuple; [universe]
-   is null-free. *)
-let enum_cq budget st ~universe idx (q : Cq.t) =
-  let answer = Cq.answer q in
-  (* answer variables occurring in some atom; the others are free and
-     range over the universe *)
-  let atom_vars =
-    List.fold_left
-      (fun acc a -> VarSet.union (Atom.vars a) acc)
-      VarSet.empty (Cq.atoms q)
+let compile cx (q : Cq.t) =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let nslots = ref 0 in
+  let slot x =
+    match Hashtbl.find_opt tbl x with
+    | Some s -> s
+    | None ->
+        let s = !nslots in
+        incr nslots;
+        Hashtbl.add tbl x s;
+        s
   in
-  let rec search (b : Homomorphism.binding) pending =
+  let atoms =
+    Array.of_list (List.map (Index.compile_atom cx.cx_idx ~slot) (Cq.atoms q))
+  in
+  let answer = Cq.answer q in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun x -> match Hashtbl.find_opt tbl x with Some s -> s | None -> -1)
+         answer)
+  in
+  let arity = Array.length slots in
+  {
+    d_atoms = atoms;
+    d_benv = Array.make (max !nslots 1) (-1);
+    d_slots = slots;
+    d_key = Array.make arity 0;
+    d_arity = arity;
+  }
+
+let enum_cq cx st budget (q : Cq.t) =
+  let d = compile cx q in
+  let idx = cx.cx_idx in
+  let atoms = d.d_atoms and benv = d.d_benv and slots = d.d_slots in
+  let n = Array.length atoms in
+  let arity = d.d_arity in
+  let on_candidate () = st.candidates <- st.candidates + 1 in
+  let on_fail () = () in
+  let emit () =
+    if not (Hashtbl.mem cx.cx_seen d.d_key) then begin
+      let key = Array.copy d.d_key in
+      Hashtbl.add cx.cx_seen key ();
+      push_row cx key;
+      st.emitted <- st.emitted + 1;
+      Obs.Probe.hit "engine.answer";
+      check_budget budget st
+    end
+  in
+  (* expand the answer positions whose variable is atom-free over the
+     universe, in sorted-constant order, left to right *)
+  let rec expand_free j =
+    if j = arity then emit ()
+    else if slots.(j) >= 0 then expand_free (j + 1)
+    else begin
+      let uni = cx.cx_uni in
+      for k = 0 to Array.length uni - 1 do
+        d.d_key.(j) <- uni.(k);
+        expand_free (j + 1)
+      done
+    end
+  in
+  let unbound_answer () =
+    let r = ref false in
+    for j = 0 to arity - 1 do
+      let s = slots.(j) in
+      if s >= 0 && Array.unsafe_get benv s < 0 then r := true
+    done;
+    !r
+  in
+  let rec search lo =
     check_budget budget st;
-    let needs_binding x = VarSet.mem x atom_vars && not (VarMap.mem x b) in
-    if List.exists needs_binding answer then begin
-      (* expand the cheapest pending atom that still constrains an
-         unbound answer variable *)
-      let best =
-        List.fold_left
-          (fun best (i, a) ->
-            if not (VarSet.exists needs_binding (Atom.vars a)) then best
-            else
-              let c = Index.candidate_count idx a b in
-              match best with
-              | Some (_, _, bc) when bc <= c -> best
-              | _ -> Some (i, a, c))
-          None
-          (List.mapi (fun i a -> (i, a)) pending)
-      in
-      match best with
-      | None ->
-          (* unreachable: an unbound answer variable of [atom_vars] always
-             occurs in some pending atom (matched atoms bind their
-             variables) *)
-          assert false
-      | Some (i, a, _) ->
-          let rest = List.filteri (fun j _ -> j <> i) pending in
-          Index.fold_matches idx a b ~injective:false
-            ~on_candidate:(fun () -> st.candidates <- st.candidates + 1)
-            ~on_fail:(fun () -> ())
-            (fun b' () -> search b' rest)
-            ()
+    if unbound_answer () then begin
+      (* expand the cheapest pending atom that still has an unbound
+         variable; one exists — an unbound answer variable occurring in
+         atoms always occurs in some pending atom (matched atoms bind
+         their variables) *)
+      let bi = ref (-1) and bc = ref 0 in
+      for i = lo to n - 1 do
+        let ca = atoms.(i) in
+        if Index.catom_unbound ca ~benv then begin
+          let c = Index.catom_count idx ca ~benv in
+          if !bi < 0 || c < !bc then begin
+            bi := i;
+            bc := c
+          end
+        end
+      done;
+      assert (!bi >= 0);
+      let sel = atoms.(!bi) in
+      for j = !bi downto lo + 1 do
+        atoms.(j) <- atoms.(j - 1)
+      done;
+      atoms.(lo) <- sel;
+      ignore (Index.fold_catom idx sel ~benv ~on_candidate ~on_fail step (lo + 1));
+      for j = lo to !bi - 1 do
+        atoms.(j) <- atoms.(j + 1)
+      done;
+      atoms.(!bi) <- sel
     end
     else begin
       (* every atom-constrained answer variable is bound: the subtree
          below this node cannot change the answer tuple, so decide it
          here and prune *)
-      let positions =
-        List.map
-          (fun x ->
-            match VarMap.find_opt x b with
-            | Some c -> `Bound c
-            | None -> `Free)
-          answer
-      in
-      let bound_ok =
-        List.for_all
-          (function `Bound c -> ConstSet.mem c universe | `Free -> true)
-          positions
-      in
-      let free = List.exists (function `Free -> true | _ -> false) positions in
-      if bound_ok && (not free || not (ConstSet.is_empty universe)) then
-        let all_seen =
-          (not free)
-          && Hashtbl.mem st.seen
-               (List.map
-                  (function `Bound c -> c | `Free -> assert false)
-                  positions)
-        in
-        if not all_seen then
+      let ok = ref true and free = ref false in
+      for j = 0 to arity - 1 do
+        let s = slots.(j) in
+        if s < 0 then free := true
+        else begin
+          let cid = benv.(s) in
+          d.d_key.(j) <- cid;
+          if not (Hashtbl.mem cx.cx_umem cid) then ok := false
+        end
+      done;
+      if !ok && ((not !free) || Array.length cx.cx_uni > 0) then begin
+        let all_seen = (not !free) && Hashtbl.mem cx.cx_seen d.d_key in
+        if not all_seen then begin
           (* the remaining atoms are purely existential: one witness is
              enough *)
-          let holds =
-            pending = [] || Joiner.exists ~probe:false ~init:b pending idx
-          in
-          if holds then expand_free budget st universe [] positions
+          let holds = lo >= n || Joiner.exists_compiled idx atoms ~benv lo n in
+          if holds then expand_free 0
+        end
+      end
     end
+  and step lo =
+    search lo;
+    false
   in
-  search VarMap.empty (Cq.atoms q)
+  search 0
 
 let with_child obs name f =
   match obs with
@@ -135,12 +335,11 @@ let with_child obs name f =
       let sp = Obs.Span.enter parent name in
       Fun.protect ~finally:(fun () -> Obs.Span.exit sp) (fun () -> f (Some sp))
 
-let run ?budget ?obs ~universe idx disjuncts =
+let run_interned ?budget ?obs cx disjuncts =
   let budget = Option.value budget ~default:Obs.Budget.unlimited in
-  let universe = ConstSet.filter (fun c -> not (is_null c)) universe in
-  let st =
-    { seen = Hashtbl.create 64; emitted = 0; acc = []; candidates = 0 }
-  in
+  Hashtbl.clear cx.cx_seen;
+  cx.cx_nrows <- 0;
+  let st = { emitted = 0; candidates = 0 } in
   let outcome = ref Obs.Budget.Complete in
   (try
      List.iteri
@@ -155,21 +354,34 @@ let run ?budget ?obs ~universe idx disjuncts =
                Obs.Span.set sp "candidates" (Obs.Json.Int (st.candidates - c0));
                Obs.Span.set sp "emitted" (Obs.Json.Int (st.emitted - e0))
          in
-         (try enum_cq budget st ~universe idx q
+         (try enum_cq cx st budget q
           with Cut v ->
             finish ();
             (match sp with
             | Some sp ->
-                Obs.Span.set sp "cut" (Obs.Json.String (Fmt.str "%a" Obs.Budget.pp_violation v))
+                Obs.Span.set sp "cut"
+                  (Obs.Json.String (Fmt.str "%a" Obs.Budget.pp_violation v))
             | None -> ());
             raise (Cut v));
          finish ())
        disjuncts
    with Cut v -> outcome := Obs.Budget.Partial v);
   {
-    answers = List.sort_uniq Stdlib.compare st.acc;
-    outcome = !outcome;
+    irows = Array.sub cx.cx_rows 0 cx.cx_nrows;
+    ioutcome = !outcome;
+    iconst = cx_const cx;
+    isorted = None;
   }
+
+let ucq_interned ?budget ?obs cx u =
+  run_interned ?budget ?obs cx (Ucq.disjuncts u)
+
+(* ------------------------------------------------------------------ *)
+(* Materializing API (unchanged shape)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run ?budget ?obs ~universe idx disjuncts =
+  materialize (run_interned ?budget ?obs (ctx ~universe idx) disjuncts)
 
 let cq ?budget ?obs ~universe idx q = run ?budget ?obs ~universe idx [ q ]
 let ucq ?budget ?obs ~universe idx u = run ?budget ?obs ~universe idx (Ucq.disjuncts u)

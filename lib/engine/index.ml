@@ -530,6 +530,174 @@ let fold_matches idx a (b : Homomorphism.binding) ~injective ~on_candidate ~on_f
             done;
             !acc)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled atoms: the interned, allocation-free matching fast path      *)
+(* ------------------------------------------------------------------ *)
+
+(* A query atom compiled once per request against this store's symbol
+   table. Constant arguments resolve to cell ids ([-1] when the constant
+   is unknown to the store: a bound position that never matches);
+   variable arguments resolve to slots of a caller-owned binding
+   environment [benv] ([benv.(slot) >= 0] bound to that cell id, [-1]
+   unbound). [c_trail] is private per-walk scratch: slots bound while
+   matching one candidate row, undone before the next. *)
+type catom = {
+  c_pid : int;  (* interned predicate id; -1 = unknown predicate *)
+  c_arity : int;
+  c_cells : int array;  (* >= 0 const cid; -1 unknown const; -2 variable *)
+  c_slots : int array;  (* per position: benv slot when c_cells.(i) = -2 *)
+  c_trail : int array;
+}
+
+let compile_atom idx ~slot a =
+  let st = idx.symtab in
+  let args = Atom.args a in
+  let arity = List.length args in
+  let cells = Array.make arity (-2) and slots = Array.make arity (-1) in
+  List.iteri
+    (fun i t ->
+      match t with
+      | Const c -> cells.(i) <- Symtab.find_int st c
+      | Var x -> slots.(i) <- slot x)
+    args;
+  {
+    c_pid = Symtab.find_pred_int st (Atom.pred a);
+    c_arity = arity;
+    c_cells = cells;
+    c_slots = slots;
+    c_trail = Array.make (max arity 1) 0;
+  }
+
+(* The effective pattern id of position [i] under [benv], and whether the
+   position counts as bound — mirrors the [cid >= -1] convention of
+   [candidate_count]: a constant (known or not) is bound, a variable is
+   bound iff its slot is. *)
+let[@inline] cell_pattern ca benv i =
+  let c = Array.unsafe_get ca.c_cells i in
+  if c >= -1 then c else Array.unsafe_get benv (Array.unsafe_get ca.c_slots i)
+
+let[@inline] cell_bound ca benv i =
+  Array.unsafe_get ca.c_cells i >= -1 || cell_pattern ca benv i >= 0
+
+(* Does the atom still contain an unbound variable under [benv]? The
+   enumerator's atom-selection predicate. *)
+let catom_unbound ca ~benv =
+  let r = ref false in
+  for i = 0 to ca.c_arity - 1 do
+    if
+      Array.unsafe_get ca.c_cells i = -2
+      && Array.unsafe_get benv (Array.unsafe_get ca.c_slots i) < 0
+    then r := true
+  done;
+  !r
+
+(* [candidate_count], compiled: identical bucket arithmetic and
+   first-strictly-smaller tie-breaking, no name resolution, no probe. *)
+let catom_count idx ca ~benv =
+  if ca.c_pid < 0 then 0
+  else
+    match entry idx ca.c_pid with
+    | None -> 0
+    | Some e ->
+        let best = ref (-1) in
+        for i = 0 to ca.c_arity - 1 do
+          if cell_bound ca benv i then begin
+            let cid = cell_pattern ca benv i in
+            let n =
+              if cid < 0 || i >= Array.length e.e_at then 0
+              else
+                try Vec.length (Hashtbl.find e.e_at.(i) cid)
+                with Not_found -> 0
+            in
+            if !best < 0 || n < !best then best := n
+          end
+        done;
+        if !best >= 0 then !best else Vec.length e.e_order
+
+(* [fold_matches], compiled: same posting-list choice, candidate order
+   (most recently added first) and [on_candidate]/[on_fail] accounting,
+   but bindings go into [benv] in place (trail-undone per candidate and
+   at exit) instead of a fresh [VarMap] per match, so a full search tree
+   allocates nothing here. [f arg] runs with the extension visible in
+   [benv]; returning [true] stops the walk (the satisfiability caller's
+   early exit) and is returned. Non-injective only — the enumeration
+   paths never ask for injectivity. Counts one [index.probes] probe,
+   like the retrieval it replaces. *)
+let fold_catom idx ca ~benv ~on_candidate ~on_fail (f : int -> bool) arg =
+  Obs.Metrics.incr idx.c_probes;
+  if ca.c_pid < 0 then false
+  else
+    match entry idx ca.c_pid with
+    | None -> false
+    | Some e -> (
+        let arity = ca.c_arity in
+        let best_i = ref (-1) and best_cid = ref (-1) and best_n = ref 0 in
+        for i = 0 to arity - 1 do
+          if cell_bound ca benv i then begin
+            let cid = cell_pattern ca benv i in
+            let n =
+              if cid < 0 || i >= Array.length e.e_at then 0
+              else
+                try Vec.length (Hashtbl.find e.e_at.(i) cid)
+                with Not_found -> 0
+            in
+            if !best_i < 0 || n < !best_n then begin
+              best_i := i;
+              best_cid := cid;
+              best_n := n
+            end
+          end
+        done;
+        let seq =
+          if !best_i < 0 then Some e.e_order
+          else if !best_cid < 0 || !best_i >= Array.length e.e_at then None
+          else Hashtbl.find_opt e.e_at.(!best_i) !best_cid
+        in
+        match seq with
+        | None -> false
+        | Some v ->
+            let rel_a = rel_find e arity in
+            let trail = ca.c_trail in
+            let stopped = ref false in
+            let k = ref (Vec.length v - 1) in
+            while (not !stopped) && !k >= 0 do
+              let packed = Vec.get v !k in
+              decr k;
+              on_candidate ();
+              if arity_of_packed packed <> arity then on_fail ()
+              else begin
+                let r = match rel_a with Some r -> r | None -> assert false in
+                let row = row_of_packed packed in
+                let nt = ref 0 and ok = ref true and i = ref 0 in
+                while !ok && !i < arity do
+                  let cell = Vec.get r.r_cols.(!i) row in
+                  let c = Array.unsafe_get ca.c_cells !i in
+                  if c >= -1 then begin
+                    if cell <> c then ok := false
+                  end
+                  else begin
+                    let s = Array.unsafe_get ca.c_slots !i in
+                    let cur = Array.unsafe_get benv s in
+                    if cur >= 0 then begin
+                      if cell <> cur then ok := false
+                    end
+                    else begin
+                      benv.(s) <- cell;
+                      trail.(!nt) <- s;
+                      incr nt
+                    end
+                  end;
+                  incr i
+                done;
+                if !ok then begin if f arg then stopped := true end
+                else on_fail ();
+                for j = 0 to !nt - 1 do
+                  benv.(trail.(j)) <- -1
+                done
+              end
+            done;
+            !stopped)
+
 (* Allocated capacity of the store's flat vectors, in words — the
    capacity-leak regression tests assert this stays put under
    insert/delete churn. Hash-table buckets are not counted (stdlib

@@ -106,6 +106,55 @@ val fold_matches :
   'a ->
   'a
 
+(** {2 Compiled atoms}
+
+    The answer-enumeration hot path runs on interned ints end to end: a
+    query atom is compiled once per request against the store's symbol
+    table, and every subsequent selection/matching step is flat int
+    arithmetic against a caller-owned binding environment — no [VarMap],
+    no option, no tuple materialization. A binding environment [benv] is
+    an int array indexed by variable slot: [benv.(s) >= 0] is the cell
+    id the variable is bound to, [-1] is unbound. The caller owns slot
+    assignment (one slot map per conjunctive query). *)
+
+type catom
+(** A compiled query atom. Carries private matching scratch: compile one
+    per (request, atom); never share a [catom] between domains. *)
+
+val compile_atom : t -> slot:(string -> int) -> Atom.t -> catom
+(** [compile_atom idx ~slot a] — resolve [a]'s predicate and constant
+    arguments against the store's symbol table (unknown symbols compile
+    to never-matching patterns) and its variables to [slot x]. *)
+
+val catom_unbound : catom -> benv:int array -> bool
+(** Does the atom still contain a variable unbound in [benv]? *)
+
+val catom_count : t -> catom -> benv:int array -> int
+(** {!candidate_count}, compiled: the same bucket sizes and
+    first-strictly-smaller tie-breaking, with bound positions read from
+    [benv]. No probe is counted (selection is free, as before). *)
+
+val fold_catom :
+  t ->
+  catom ->
+  benv:int array ->
+  on_candidate:(unit -> unit) ->
+  on_fail:(unit -> unit) ->
+  (int -> bool) ->
+  int ->
+  bool
+(** [fold_catom idx ca ~benv ~on_candidate ~on_fail f arg] —
+    {!fold_matches}, compiled and non-injective: walk the same posting
+    list in the same (most recently added first) order, binding [ca]'s
+    unbound variables directly in [benv] for the duration of each
+    matching candidate's [f arg] call (undone before the next candidate
+    and before returning). [f] returning [true] stops the walk early and
+    makes the fold return [true] — the satisfiability caller's early
+    exit. [on_candidate]/[on_fail] fire exactly as in {!fold_matches},
+    and one [index.probes] probe is counted. If [f] raises, [benv] is
+    left as the raise saw it (the enumeration paths abandon the whole
+    request on such unwinds). *)
+
 (** Number of posting-list probes performed so far (statistics). *)
 val probes : t -> int
 

@@ -50,6 +50,17 @@ val exists :
   ?probe:bool -> ?injective:bool -> ?init:binding -> ?delta:Fact.t list ->
   Atom.t list -> Index.t -> bool
 
+(** [exists_compiled idx atoms ~benv lo n] — [exists ~probe:false] over
+    the compiled segment [atoms.(lo..n)) ] with the bindings of [benv]
+    as the initial assignment: is there an extension matching every
+    atom of the segment? Node-for-node identical to the uncompiled
+    search (selection, pending order, [joiner.*] and [index.probes]
+    accounting), but allocation-free on the candidate path. [atoms] is
+    reordered in place during the search and restored before returning;
+    [benv] is unchanged on return. Non-injective, no delta, no
+    ["engine.join"] probe — the enumerator's witness-check shape. *)
+val exists_compiled : Index.t -> Index.catom array -> benv:int array -> int -> int -> bool
+
 (** All homomorphisms (exponentially many in general). *)
 val all :
   ?injective:bool -> ?init:binding -> ?delta:Fact.t list ->

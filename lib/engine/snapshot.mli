@@ -48,12 +48,27 @@ val symtab : t -> Symtab.t
 (** The shared symbol table (needed to render interned constants). *)
 
 val view : t -> view
-(** A fresh per-worker read handle. O(1): shares tables, allocates only
-    the private metrics registry. *)
+(** A fresh per-worker read handle: shares tables, owns a private
+    metrics registry and a private {!Enumerate.ctx} (compiled universe,
+    seen-set, answer arena) reused across every request the worker
+    serves. O(universe) to build, then allocation-lean per request. *)
 
 val view_metrics : view -> Obs.Metrics.t
 (** The view's private registry ([index.probes], [joiner.*]), for
     absorbing into a server-wide report after the worker joins. *)
+
+val ucq_i :
+  ?budget:Obs.Budget.t ->
+  ?obs:Obs.Span.t ->
+  view ->
+  Ucq.t ->
+  Enumerate.interned
+(** [ucq_i v q] — certain answers of [q] over the frozen store, through
+    worker view [v], as an interned result the server renders and
+    counts without materializing: the per-request hot path. [?budget]
+    gives per-request admission control (a violated budget returns a
+    [Partial] prefix); [?obs] attaches the enumeration spans to the
+    request's span. *)
 
 val ucq :
   ?budget:Obs.Budget.t ->
@@ -61,8 +76,4 @@ val ucq :
   view ->
   Ucq.t ->
   Enumerate.result
-(** [ucq v q] — certain answers of [q] over the frozen store, through
-    worker view [v]: {!Enumerate.ucq} against the snapshot's universe.
-    [?budget] gives per-request admission control (a violated budget
-    returns a [Partial] prefix); [?obs] attaches the enumeration spans
-    to the request's span. *)
+(** {!ucq_i} materialized: the classic [const list list] form. *)

@@ -6,11 +6,16 @@ exception Injected of string * int
 type trigger =
   | At_hit of int
   | At_point of string * int
+  | Every_point of string
   | After_ms of float
 
 type plan = trigger list
 
 let none : plan = []
+
+let stateless (plan : plan) =
+  plan <> []
+  && List.for_all (function Every_point _ -> true | _ -> false) plan
 
 let trigger_for plan ~attempt =
   if attempt < 1 then None else List.nth_opt plan (attempt - 1)
@@ -38,6 +43,11 @@ let arm ?(clock = Unix.gettimeofday) trig =
             incr named;
             if !named >= n then raise (Injected (point, !total))
           end)
+  | Every_point name ->
+      (* no counters: safe to hit from concurrent domains, and the
+         payload is a fixed hit number so reply bytes stay canonical *)
+      install_hook (fun point ->
+          if String.equal point name then raise (Injected (point, 1)))
   | After_ms ms ->
       let t0 = clock () in
       let hits = ref 0 in
@@ -52,6 +62,18 @@ let disarm () =
 let arm_seq ?(clock = Unix.gettimeofday) (plan : plan) =
   match plan with
   | [] -> disarm ()
+  | _ when stateless plan ->
+      (* no trigger state to advance: fire at every hit of any named
+         point, forever. The counterless hook is safe to hit from
+         concurrent domains. *)
+      let names =
+        List.filter_map
+          (function Every_point n -> Some n | _ -> None)
+          plan
+      in
+      install_hook (fun point ->
+          if List.exists (String.equal point) names then
+            raise (Injected (point, 1)))
   | _ ->
       let plan = Array.of_list plan in
       let idx = ref 0 and total = ref 0 in
@@ -78,6 +100,11 @@ let arm_seq ?(clock = Unix.gettimeofday) (plan : plan) =
                   incr named;
                   if !named >= n then fire ()
                 end
+            | Every_point name ->
+                (* never advances: once live, it fires at every hit of
+                   the named point, so later triggers stay dormant *)
+                if String.equal point name then
+                  raise (Injected (point, !total))
             | After_ms ms ->
                 if (clock () -. !t0) *. 1000. >= ms then fire ()
           end)
@@ -111,6 +138,7 @@ let to_string = function
            (function
              | At_hit n -> Printf.sprintf "hit:%d" n
              | At_point (name, n) -> Printf.sprintf "point:%s:%d" name n
+             | Every_point name -> Printf.sprintf "point:%s:*" name
              | After_ms ms -> Printf.sprintf "ms:%g" ms)
            plan)
 
@@ -136,6 +164,7 @@ let parse s =
           match int_of_string_opt n with
           | Some n when n >= 1 -> Ok (At_hit n)
           | _ -> Error (Printf.sprintf "fault plan: bad hit count %S" n))
+      | [ "point"; name; "*" ] when name <> "" -> Ok (Every_point name)
       | [ "point"; name; n ] -> (
           match int_of_string_opt n with
           | Some n when n >= 1 && name <> "" -> Ok (At_point (name, n))

@@ -22,12 +22,23 @@ exception Injected of string * int
 type trigger =
   | At_hit of int  (** fail at the Nth probe hit, any point (1-based) *)
   | At_point of string * int  (** fail at the Nth hit of the named point *)
+  | Every_point of string
+      (** fail at {e every} hit of the named point. Counterless — the
+          armed hook touches no mutable state, so it is safe to hit from
+          concurrent domains (the concurrent server's poison queries);
+          the {!Injected} hit payload is a fixed [1] so failure messages
+          stay canonical. In {!arm_seq} it never advances the sequence. *)
   | After_ms of float  (** fail at the first hit ≥ this many ms after arming *)
 
 (** One trigger per attempt; [[]] is the fault-free plan. *)
 type plan = trigger list
 
 val none : plan
+
+(** A non-empty plan made only of [Every_point] triggers: arming it
+    installs a hook with no mutable state, so it stays deterministic
+    under concurrent probe hits from multiple domains. *)
+val stateless : plan -> bool
 
 (** [trigger_for plan ~attempt] — the trigger arming attempt [attempt]
     (1-based); [None] past the end of the plan. *)
@@ -70,9 +81,11 @@ val random : seed:int -> ?attempts:int -> ?max_hits:int -> unit -> plan
     {v
     spec    ::= "none" | "seed:" INT [ ":" INT ]   (* seed [, attempts] *)
               | trigger ("," trigger)*
-    trigger ::= "hit:" INT | "point:" NAME ":" INT | "ms:" FLOAT
+    trigger ::= "hit:" INT | "point:" NAME ":" INT
+              | "point:" NAME ":*" | "ms:" FLOAT
     v}
-    [NAME] is a probe point name (contains no [':'] or [',']). *)
+    [NAME] is a probe point name (contains no [':'] or [',']);
+    [point:NAME:*] is the always-fire [Every_point] trigger. *)
 val parse : string -> (plan, string) result
 
 (** Inverse of {!parse} (canonical form; [random] plans print as their

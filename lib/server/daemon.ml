@@ -15,6 +15,8 @@ type summary = {
   quarantined : int;
   drained : bool;
   wall_s : float;
+  minor_words : float;
+  major_words : float;
 }
 
 type counts = {
@@ -24,10 +26,22 @@ type counts = {
   mutable c_quarantined : int;
 }
 
+(* Domain-local allocation counters (minor, promoted, major words).
+   [Gc.quick_stat] is unusable for per-worker deltas: it folds the
+   accumulated totals of every *terminated* domain into the reading, so
+   a worker sampling after a sibling exits absorbs the sibling's whole
+   history. The primitive reads only the calling domain's counters. *)
+external gc_counters : unit -> float * float * float = "caml_gc_counters"
+
 let run ?report ?(stop = ref false) cfg snap ic oc =
   if cfg.workers < 1 then invalid_arg "Daemon.run: workers must be >= 1";
-  if cfg.fault_plan <> [] && cfg.workers > 1 then
-    invalid_arg "Daemon.run: --fault-plan requires workers = 1";
+  if
+    cfg.fault_plan <> [] && cfg.workers > 1
+    && not (Resil.Fault.stateless cfg.fault_plan)
+  then
+    invalid_arg
+      "Daemon.run: a counted --fault-plan requires workers = 1 (only \
+       always-fire plans are race-free)";
   let t0 = Unix.gettimeofday () in
   (* raw-line queue: the main domain only reads and enqueues; workers
      parse as well as evaluate, so per-request work never serialises on
@@ -92,31 +106,38 @@ let run ?report ?(stop = ref false) cfg snap ic oc =
   let quarantine_m = Mutex.create () in
   let saturated = Engine.Snapshot.saturated snap in
   let evaluate view metrics span (r : Protocol.request) =
+    (* the latency histogram covers every outcome of a well-formed
+       request — success, injected fault, quarantine refusal — so qps
+       and percentiles describe the whole served stream, not only the
+       happy path *)
+    let t = Unix.gettimeofday () in
+    let timed reply =
+      Obs.Metrics.observe metrics "server.request_s"
+        (Unix.gettimeofday () -. t);
+      reply
+    in
     let poisoned =
       Mutex.protect quarantine_m (fun () -> Hashtbl.mem quarantine r.Protocol.key)
     in
     if poisoned then
-      (`Quarantined, Protocol.render_quarantined ~id:r.Protocol.id)
+      timed (`Quarantined, Protocol.render_quarantined ~id:r.Protocol.id)
     else
       let budget =
         match (cfg.max_facts, cfg.max_ms) with
         | None, None -> None
         | facts, ms -> Some (Obs.Budget.create ?max_facts:facts ?max_ms:ms ())
       in
-      let t = Unix.gettimeofday () in
       match
         Obs.Span.timed span "request" (fun () ->
-            Engine.Snapshot.ucq ?budget view r.Protocol.query)
+            Engine.Snapshot.ucq_i ?budget view r.Protocol.query)
       with
       | res ->
-          Obs.Metrics.observe metrics "server.request_s"
-            (Unix.gettimeofday () -. t);
           let cls =
-            match res.Engine.Enumerate.outcome with
+            match Engine.Enumerate.ioutcome res with
             | Obs.Budget.Complete when saturated -> `Ok
             | _ -> `Partial
           in
-          (cls, Protocol.render_ok r ~saturated res)
+          timed (cls, Protocol.render_ok r ~saturated res)
       | exception e ->
           let msg =
             match e with
@@ -124,9 +145,21 @@ let run ?report ?(stop = ref false) cfg snap ic oc =
                 Fmt.str "injected fault at %s (hit %d)" point hit
             | e -> Printexc.to_string e
           in
-          Mutex.protect quarantine_m (fun () ->
-              Hashtbl.replace quarantine r.Protocol.key msg);
-          (`Error, Protocol.render_error ~id:r.Protocol.id msg)
+          (* check-and-mark under one lock: when duplicates of a poison
+             query fault concurrently, exactly one reply is the error
+             and the rest are quarantined — the same counts any worker
+             count produces *)
+          let first =
+            Mutex.protect quarantine_m (fun () ->
+                if Hashtbl.mem quarantine r.Protocol.key then false
+                else begin
+                  Hashtbl.replace quarantine r.Protocol.key msg;
+                  true
+                end)
+          in
+          timed
+            (if first then (`Error, Protocol.render_error ~id:r.Protocol.id msg)
+             else (`Quarantined, Protocol.render_quarantined ~id:r.Protocol.id))
   in
   (* per-worker views and (optional) spans, created on the main domain
      before spawning so the shared span tree is never mutated
@@ -139,9 +172,14 @@ let run ?report ?(stop = ref false) cfg snap ic oc =
             Obs.Span.enter (Obs.Report.span rep) (Fmt.str "worker-%d" i))
           report)
   in
+  (* per-worker allocation deltas (slot i written only by worker i, read
+     after join): the tentpole's regression signal — minor words per
+     served request is what multicore qps is bounded by *)
+  let walloc = Array.make cfg.workers (0., 0.) in
   let worker i () =
     let view = views.(i) in
     let metrics = Engine.Snapshot.view_metrics view in
+    let min0, _, maj0 = gc_counters () in
     let rec loop () =
       match pop_batch () with
       | None -> ()
@@ -158,18 +196,50 @@ let run ?report ?(stop = ref false) cfg snap ic oc =
                items);
           loop ()
     in
-    loop ()
+    loop ();
+    let min1, _, maj1 = gc_counters () in
+    walloc.(i) <- (min1 -. min0, maj1 -. maj0)
   in
   let serve () =
     let domains = Array.init cfg.workers (fun i -> Domain.spawn (worker i)) in
+    (* select-guarded reader: [input_line] would block in [read] until
+       the next newline, so a SIGTERM on an idle server used to wait for
+       one more request line before draining. Polling readiness keeps
+       the drain latency bounded by the tick. Reads bypass the channel's
+       buffer (the channel is fresh: nothing has been read through it). *)
+    let fd = Unix.descr_of_in_channel ic in
+    let buf = Bytes.create 65536 in
+    let acc = Buffer.create 256 in
     let lineno = ref 0 in
-    (try
-       while not !stop do
-         let line = input_line ic in
-         incr lineno;
-         push (!lineno, line)
-       done
-     with End_of_file -> ());
+    let push_line line =
+      incr lineno;
+      push (!lineno, line)
+    in
+    let eof = ref false in
+    while not (!stop || !eof) do
+      let ready =
+        match Unix.select [ fd ] [] [] 0.05 with
+        | [], _, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      if ready && not !stop then
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> eof := true
+        | k ->
+            for j = 0 to k - 1 do
+              match Bytes.get buf j with
+              | '\n' ->
+                  push_line (Buffer.contents acc);
+                  Buffer.clear acc
+              | c -> Buffer.add_char acc c
+            done
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    (* a final unterminated line is still a request ([input_line]
+       semantics); a partial line at drain time is dropped with the rest
+       of the unread input *)
+    if !eof && Buffer.length acc > 0 then push_line (Buffer.contents acc);
     let drained = !stop in
     close ();
     Array.iter Domain.join domains;
@@ -184,6 +254,8 @@ let run ?report ?(stop = ref false) cfg snap ic oc =
   in
   Array.iter (fun s -> Option.iter Obs.Span.exit s) wspans;
   let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Array.fold_left (fun a (m, _) -> a +. m) 0. walloc in
+  let major_words = Array.fold_left (fun a (_, m) -> a +. m) 0. walloc in
   (match report with
   | None -> ()
   | Some rep ->
@@ -203,6 +275,10 @@ let run ?report ?(stop = ref false) cfg snap ic oc =
       field "server.partial" counts.c_partial;
       field "server.errors" counts.c_errors;
       field "server.quarantined" counts.c_quarantined;
+      Obs.Report.add_field rep "server.minor_words"
+        (Obs.Json.Float minor_words);
+      Obs.Report.add_field rep "server.major_words"
+        (Obs.Json.Float major_words);
       Obs.Report.add_rate_block rep ~prefix:"server"
         ~histogram:"server.request_s" ~wall_s);
   {
@@ -214,4 +290,6 @@ let run ?report ?(stop = ref false) cfg snap ic oc =
     quarantined = counts.c_quarantined;
     drained;
     wall_s;
+    minor_words;
+    major_words;
   }

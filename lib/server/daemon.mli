@@ -20,21 +20,31 @@
       fault, or any defect) gets an [error] reply and its canonical
       query key is quarantined — later identical requests are refused
       with [quarantined] {e without being evaluated}, and the server
-      keeps answering everything else;
+      keeps answering everything else. The mark is check-and-set under
+      one lock, so when duplicates of a poison query fault concurrently
+      exactly one gets the [error] reply and the rest [quarantined] —
+      reply counts are identical under any worker count;
     - {e graceful drain}: when [stop] flips (the CLI's SIGTERM handler)
-      the main loop stops accepting input after the current line;
-      in-flight requests still complete and reply.
+      the reader notices within its 50 ms readiness tick — even with no
+      input pending — and stops accepting; in-flight requests still
+      complete and reply.
 
-    Fault injection ([fault_plan]) arms the process-global probe hook,
-    so it is only allowed with [workers = 1] — {!run} raises
-    [Invalid_argument] otherwise (concurrent workers would race the
-    trigger state and destroy the plan's determinism). *)
+    The [server.request_s] latency histogram records {e every} outcome
+    of a well-formed request (success, fault, quarantine refusal), so
+    the derived qps/percentiles describe the full served stream.
+
+    Fault injection ([fault_plan]) arms the process-global probe hook.
+    A plan with counted triggers mutates shared trigger state, so it is
+    only allowed with [workers = 1] — {!run} raises [Invalid_argument]
+    otherwise; a {!Resil.Fault.stateless} (always-fire) plan touches no
+    state and is allowed under any worker count. *)
 
 type config = {
   workers : int;  (** worker domains (>= 1) *)
   max_facts : int option;  (** per-request answer cap *)
   max_ms : float option;  (** per-request deadline, milliseconds *)
-  fault_plan : Resil.Fault.plan;  (** requires [workers = 1] unless empty *)
+  fault_plan : Resil.Fault.plan;
+      (** counted plans require [workers = 1]; stateless plans don't *)
 }
 
 type summary = {
@@ -45,6 +55,8 @@ type summary = {
   quarantined : int;  (** requests refused by the quarantine table *)
   drained : bool;  (** [stop] flipped before end of input *)
   wall_s : float;
+  minor_words : float;  (** summed worker-domain minor allocation *)
+  major_words : float;  (** summed worker-domain major allocation *)
 }
 
 (** [run ?report ?stop cfg snap ic oc] — serve until end of input (or

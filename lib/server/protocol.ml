@@ -71,34 +71,35 @@ let add_const buf = function
       Buffer.add_string buf "_:n";
       Buffer.add_string buf (string_of_int i)
 
-let render_ok r ~saturated (res : Engine.Enumerate.result) =
+let render_ok r ~saturated (res : Engine.Enumerate.interned) =
   let status =
-    match res.Engine.Enumerate.outcome with
+    match Engine.Enumerate.ioutcome res with
     | Obs.Budget.Complete when saturated -> "ok"
     | _ -> "partial"
   in
-  let n = List.length res.Engine.Enumerate.answers in
+  let n = Engine.Enumerate.icount res in
   let buf = Buffer.create 64 in
   Buffer.add_string buf (string_of_int r.id);
   Buffer.add_char buf ' ';
   Buffer.add_string buf status;
   (match r.verb with
   | Count ->
+      (* count never touches the rows: no sort, no extern *)
       Buffer.add_string buf " count=";
       Buffer.add_string buf (string_of_int n)
   | Answers ->
       Buffer.add_char buf ' ';
       Buffer.add_string buf (string_of_int n);
-      List.iter
-        (fun t ->
-          Buffer.add_string buf " (";
-          List.iteri
-            (fun i c ->
-              if i > 0 then Buffer.add_char buf ',';
-              add_const buf c)
-            t;
-          Buffer.add_char buf ')')
-        res.Engine.Enumerate.answers);
+      let rows = Engine.Enumerate.sorted_rows res in
+      for i = 0 to Array.length rows - 1 do
+        let row = rows.(i) in
+        Buffer.add_string buf " (";
+        for j = 0 to Array.length row - 1 do
+          if j > 0 then Buffer.add_char buf ',';
+          add_const buf (Engine.Enumerate.iconst res row.(j))
+        done;
+        Buffer.add_char buf ')'
+      done);
   Buffer.contents buf
 
 let render_error ~id msg = Fmt.str "%d error %s" id (oneline msg)

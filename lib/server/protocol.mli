@@ -50,9 +50,13 @@ type line =
 val parse_line : id:int -> string -> line
 
 (** [render_ok r ~saturated res] — the reply line for a successful
-    evaluation. Status is [ok] only when the store was saturated {e and}
-    the enumeration completed; otherwise [partial]. *)
-val render_ok : request -> saturated:bool -> Engine.Enumerate.result -> string
+    evaluation, straight from the interned answer set: tuples extern one
+    constant at a time into the buffer (no materialized [const list
+    list]), and a [count] reply never touches the rows at all. Status is
+    [ok] only when the store was saturated {e and} the enumeration
+    completed; otherwise [partial]. *)
+val render_ok :
+  request -> saturated:bool -> Engine.Enumerate.interned -> string
 
 val render_error : id:int -> string -> string
 val render_quarantined : id:int -> string

@@ -839,8 +839,12 @@ let test_server_exit_codes () =
   let status2, _, _ = run_cli [ "server"; prog "university.gd"; "--workers"; "0" ] in
   check "zero workers exits 2" true (status2 = 2)
 
-(* SIGTERM drains: in-flight requests complete, the drain is reported,
-   and — per the exit-code contract — a drained run is a success. *)
+(* SIGTERM drains promptly: the reader polls input readiness instead of
+   blocking in [read], so an {e idle} server notices the flipped stop
+   flag within its tick — no further request line needed — completes
+   in-flight work, reports the drain, and exits 0. (The old reader sat
+   in [input_line] until the next newline arrived, so an idle server
+   hung in drain until one more request unblocked it.) *)
 let test_server_sigterm_drain () =
   let out_file = Filename.temp_file "guarded_srv" ".out" in
   let err_file = Filename.temp_file "guarded_srv" ".err" in
@@ -884,16 +888,31 @@ let test_server_sigterm_drain () =
       in
       await 200;
       Unix.kill pid Sys.sigterm;
-      Unix.sleepf 0.1;
-      (* one more line unblocks the reader; it is still served, then the
-         loop observes the flipped stop flag and drains *)
-      output_string oc "count q(C) :- course(C).\n";
-      flush oc;
-      let _, status = Unix.waitpid [] pid in
+      (* no further input: the idle server must exit on its own, and
+         promptly — poll for termination with a deadline far above the
+         50 ms readiness tick but far below "waits for the next line" *)
+      let t0 = Unix.gettimeofday () in
+      let deadline = 10.0 in
+      let rec await_exit () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if Unix.gettimeofday () -. t0 > deadline then begin
+              Unix.kill pid Sys.sigkill;
+              ignore (Unix.waitpid [] pid);
+              Alcotest.fail "idle server did not drain after SIGTERM"
+            end
+            else begin
+              Unix.sleepf 0.02;
+              await_exit ()
+            end
+        | _, status -> status
+      in
+      let status = await_exit () in
+      let waited = Unix.gettimeofday () -. t0 in
       close_out_noerr oc;
       let out = slurp_out () in
       check "drained run exits 0" true (status = Unix.WEXITED 0);
-      check "in-flight request still answered" true (contains out "2 ok count=");
+      check (Fmt.str "drain is prompt (%.2fs)" waited) true (waited < 5.0);
       check "drain reported" true (contains out "% server: drained on signal"))
 
 let () =

@@ -169,6 +169,98 @@ let regen () =
   List.iter (fun l -> Printf.printf "    %S;\n" l) lines;
   print_string "  ]\n"
 
+(* ------------------------------------------------------------------ *)
+(* Interned fast path                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The server's request path: one ctx per worker, reused across every
+   request it serves. Running all of a workload's queries through a
+   single shared ctx must reproduce the same goldens. *)
+let observe_interned k =
+  let sigma, db, queries = gen_workload k in
+  let r = saturate ~engine:`Indexed sigma db in
+  let cx = Engine.Enumerate.ctx ~universe:(Instance.dom db) (Chase.index r) in
+  List.concat
+    (List.mapi
+       (fun j q ->
+         let full =
+           Engine.Enumerate.materialize (Engine.Enumerate.ucq_interned cx q)
+         in
+         let budget = Obs.Budget.create ~max_facts:3 () in
+         let cut =
+           Engine.Enumerate.materialize
+             (Engine.Enumerate.ucq_interned ~budget cx q)
+         in
+         [
+           Fmt.str "%d.%d full %s" k j (render_result full);
+           Fmt.str "%d.%d cut3 %s" k j (render_result cut);
+         ])
+       queries)
+
+let test_interned_differential () =
+  let got = List.concat (List.init n_workloads observe_interned) in
+  Alcotest.(check (list string))
+    "interned path through one shared ctx matches the goldens" golden got
+
+(* An interned result must not alias the ctx's reusable scratch: collect
+   results first, clobber the ctx with more requests, render afterwards. *)
+let test_interned_results_survive_ctx_reuse () =
+  List.iter
+    (fun k ->
+      let sigma, db, queries = gen_workload k in
+      let r = saturate ~engine:`Indexed sigma db in
+      let cx =
+        Engine.Enumerate.ctx ~universe:(Instance.dom db) (Chase.index r)
+      in
+      let held =
+        List.map (fun q -> Engine.Enumerate.ucq_interned cx q) queries
+      in
+      (* a second pass over every query reuses the arena, the seen-set
+         and the binding scratch the held results must not share *)
+      List.iter
+        (fun q -> ignore (Engine.Enumerate.ucq_interned cx q))
+        queries;
+      (* observe's lines alternate full/cut3; keep the full ones *)
+      let expected =
+        List.filteri (fun i _ -> i mod 2 = 0) (observe ~engine:`Indexed k)
+      in
+      let got =
+        List.mapi
+          (fun j res ->
+            Fmt.str "%d.%d full %s" k j
+              (render_result (Engine.Enumerate.materialize res)))
+          held
+      in
+      Alcotest.(check (list string))
+        (Fmt.str "held results unchanged by ctx reuse (workload %d)" k)
+        expected got)
+    [ 1; 2; 7; 8 ]
+
+(* The E22 regression bound: a served request through a warm ctx must
+   stay inside a fixed minor-heap envelope. The pre-interning enumerator
+   allocated O(search tree) — VarMap rebinds per node, const tuples per
+   seen-set probe — and sat far outside this bound; the interned path
+   allocates O(query + answers). The envelope has ~3x headroom over the
+   measured cost so it only fails on a real regression, not on noise. *)
+let test_request_allocation_bound () =
+  let sigma, db, queries = gen_workload 1 in
+  let r = saturate ~engine:`Indexed sigma db in
+  let cx = Engine.Enumerate.ctx ~universe:(Instance.dom db) (Chase.index r) in
+  let q = List.hd queries in
+  for _ = 1 to 3 do
+    ignore (Engine.Enumerate.ucq_interned cx q)
+  done;
+  let reps = 1000 in
+  let m0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Engine.Enumerate.icount (Engine.Enumerate.ucq_interned cx q))
+  done;
+  let per = (Gc.minor_words () -. m0) /. float_of_int reps in
+  Alcotest.(check bool)
+    (Fmt.str "per-request minor words within envelope (measured %.0f)" per)
+    true
+    (per < 1000.)
+
 let () =
   if Sys.getenv_opt "ENUM_GOLDEN_REGEN" <> None then regen ()
   else
@@ -181,4 +273,13 @@ let () =
                 (Fmt.str "answers byte-identical (%s)" (engine_name e))
                 `Quick (test_golden_engine e))
             family );
+        ( "interned",
+          [
+            Alcotest.test_case "shared-ctx differential" `Quick
+              test_interned_differential;
+            Alcotest.test_case "results survive ctx reuse" `Quick
+              test_interned_results_survive_ctx_reuse;
+            Alcotest.test_case "request allocation envelope" `Quick
+              test_request_allocation_bound;
+          ] );
       ]

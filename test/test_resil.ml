@@ -334,6 +334,19 @@ let test_fault_parse () =
           Resil.Fault.At_point ("engine.pass", 2);
           Resil.Fault.After_ms 5.;
         ]);
+  check "always-fire point" true
+    (Resil.Fault.parse "point:engine.answer:*"
+    = Ok [ Resil.Fault.Every_point "engine.answer" ]);
+  check "always-fire roundtrips" true
+    (Resil.Fault.parse
+       (Resil.Fault.to_string [ Resil.Fault.Every_point "engine.answer" ])
+    = Ok [ Resil.Fault.Every_point "engine.answer" ]);
+  check "always-fire plans are stateless" true
+    (Resil.Fault.stateless [ Resil.Fault.Every_point "p" ]);
+  check "counted plans are not stateless" false
+    (Resil.Fault.stateless
+       [ Resil.Fault.Every_point "p"; Resil.Fault.At_hit 1 ]);
+  check "the empty plan is not stateless" false (Resil.Fault.stateless []);
   check "seed is deterministic" true
     (Resil.Fault.parse "seed:42:4" = Resil.Fault.parse "seed:42:4");
   (match Resil.Fault.parse "seed:42:4" with
@@ -603,7 +616,16 @@ let test_fault_arm_seq () =
   check "exhausted plan runs fault-free" true
     (fire "p" = None && fire "q" = None && fire "r" = None);
   Resil.Fault.disarm ();
-  check "disarmed" true (not (Obs.Probe.armed ()))
+  check "disarmed" true (not (Obs.Probe.armed ()));
+  (* an always-fire trigger fires at every hit of its point and never
+     advances the sequence — a later trigger stays dormant *)
+  Resil.Fault.arm_seq
+    [ Resil.Fault.Every_point "p"; Resil.Fault.At_hit 1 ];
+  check "always-fire passes other points" true (fire "q" = None);
+  check "always-fire fires on its point" true (fire "p" = Some "p");
+  check "always-fire fires again" true (fire "p" = Some "p");
+  check "the sequence never advances" true (fire "q" = None);
+  Resil.Fault.disarm ()
 
 let test_fault_suspended () =
   Resil.Fault.arm_seq [ Resil.Fault.At_hit 2 ];

@@ -75,7 +75,7 @@ let test_parse_rejections () =
   check "syntax error carries position" true
     (contains (malformed "answers q(X :- prof(X).") "column")
 
-let result answers outcome = { Engine.Enumerate.answers; outcome }
+let result answers outcome = Engine.Enumerate.of_answers answers outcome
 
 let test_render_replies () =
   let open Relational.Term in
@@ -282,8 +282,9 @@ let test_daemon_quarantine () =
     | Ok p -> p
     | Error e -> Alcotest.failf "fault plan: %s" e
   in
+  let report = Obs.Report.create "server-quarantine" in
   let summary, t =
-    run_daemon ~fault_plan:plan snap
+    run_daemon ~report ~fault_plan:plan snap
       [
         "answers q(X) :- prof(X).";
         "answers q(X) :- prof(X).";
@@ -300,7 +301,18 @@ let test_daemon_quarantine () =
   check "other queries keep serving" true (contains t "4 ok count=5");
   check_int "errors counted" 1 summary.Server.Daemon.errors;
   check_int "quarantined counted" 2 summary.Server.Daemon.quarantined;
-  check_int "rest served ok" 1 summary.Server.Daemon.ok
+  check_int "rest served ok" 1 summary.Server.Daemon.ok;
+  (* the latency histogram records every well-formed outcome — the
+     fault and both quarantine refusals included — so qps/percentiles
+     describe the full served stream *)
+  match
+    List.assoc_opt "server.request_s"
+      (Obs.Metrics.histograms (Obs.Report.metrics report))
+  with
+  | Some s ->
+      check_int "fault and refusals observed in request_s" 4
+        s.Obs.Metrics.count
+  | None -> Alcotest.fail "server.request_s histogram missing"
 
 let test_daemon_rejects_concurrent_faults () =
   let snap = snapshot program in
@@ -309,14 +321,63 @@ let test_daemon_rejects_concurrent_faults () =
     | Ok p -> p
     | Error e -> Alcotest.failf "fault plan: %s" e
   in
-  check "fault plan with workers > 1 is refused" true
+  check "counted fault plan with workers > 1 is refused" true
     (match run_daemon ~workers:2 ~fault_plan:plan snap [] with
     | exception Invalid_argument _ -> true
     | _ -> false);
   check "workers < 1 is refused" true
     (match run_daemon ~workers:0 snap [] with
     | exception Invalid_argument _ -> true
-    | _ -> false)
+    | _ -> false);
+  (* a stateless (always-fire) plan touches no trigger state, so it is
+     allowed under concurrent workers *)
+  let stateless =
+    match Resil.Fault.parse "point:engine.answer:*" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "fault plan: %s" e
+  in
+  match run_daemon ~workers:2 ~fault_plan:stateless snap [] with
+  | summary, _ -> check_int "stateless plan accepted" 0 summary.Server.Daemon.served
+  | exception Invalid_argument m ->
+      Alcotest.failf "stateless plan refused: %s" m
+
+(* the satellite-2 pin: duplicates of a poison query faulting
+   {e concurrently} must classify identically under any worker count —
+   the quarantine mark is check-and-set under one lock, so exactly one
+   duplicate reports the error and the rest are quarantined, whether
+   they faulted in sequence (workers 1: later duplicates are refused by
+   the pre-check) or in a race (workers 4: several evaluations fault,
+   one wins the mark) *)
+let test_daemon_concurrent_poison_determinism () =
+  let snap = snapshot program in
+  let plan =
+    match Resil.Fault.parse "point:engine.answer:*" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "fault plan: %s" e
+  in
+  (* the poison query emits an answer, so the always-fire trigger kills
+     every evaluation of it; the interleaved requests are answer-free
+     (no probe hit) and must keep serving *)
+  let lines =
+    List.concat
+      (List.init 6 (fun _ ->
+           [ "answers q(X) :- prof(X)."; "count q(X) :- missing(X)." ]))
+  in
+  List.iter
+    (fun workers ->
+      let summary, t = run_daemon ~workers ~fault_plan:plan snap lines in
+      check_int
+        (Fmt.str "exactly one error at workers %d" workers)
+        1 summary.Server.Daemon.errors;
+      check_int
+        (Fmt.str "other duplicates quarantined at workers %d" workers)
+        5 summary.Server.Daemon.quarantined;
+      check_int
+        (Fmt.str "answer-free requests keep serving at workers %d" workers)
+        6 summary.Server.Daemon.ok;
+      check "failure message carries the fixed hit payload" true
+        (contains t "injected fault at engine.answer (hit 1)"))
+    [ 1; 2; 4 ]
 
 let test_daemon_drain () =
   (* a pre-flipped stop is the degenerate drain: accept nothing, report
@@ -402,6 +463,8 @@ let () =
           Alcotest.test_case "quarantine" `Quick test_daemon_quarantine;
           Alcotest.test_case "fault plan needs one worker" `Quick
             test_daemon_rejects_concurrent_faults;
+          Alcotest.test_case "concurrent poison classifies deterministically"
+            `Quick test_daemon_concurrent_poison_determinism;
           Alcotest.test_case "drain" `Quick test_daemon_drain;
           Alcotest.test_case "report plumbing" `Quick test_daemon_report;
         ] );
